@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks: simulation throughput of each Genesis
+//! hardware library module (cycles are simulated; what is measured here is
+//! the *simulator's* speed, which bounds experiment turnaround).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use genesis_hw::modules::filter::{CmpOp, Filter, Predicate};
+use genesis_hw::modules::joiner::{JoinKind, Joiner};
+use genesis_hw::modules::read_to_bases::{ReadToBases, ReadToBasesInputs};
+use genesis_hw::modules::reducer::{ReduceOp, Reducer};
+use genesis_hw::modules::sink::StreamSink;
+use genesis_hw::modules::source::StreamSource;
+use genesis_hw::word::{Flit, HwWord};
+use genesis_hw::System;
+use genesis_types::Cigar;
+
+const N: u64 = 10_000;
+
+fn bench_reducer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reducer");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function(BenchmarkId::new("sum", N), |b| {
+        b.iter(|| {
+            let mut sys = System::new();
+            let i = sys.add_queue("i");
+            let o = sys.add_queue("o");
+            let items: Vec<Vec<u64>> = (0..10).map(|k| (k..k + N / 10).collect()).collect();
+            sys.add_module(Box::new(StreamSource::from_items("src", i, &items)));
+            sys.add_module(Box::new(Reducer::new("sum", ReduceOp::Sum, 0, i, o)));
+            sys.add_module(Box::new(StreamSink::new("s", o)));
+            sys.run(10 * N + 1000).unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_joiner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("joiner");
+    g.throughput(Throughput::Elements(N));
+    for kind in [JoinKind::Inner, JoinKind::Left] {
+        g.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| {
+                let mut sys = System::new();
+                let l = sys.add_queue("l");
+                let r = sys.add_queue("r");
+                let o = sys.add_queue("o");
+                let left: Vec<Vec<HwWord>> =
+                    (0..N).map(|k| vec![HwWord::Val(k), HwWord::Val(k * 2)]).collect();
+                let right: Vec<Vec<HwWord>> =
+                    (0..N).step_by(2).map(|k| vec![HwWord::Val(k), HwWord::Val(k * 3)]).collect();
+                sys.add_module(Box::new(StreamSource::from_field_items("l", l, &[left])));
+                sys.add_module(Box::new(StreamSource::from_field_items("r", r, &[right])));
+                sys.add_module(Box::new(Joiner::new("j", kind, l, r, o, 1, 1)));
+                sys.add_module(Box::new(StreamSink::new("s", o)));
+                sys.run(10 * N + 1000).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("filter");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("field_eq_field", |b| {
+        b.iter(|| {
+            let mut sys = System::new();
+            let i = sys.add_queue("i");
+            let o = sys.add_queue("o");
+            let items: Vec<Vec<HwWord>> =
+                (0..N).map(|k| vec![HwWord::Val(k % 4), HwWord::Val(k % 3)]).collect();
+            sys.add_module(Box::new(StreamSource::from_field_items("src", i, &[items])));
+            sys.add_module(Box::new(Filter::new(
+                "f",
+                Predicate::fields(0, CmpOp::Eq, 1),
+                i,
+                o,
+            )));
+            sys.add_module(Box::new(StreamSink::new("s", o)));
+            sys.run(10 * N + 1000).unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_read_to_bases(c: &mut Criterion) {
+    let cigar: Cigar = "10S60M2I30M1D49M".parse().unwrap();
+    let packed = cigar.pack().unwrap();
+    let read_len = cigar.read_len() as usize;
+    let reads = 64usize;
+    let mut g = c.benchmark_group("read_to_bases");
+    g.throughput(Throughput::Elements((reads * read_len) as u64));
+    g.bench_function("explode_64_reads", |b| {
+        b.iter(|| {
+            let mut sys = System::new();
+            let qp = sys.add_queue("pos");
+            let qc = sys.add_queue("cigar");
+            let qs = sys.add_queue("seq");
+            let qq = sys.add_queue("qual");
+            let o = sys.add_queue("o");
+            let mut pos_f = Vec::new();
+            let mut cig_f = Vec::new();
+            let mut seq_f = Vec::new();
+            let mut q_f = Vec::new();
+            for r in 0..reads {
+                pos_f.push(Flit::val(r as u64 * 100));
+                pos_f.push(Flit::end_item());
+                cig_f.extend(packed.iter().map(|&p| Flit::val(u64::from(p))));
+                cig_f.push(Flit::end_item());
+                for i in 0..read_len {
+                    seq_f.push(Flit::val((i % 4) as u64));
+                    q_f.push(Flit::val(30));
+                }
+                seq_f.push(Flit::end_item());
+                q_f.push(Flit::end_item());
+            }
+            sys.add_module(Box::new(StreamSource::from_flits("pos", qp, pos_f)));
+            sys.add_module(Box::new(StreamSource::from_flits("cig", qc, cig_f)));
+            sys.add_module(Box::new(StreamSource::from_flits("seq", qs, seq_f)));
+            sys.add_module(Box::new(StreamSource::from_flits("qual", qq, q_f)));
+            sys.add_module(Box::new(ReadToBases::new(
+                "rtb",
+                ReadToBasesInputs { pos: qp, cigar: qc, seq: qs, qual: Some(qq) },
+                o,
+            )));
+            sys.add_module(Box::new(StreamSink::new("s", o)));
+            sys.run(1_000_000).unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_reducer, bench_joiner, bench_filter, bench_read_to_bases
+);
+criterion_main!(benches);

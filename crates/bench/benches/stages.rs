@@ -1,0 +1,83 @@
+//! Criterion benchmarks of the GATK-analog software stages and the
+//! corresponding accelerator simulations on a small fixed data set.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use genesis_core::accel::bqsr::BqsrAccel;
+use genesis_core::accel::markdup::QualitySumAccel;
+use genesis_core::accel::metadata::MetadataAccel;
+use genesis_core::device::DeviceConfig;
+use genesis_datagen::{DatagenConfig, Dataset};
+use genesis_gatk::bqsr::build_covariate_table;
+use genesis_gatk::markdup::{mark_duplicates, quality_sums};
+use genesis_gatk::metadata::set_nm_md_uq_tags;
+
+fn dataset() -> Dataset {
+    Dataset::generate(&DatagenConfig {
+        num_reads: 2_000,
+        chrom_len: 100_000,
+        num_chromosomes: 2,
+        ..DatagenConfig::tiny()
+    })
+}
+
+fn bench_software_stages(c: &mut Criterion) {
+    let data = dataset();
+    let bases: u64 = data.reads.iter().map(|r| u64::from(r.len())).sum();
+    let mut g = c.benchmark_group("software");
+    g.throughput(Throughput::Elements(bases));
+    g.bench_function("quality_sums", |b| {
+        b.iter(|| quality_sums(&data.reads));
+    });
+    g.bench_function("mark_duplicates", |b| {
+        b.iter(|| {
+            let mut reads = data.reads.clone();
+            mark_duplicates(&mut reads)
+        });
+    });
+    g.bench_function("set_nm_md_uq_tags", |b| {
+        b.iter(|| {
+            let mut reads = data.reads.clone();
+            set_nm_md_uq_tags(&mut reads, &data.genome).unwrap()
+        });
+    });
+    g.bench_function("build_covariate_table", |b| {
+        b.iter(|| {
+            build_covariate_table(
+                &data.reads,
+                &data.genome,
+                data.config.read_groups,
+                data.config.read_len,
+            )
+        });
+    });
+    g.finish();
+}
+
+fn bench_accelerator_sims(c: &mut Criterion) {
+    let data = dataset();
+    let bases: u64 = data.reads.iter().map(|r| u64::from(r.len())).sum();
+    let device = DeviceConfig::small().with_psize(50_000);
+    let mut g = c.benchmark_group("accelerator_sim");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(bases));
+    g.bench_function("quality_sum_pipeline", |b| {
+        let accel = QualitySumAccel::new(device.clone());
+        b.iter(|| accel.run(&data.reads).unwrap());
+    });
+    g.bench_function("metadata_pipeline", |b| {
+        let accel = MetadataAccel::new(device.clone());
+        b.iter(|| accel.run(&data.reads, &data.genome).unwrap());
+    });
+    g.bench_function("bqsr_pipeline", |b| {
+        let accel = BqsrAccel::new(device.clone(), data.config.read_len);
+        b.iter(|| accel.run(&data.reads, &data.genome, data.config.read_groups).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_software_stages, bench_accelerator_sims
+);
+criterion_main!(benches);

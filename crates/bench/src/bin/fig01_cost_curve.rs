@@ -1,0 +1,49 @@
+//! Figure 1: the cost of sequencing a human genome, 2001–2019 (NHGRI
+//! survey data, as replicated by the paper's motivation figure).
+
+use genesis_bench::print_table;
+
+/// (year, cost in USD) — the NHGRI "Cost per Genome" survey points the
+/// paper's Figure 1 plots (log scale), at yearly granularity.
+const COST_PER_GENOME: &[(u32, f64)] = &[
+    (2001, 100_000_000.0),
+    (2002, 70_000_000.0),
+    (2003, 50_000_000.0),
+    (2004, 20_000_000.0),
+    (2005, 10_000_000.0),
+    (2006, 10_000_000.0),
+    (2007, 7_000_000.0),
+    (2008, 1_500_000.0),
+    (2009, 200_000.0),
+    (2010, 50_000.0),
+    (2011, 20_000.0),
+    (2012, 8_000.0),
+    (2013, 6_000.0),
+    (2014, 4_500.0),
+    (2015, 4_000.0),
+    (2016, 1_500.0),
+    (2017, 1_200.0),
+    (2018, 1_000.0),
+    (2019, 1_000.0),
+];
+
+fn main() {
+    println!("Figure 1 — Cost per human genome (NHGRI survey, log scale)\n");
+    let rows: Vec<Vec<String>> = COST_PER_GENOME
+        .iter()
+        .map(|&(year, cost)| {
+            let log = cost.log10();
+            let bar = "#".repeat((log * 6.0) as usize);
+            vec![year.to_string(), format!("${cost:>12.0}"), bar]
+        })
+        .collect();
+    print_table(&["year", "cost", "log-scale"], &rows);
+
+    let first = COST_PER_GENOME.first().unwrap().1;
+    let last = COST_PER_GENOME.last().unwrap().1;
+    println!(
+        "\n2001 -> 2019 reduction: {:.0}x (the paper's \"hundred thousand fold\")",
+        first / last
+    );
+    assert!(first / last >= 1e5);
+}

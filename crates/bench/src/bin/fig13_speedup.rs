@@ -1,0 +1,112 @@
+//! Figure 13: (a) speedups of the three Genesis accelerators over the
+//! software baseline, (b) the accelerated-stage runtime breakdown,
+//! (c)/(d) per-chromosome speedups for metadata update and BQSR.
+
+use genesis_bench::{
+    device_for, fmt_dur, measure_stages, print_fraction_bar, print_table, scale_config, Stage,
+};
+use genesis_core::accel::bqsr::accelerated_bqsr_table;
+use genesis_core::accel::metadata::accelerated_metadata_update;
+use genesis_datagen::Dataset;
+use genesis_gatk::bqsr::build_covariate_table;
+use genesis_gatk::markdup::mark_duplicates;
+use genesis_gatk::metadata::set_nm_md_uq_tags;
+use genesis_types::ReadRecord;
+use std::time::Instant;
+
+fn main() {
+    let cfg = scale_config();
+    println!(
+        "Figure 13 — Genesis accelerators vs software baseline\n\
+         data set: {} reads x {} bp, {} x {} bp reference, {} read groups\n",
+        cfg.num_reads, cfg.read_len, cfg.num_chromosomes, cfg.chrom_len, cfg.read_groups
+    );
+    let dataset = Dataset::generate(&cfg);
+
+    // ---------- (a) overall speedups + (b) breakdowns ----------
+    let comparisons = measure_stages(&dataset);
+    println!("(a) overall speedups (baseline: single-thread Rust GATK-analog):\n");
+    let rows: Vec<Vec<String>> = comparisons
+        .iter()
+        .map(|c| {
+            vec![
+                c.stage.label().to_owned(),
+                fmt_dur(c.baseline),
+                fmt_dur(c.breakdown.total()),
+                format!("{:.2}x", c.speedup()),
+                format!("{:.2}x", c.baseline.as_secs_f64() / 8.0
+                    / c.breakdown.total().as_secs_f64()),
+            ]
+        })
+        .collect();
+    print_table(
+        &["stage", "baseline (1T)", "Genesis", "speedup", "vs perfect-8-core"],
+        &rows,
+    );
+    println!(
+        "\n  paper (vs 8-core Xeon + Java GATK4): 2.08x / 19.25x / 12.59x — see\n\
+         EXPERIMENTS.md for the baseline-substitution discussion.\n"
+    );
+
+    println!("(b) accelerated-stage runtime breakdown:\n");
+    for c in &comparisons {
+        print_fraction_bar(c.stage.label(), &c.breakdown.fractions());
+        println!();
+    }
+
+    // ---------- (c)/(d) per-chromosome speedups ----------
+    // Establish the stage input state: sorted + duplicate-marked reads.
+    let mut prepared = dataset.reads.clone();
+    mark_duplicates(&mut prepared);
+
+    println!("(c) per-chromosome speedup — Metadata Update:\n");
+    let mut rows = Vec::new();
+    for chrom in dataset.genome.iter() {
+        let mut subset: Vec<ReadRecord> =
+            prepared.iter().filter(|r| r.chr == chrom.chrom).cloned().collect();
+        let mut sw = subset.clone();
+        let t = Instant::now();
+        set_nm_md_uq_tags(&mut sw, &dataset.genome).expect("sw metadata");
+        let base = t.elapsed();
+        let res = accelerated_metadata_update(
+            &mut subset,
+            &dataset.genome,
+            &device_for(Stage::MetadataUpdate),
+        )
+        .expect("metadata accel");
+        rows.push(vec![
+            chrom.chrom.to_string(),
+            fmt_dur(base),
+            fmt_dur(res.breakdown.total()),
+            format!("{:.2}x", res.breakdown.speedup_over(base)),
+        ]);
+    }
+    print_table(&["chromosome", "baseline (1T)", "Genesis", "speedup"], &rows);
+
+    println!("\n(d) per-chromosome speedup — BQSR table construction:\n");
+    let mut rows = Vec::new();
+    for chrom in dataset.genome.iter() {
+        let subset: Vec<ReadRecord> =
+            prepared.iter().filter(|r| r.chr == chrom.chrom).cloned().collect();
+        let t = Instant::now();
+        let sw_table =
+            build_covariate_table(&subset, &dataset.genome, cfg.read_groups, cfg.read_len);
+        let base = t.elapsed();
+        let res = accelerated_bqsr_table(
+            &subset,
+            &dataset.genome,
+            cfg.read_groups,
+            cfg.read_len,
+            &device_for(Stage::BqsrTable),
+        )
+        .expect("bqsr accel");
+        assert_eq!(res.table, sw_table);
+        rows.push(vec![
+            chrom.chrom.to_string(),
+            fmt_dur(base),
+            fmt_dur(res.breakdown.total()),
+            format!("{:.2}x", res.breakdown.speedup_over(base)),
+        ]);
+    }
+    print_table(&["chromosome", "baseline (1T)", "Genesis", "speedup"], &rows);
+}

@@ -1,0 +1,94 @@
+//! The paper's proof-of-concept accelerators (Figures 7 and 10–12), each
+//! with host-side partition orchestration and result merging.
+
+use crate::device::DeviceConfig;
+use crate::error::CoreError;
+use crate::perf::AccelStats;
+use genesis_hw::System;
+
+pub mod bqsr;
+pub mod coverage;
+pub mod example;
+pub mod frontend;
+pub mod group_count;
+pub mod markdup;
+pub mod metadata;
+pub mod pipeline;
+
+/// Simulation cycle budget per batch — far above any legitimate run; the
+/// deadlock detector fires first on wiring bugs.
+pub(crate) const CYCLE_BUDGET: u64 = 2_000_000_000;
+
+/// Runs `jobs` across the device's replicated pipelines in batches (paper
+/// Figure 8): each batch instantiates one `System` with up to
+/// `cfg.pipelines` pipeline instances sharing the memory system and
+/// arbiter tree, simulates it to completion, and extracts per-job results.
+///
+/// Returns the per-job results (input order) and aggregate statistics.
+pub(crate) fn run_batches<J, H, R>(
+    cfg: &DeviceConfig,
+    jobs: &[J],
+    build: impl Fn(&mut System, u32, &J) -> Result<H, CoreError>,
+    extract: impl Fn(&System, &H, &J) -> Result<R, CoreError>,
+) -> Result<(Vec<R>, AccelStats), CoreError> {
+    let mut results = Vec::with_capacity(jobs.len());
+    let mut stats = AccelStats::default();
+    for chunk in jobs.chunks(cfg.pipelines.max(1)) {
+        let mut sys = System::with_memory(cfg.mem.clone());
+        let mut handles = Vec::with_capacity(chunk.len());
+        for (i, job) in chunk.iter().enumerate() {
+            handles.push(build(&mut sys, i as u32, job)?);
+        }
+        let run = sys.run(CYCLE_BUDGET)?;
+        stats.absorb(AccelStats {
+            cycles: run.cycles,
+            device_mem_bytes: run.mem.read_bytes() + run.mem.write_bytes(),
+            invocations: 1,
+            backpressure_stalls: run.backpressure_stalls,
+            ..AccelStats::default()
+        });
+        for (handle, job) in handles.iter().zip(chunk) {
+            results.push(extract(&sys, handle, job)?);
+        }
+    }
+    Ok((results, stats))
+}
+
+/// Splits `n` items into at most `parts` contiguous, near-equal ranges.
+pub(crate) fn split_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1).min(n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        if len == 0 {
+            continue;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ranges_covers_everything() {
+        let ranges = split_ranges(10, 4);
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges[0], 0..3);
+        assert_eq!(ranges.last().unwrap().end, 10);
+        let total: usize = ranges.iter().map(std::ops::Range::len).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn split_ranges_small_n() {
+        assert_eq!(split_ranges(2, 16).len(), 2);
+        assert!(split_ranges(0, 4).is_empty());
+    }
+}

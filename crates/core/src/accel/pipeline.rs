@@ -1,0 +1,146 @@
+//! The fully-accelerated preprocessing flow: the GATK4-analog pipeline
+//! with every Genesis proof-of-concept accelerator substituted — the
+//! system a user of the paper's framework would actually deploy.
+
+use crate::accel::bqsr::accelerated_bqsr_table;
+use crate::accel::markdup::accelerated_mark_duplicates;
+use crate::accel::metadata::accelerated_metadata_update;
+use crate::device::DeviceConfig;
+use crate::error::CoreError;
+use crate::perf::Breakdown;
+use genesis_gatk::bqsr::{apply_recalibration, CovariateTable, RecalReport};
+use genesis_gatk::markdup::MarkDupReport;
+use genesis_types::{ReadRecord, ReferenceGenome};
+use std::time::{Duration, Instant};
+
+/// Per-stage breakdowns of one accelerated pipeline run.
+#[derive(Debug)]
+pub struct AcceleratedPipelineReport {
+    /// Mark Duplicates outcome.
+    pub markdup: MarkDupReport,
+    /// Mark Duplicates breakdown.
+    pub markdup_breakdown: Breakdown,
+    /// Metadata Update breakdown.
+    pub metadata_breakdown: Breakdown,
+    /// BQSR table-construction breakdown.
+    pub bqsr_breakdown: Breakdown,
+    /// The constructed covariate table.
+    pub covariates: CovariateTable,
+    /// Quality-update outcome (host software).
+    pub recal: RecalReport,
+    /// Quality-update host time.
+    pub recal_time: Duration,
+}
+
+impl AcceleratedPipelineReport {
+    /// Total wall-clock time across all stages.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.markdup_breakdown.total()
+            + self.metadata_breakdown.total()
+            + self.bqsr_breakdown.total()
+            + self.recal_time
+    }
+}
+
+/// Configuration of the accelerated pipeline: one device per stage
+/// (the paper time-multiplexes one FPGA between accelerators, §V-B).
+#[derive(Debug, Clone)]
+pub struct AcceleratedPreprocessing {
+    /// Device for the Mark Duplicates offload.
+    pub markdup_device: DeviceConfig,
+    /// Device for the Metadata Update accelerator.
+    pub metadata_device: DeviceConfig,
+    /// Device for the BQSR accelerator.
+    pub bqsr_device: DeviceConfig,
+    /// Read groups in the data set.
+    pub read_groups: u8,
+    /// Read length of the data set.
+    pub read_len: u32,
+}
+
+impl AcceleratedPreprocessing {
+    /// Paper-like defaults (16×/16×/8× pipelines) for a data set shape.
+    #[must_use]
+    pub fn new(read_groups: u8, read_len: u32) -> AcceleratedPreprocessing {
+        AcceleratedPreprocessing {
+            markdup_device: DeviceConfig::default().with_pipelines(16),
+            metadata_device: DeviceConfig::default().with_pipelines(16),
+            bqsr_device: DeviceConfig::default().with_pipelines(8).with_psize(250_000),
+            read_groups,
+            read_len,
+        }
+    }
+
+    /// Uses one device configuration for every stage (tests).
+    #[must_use]
+    pub fn uniform(device: DeviceConfig, read_groups: u8, read_len: u32) -> AcceleratedPreprocessing {
+        AcceleratedPreprocessing {
+            markdup_device: device.clone(),
+            metadata_device: device.clone(),
+            bqsr_device: device,
+            read_groups,
+            read_len,
+        }
+    }
+
+    /// Runs the accelerated preprocessing flow in place: mark duplicates,
+    /// metadata update, covariate construction (accelerated) and the
+    /// quality-score update (host software, §IV-D).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on any stage's simulation failure.
+    pub fn run(
+        &self,
+        reads: &mut [ReadRecord],
+        genome: &ReferenceGenome,
+    ) -> Result<AcceleratedPipelineReport, CoreError> {
+        let md = accelerated_mark_duplicates(reads, &self.markdup_device)?;
+        let meta = accelerated_metadata_update(reads, genome, &self.metadata_device)?;
+        let bqsr =
+            accelerated_bqsr_table(reads, genome, self.read_groups, self.read_len, &self.bqsr_device)?;
+        let t = Instant::now();
+        let recal = apply_recalibration(reads, genome, &bqsr.table);
+        let recal_time = t.elapsed();
+        Ok(AcceleratedPipelineReport {
+            markdup: md.report,
+            markdup_breakdown: md.breakdown,
+            metadata_breakdown: meta.breakdown,
+            bqsr_breakdown: bqsr.breakdown,
+            covariates: bqsr.table,
+            recal,
+            recal_time,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genesis_datagen::{DatagenConfig, Dataset};
+    use genesis_gatk::PreprocessingPipeline;
+
+    #[test]
+    fn accelerated_flow_equals_software_flow() {
+        let cfg = DatagenConfig::tiny();
+        let dataset = Dataset::generate(&cfg);
+
+        let mut sw = dataset.reads.clone();
+        let sw_pipeline = PreprocessingPipeline::new(cfg.read_groups, cfg.read_len);
+        let sw_report = sw_pipeline.run(&mut sw, &dataset.genome).unwrap();
+
+        let mut hw = dataset.reads.clone();
+        let accel = AcceleratedPreprocessing::uniform(
+            DeviceConfig::small(),
+            cfg.read_groups,
+            cfg.read_len,
+        );
+        let hw_report = accel.run(&mut hw, &dataset.genome).unwrap();
+
+        assert_eq!(hw_report.markdup, sw_report.markdup);
+        assert_eq!(hw_report.covariates, sw_report.covariates);
+        assert_eq!(sw, hw, "fully-accelerated flow must equal the software flow");
+        assert!(hw_report.total().as_nanos() > 0);
+    }
+}

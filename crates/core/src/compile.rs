@@ -1,0 +1,434 @@
+//! The logical-plan → hardware-pipeline translator.
+//!
+//! Paper §III-D: "For now, our framework assumes that the process of
+//! translating SQL-style queries to the hardware pipeline is manual.
+//! However, we envision it to be automated in the near future. SQL queries
+//! can be easily parsed into a tree graph … each node in the graph can be
+//! mapped to a Genesis hardware module, and each edge … to a hardware
+//! queue."
+//!
+//! This module implements that automation for the operator idioms the
+//! paper's proof-of-concept needs: whole-column reductions (the Mark
+//! Duplicates offload) and the Figure 4 example query (per-read
+//! matching-base counts). Unsupported shapes return
+//! [`CoreError::Unsupported`] rather than silently degrading.
+
+use crate::error::CoreError;
+use crate::library::module_for_operator;
+use genesis_sql::ast::{AggFn, BinOp, Expr, JoinKind, SelectItem, Statement};
+use genesis_sql::parser::parse_script;
+use genesis_sql::plan::lower_query;
+use genesis_sql::LogicalPlan;
+use std::collections::HashMap;
+
+/// A recognized, hardware-compilable kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompiledKernel {
+    /// `SELECT <agg>(COL) FROM READS [PARTITION (p)]`, one result per item:
+    /// the Figure 10 reduce pipeline.
+    ColumnReduce {
+        /// Source table.
+        table: String,
+        /// Reduced column.
+        column: String,
+        /// Aggregate function.
+        func: AggFn,
+    },
+    /// The Figure 4 / Figure 7 idiom: per-read count of bases matching the
+    /// `PosExplode`'d reference after an inner join on position.
+    CountMatchingBases,
+    /// `SELECT K, COUNT(*) FROM T GROUP BY K` — the read-modify-write
+    /// SPM-updater histogram (the BQSR binning pattern, §IV-D).
+    GroupCount {
+        /// Source table.
+        table: String,
+        /// Grouping key column.
+        key: String,
+    },
+}
+
+/// Compiles a whole extended-SQL script: resolves `CREATE TABLE` views,
+/// follows the `FOR row IN table` loop, and pattern-matches the final
+/// `INSERT` plan.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Unsupported`] when the script does not reduce to a
+/// supported kernel, and parse errors as `Unsupported` with the message.
+pub fn compile_script(src: &str) -> Result<CompiledKernel, CoreError> {
+    let stmts =
+        parse_script(src).map_err(|e| CoreError::Unsupported(format!("parse error: {e}")))?;
+    let mut views: HashMap<String, LogicalPlan> = HashMap::new();
+    let mut target: Option<LogicalPlan> = None;
+    collect(&stmts, &mut views, &mut target)?;
+    let plan = target.ok_or_else(|| {
+        CoreError::Unsupported("script has no INSERT INTO statement to compile".into())
+    })?;
+    let inlined = inline_views(&plan, &views);
+    compile_plan(&inlined)
+}
+
+fn collect(
+    stmts: &[Statement],
+    views: &mut HashMap<String, LogicalPlan>,
+    target: &mut Option<LogicalPlan>,
+) -> Result<(), CoreError> {
+    for stmt in stmts {
+        match stmt {
+            Statement::CreateTableAs { name, query } => {
+                views.insert(name.clone(), lower_query(query));
+            }
+            Statement::Insert { query, .. } => {
+                *target = Some(lower_query(query));
+            }
+            Statement::ForLoop { var, table, body } => {
+                // The loop variable ranges over the table: for hardware
+                // compilation the whole table streams through, so the
+                // variable *is* the table.
+                views.insert(var.clone(), LogicalPlan::Scan { table: table.clone(), partition: None });
+                collect(body, views, target)?;
+            }
+            Statement::Declare { .. } | Statement::Set { .. } | Statement::Exec { .. } => {}
+        }
+    }
+    Ok(())
+}
+
+/// Substitutes scans of named views by their defining plans, transitively.
+fn inline_views(plan: &LogicalPlan, views: &HashMap<String, LogicalPlan>) -> LogicalPlan {
+    let recurse = |p: &LogicalPlan| inline_views(p, views);
+    match plan {
+        LogicalPlan::Scan { table, .. } => match views.get(table) {
+            Some(def) => inline_views(def, views),
+            None => plan.clone(),
+        },
+        LogicalPlan::Project { input, items } => LogicalPlan::Project {
+            input: Box::new(recurse(input)),
+            items: items.clone(),
+        },
+        LogicalPlan::Filter { input, pred } => LogicalPlan::Filter {
+            input: Box::new(recurse(input)),
+            pred: pred.clone(),
+        },
+        LogicalPlan::Join { kind, left, right, left_key, right_key } => LogicalPlan::Join {
+            kind: *kind,
+            left: Box::new(recurse(left)),
+            right: Box::new(recurse(right)),
+            left_key: left_key.clone(),
+            right_key: right_key.clone(),
+        },
+        LogicalPlan::Aggregate { input, items, group_by } => LogicalPlan::Aggregate {
+            input: Box::new(recurse(input)),
+            items: items.clone(),
+            group_by: group_by.clone(),
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(recurse(input)),
+            keys: keys.clone(),
+        },
+        LogicalPlan::Limit { input, offset, count } => LogicalPlan::Limit {
+            input: Box::new(recurse(input)),
+            offset: offset.clone(),
+            count: count.clone(),
+        },
+        LogicalPlan::PosExplode { input, array, init_pos } => LogicalPlan::PosExplode {
+            input: Box::new(recurse(input)),
+            array: array.clone(),
+            init_pos: init_pos.clone(),
+        },
+        LogicalPlan::ReadExplode { input, pos, cigar, seq, qual } => LogicalPlan::ReadExplode {
+            input: Box::new(recurse(input)),
+            pos: pos.clone(),
+            cigar: cigar.clone(),
+            seq: seq.clone(),
+            qual: qual.clone(),
+        },
+    }
+}
+
+/// Compiles a single (already-inlined) plan.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Unsupported`] for unrecognized shapes.
+pub fn compile_plan(plan: &LogicalPlan) -> Result<CompiledKernel, CoreError> {
+    // Shape 1: Aggregate over a bare table scan (possibly projected).
+    if let LogicalPlan::Aggregate { input, items, group_by } = plan {
+        // GROUP BY key with a COUNT aggregate → the SPM histogram kernel.
+        if let [key] = group_by.as_slice() {
+            let has_count = items
+                .iter()
+                .any(|i| matches!(i, SelectItem::Agg { func: AggFn::Count, .. }));
+            if has_count {
+                if let Some(table) = root_scan(input) {
+                    return Ok(CompiledKernel::GroupCount {
+                        table: table.to_owned(),
+                        key: key.column.clone(),
+                    });
+                }
+            }
+        }
+        if group_by.is_empty() && items.len() == 1 {
+            if let SelectItem::Agg { func, arg, .. } = &items[0] {
+                // Sum of an equality comparison → the matching-bases idiom.
+                if let Some(Expr::Bin { op: BinOp::Eq, .. }) = arg {
+                    if plan_has_explode_join(input) {
+                        return Ok(CompiledKernel::CountMatchingBases);
+                    }
+                }
+                // Plain column aggregate over a scan.
+                if let Some(Expr::Col(c)) = arg {
+                    if let Some(table) = root_scan(input) {
+                        return Ok(CompiledKernel::ColumnReduce {
+                            table: table.to_owned(),
+                            column: c.column.clone(),
+                            func: *func,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Err(CoreError::Unsupported(format!(
+        "no hardware idiom matches this plan (operators: {})",
+        plan.operator_count()
+    )))
+}
+
+/// Descends through single-input wrappers to a scan leaf.
+fn root_scan(plan: &LogicalPlan) -> Option<&str> {
+    match plan {
+        LogicalPlan::Scan { table, .. } => Some(table),
+        LogicalPlan::Project { input, .. }
+        | LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::PosExplode { input, .. }
+        | LogicalPlan::ReadExplode { input, .. }
+        | LogicalPlan::Aggregate { input, .. } => root_scan(input),
+        LogicalPlan::Join { .. } => None,
+    }
+}
+
+/// True when the plan contains `Join(Inner, …ReadExplode…, …PosExplode…)`
+/// — the Figure 5 execution flow.
+fn plan_has_explode_join(plan: &LogicalPlan) -> bool {
+    fn contains_read_explode(p: &LogicalPlan) -> bool {
+        match p {
+            LogicalPlan::ReadExplode { .. } => true,
+            LogicalPlan::Project { input, .. }
+            | LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::PosExplode { input, .. } => contains_read_explode(input),
+            _ => false,
+        }
+    }
+    fn contains_pos_explode(p: &LogicalPlan) -> bool {
+        match p {
+            LogicalPlan::PosExplode { .. } => true,
+            LogicalPlan::Project { input, .. }
+            | LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::ReadExplode { input, .. } => contains_pos_explode(input),
+            _ => false,
+        }
+    }
+    match plan {
+        LogicalPlan::Join { kind: JoinKind::Inner, left, right, .. } => {
+            contains_read_explode(left) && contains_pos_explode(right)
+        }
+        LogicalPlan::Project { input, .. }
+        | LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::Aggregate { input, .. } => plan_has_explode_join(input),
+        _ => false,
+    }
+}
+
+/// Produces the node → hardware-module mapping for a plan, one line per
+/// operator — the "tree graph where each node … is mapped to a Genesis
+/// hardware module" (paper §III-D).
+#[must_use]
+pub fn explain(plan: &LogicalPlan) -> String {
+    fn walk(p: &LogicalPlan, depth: usize, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        let module = module_for_operator(p)
+            .map_or_else(|| "-".to_owned(), |k| format!("{k:?}"));
+        let label = match p {
+            LogicalPlan::Scan { table, .. } => format!("Scan({table})"),
+            LogicalPlan::Project { .. } => "Project".to_owned(),
+            LogicalPlan::Filter { .. } => "Filter".to_owned(),
+            LogicalPlan::Join { kind, .. } => format!("Join({kind:?})"),
+            LogicalPlan::Aggregate { .. } => "Aggregate".to_owned(),
+            LogicalPlan::Sort { .. } => "Sort (host)".to_owned(),
+            LogicalPlan::Limit { .. } => "Limit".to_owned(),
+            LogicalPlan::PosExplode { .. } => "PosExplode".to_owned(),
+            LogicalPlan::ReadExplode { .. } => "ReadExplode".to_owned(),
+        };
+        out.push_str(&format!("{indent}{label:<24} -> {module}\n"));
+        match p {
+            LogicalPlan::Scan { .. } => {}
+            LogicalPlan::Project { input, .. }
+            | LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::PosExplode { input, .. }
+            | LogicalPlan::ReadExplode { input, .. } => walk(input, depth + 1, out),
+            LogicalPlan::Join { left, right, .. } => {
+                walk(left, depth + 1, out);
+                walk(right, depth + 1, out);
+            }
+        }
+    }
+    let mut out = String::new();
+    walk(plan, 0, &mut out);
+    out
+}
+
+/// The paper's Figure 4 script, adapted to this dialect (the reference
+/// table's position column is selected as `POS` via an alias, and the
+/// partition id is a literal parameter).
+#[must_use]
+pub fn figure4_script(partition: u64) -> String {
+    format!(
+        "/* I1: Extract Reads and Reference Partition P */\n\
+         CREATE TABLE ReadPartition AS\n\
+         SELECT POS, ENDPOS, CIGAR, SEQ\n\
+         FROM READS PARTITION ({partition})\n\
+         CREATE TABLE ReferenceRow AS\n\
+         SELECT REFPOS AS POS, SEQ\n\
+         FROM REF PARTITION ({partition})\n\
+         /* I2: posExplode on ReferenceRow */\n\
+         CREATE TABLE RelevantReference AS\n\
+         PosExplode (ReferenceRow.SEQ, ReferenceRow.POS)\n\
+         FROM ReferenceRow\n\
+         DECLARE @rlen int\n\
+         /* Iterate over Rows */\n\
+         FOR SingleRead IN ReadPartition:\n\
+           SET @rlen = SingleRead.ENDPOS - SingleRead.POS\n\
+           /* Q1: ReadExplode */\n\
+           CREATE TABLE #AlignedRead AS\n\
+           ReadExplode (SingleRead.POS, SingleRead.CIGAR, SingleRead.SEQ)\n\
+           FROM SingleRead\n\
+           /* Q2: Inner-Join on position */\n\
+           CREATE TABLE #ReadAndRef AS\n\
+           SELECT #AlignedRead.SEQ, RelevantReference.SEQ\n\
+           FROM #AlignedRead\n\
+           INNER JOIN (SELECT * FROM RelevantReference LIMIT SingleRead.POS, @rlen)\n\
+           ON #AlignedRead.POS = RelevantReference.POS\n\
+           /* Q3: count matching base pairs */\n\
+           INSERT INTO Output\n\
+           SELECT SUM(#AlignedRead.SEQ == RelevantReference.SEQ)\n\
+           FROM #ReadAndRef\n\
+         END LOOP;"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_script_compiles_to_count_matching_bases() {
+        let kernel = compile_script(&figure4_script(0)).unwrap();
+        assert_eq!(kernel, CompiledKernel::CountMatchingBases);
+    }
+
+    #[test]
+    fn column_reduce_compiles() {
+        let kernel =
+            compile_script("INSERT INTO Out SELECT SUM(QUAL) FROM READS PARTITION (0)").unwrap();
+        assert_eq!(
+            kernel,
+            CompiledKernel::ColumnReduce {
+                table: "READS".into(),
+                column: "QUAL".into(),
+                func: AggFn::Sum,
+            }
+        );
+    }
+
+    #[test]
+    fn group_by_count_compiles_to_spm_histogram() {
+        let kernel =
+            compile_script("INSERT INTO Out SELECT RG, COUNT(*) FROM READS GROUP BY RG")
+                .unwrap();
+        assert_eq!(
+            kernel,
+            CompiledKernel::GroupCount { table: "READS".into(), key: "RG".into() }
+        );
+    }
+
+    #[test]
+    fn unsupported_shape_is_rejected() {
+        let err = compile_script(
+            "INSERT INTO Out SELECT X FROM A INNER JOIN B ON A.K = B.K",
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Unsupported(_)));
+    }
+
+    #[test]
+    fn explain_lists_modules_per_node() {
+        let stmts = parse_script("INSERT INTO O SELECT SUM(Q) FROM READS").unwrap();
+        let Statement::Insert { query, .. } = &stmts[0] else { panic!() };
+        let plan = lower_query(query);
+        let text = explain(&plan);
+        assert!(text.contains("Aggregate"));
+        assert!(text.contains("Reducer"));
+        assert!(text.contains("Scan(READS)"));
+        assert!(text.contains("MemoryReader"));
+    }
+
+    #[test]
+    fn figure4_script_also_runs_on_the_software_engine() {
+        // The same script must execute under genesis-sql (§III-B semantics).
+        use genesis_sql::{Catalog, Script};
+        use genesis_types::{Base, Cigar, Column, Value};
+        let reads_cigar: Cigar = "4M".parse().unwrap();
+        let mut cat = Catalog::new();
+        let reads = genesis_types::Table::from_columns(
+            genesis_types::Schema::new(vec![
+                genesis_types::Field::new("POS", genesis_types::DataType::U32),
+                genesis_types::Field::new("ENDPOS", genesis_types::DataType::U32),
+                genesis_types::Field::new("CIGAR", genesis_types::DataType::ListU16),
+                genesis_types::Field::new("SEQ", genesis_types::DataType::ListU8),
+            ]),
+            vec![
+                Column::U32(vec![2]),
+                Column::U32(vec![6]),
+                Column::ListU16(vec![reads_cigar.pack().unwrap()]),
+                Column::ListU8(vec![
+                    Base::seq_from_str("GTAC").unwrap().iter().map(|b| b.code()).collect(),
+                ]),
+            ],
+        )
+        .unwrap();
+        cat.register_partition("READS", 0, reads);
+        let reference = genesis_types::Table::from_columns(
+            genesis_types::Schema::new(vec![
+                genesis_types::Field::new("REFPOS", genesis_types::DataType::U32),
+                genesis_types::Field::new("SEQ", genesis_types::DataType::ListU8),
+            ]),
+            vec![
+                Column::U32(vec![0]),
+                Column::ListU8(vec![
+                    Base::seq_from_str("ACGTACGT").unwrap().iter().map(|b| b.code()).collect(),
+                ]),
+            ],
+        )
+        .unwrap();
+        cat.register_partition("REF", 0, reference);
+        Script::parse(&figure4_script(0)).unwrap().run(&mut cat).unwrap();
+        let out = cat.table("Output").unwrap();
+        assert_eq!(out.num_rows(), 1);
+        // Read GTAC at positions 2..6 vs reference ACGTACGT: GTAC matches.
+        assert_eq!(out.get(0, "SUM").unwrap(), Value::U64(4));
+    }
+}

@@ -1,0 +1,146 @@
+//! The modeled accelerator device: clock, replication, DMA link.
+
+use genesis_hw::MemoryConfig;
+use std::time::Duration;
+
+/// The host↔FPGA DMA link model (paper §V-B: "the host communicates to and
+/// from the FPGA via a PCIe DMA interface, which is measured at
+/// approximately 7 GB/s on our custom microbenchmark").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DmaModel {
+    /// Sustained bandwidth in bytes per second.
+    pub bandwidth: f64,
+    /// Fixed per-transfer setup latency.
+    pub per_transfer_latency: Duration,
+}
+
+impl DmaModel {
+    /// The paper's measured PCIe 3 DMA: ~7 GB/s.
+    #[must_use]
+    pub fn pcie3() -> DmaModel {
+        DmaModel { bandwidth: 7.0e9, per_transfer_latency: Duration::from_micros(30) }
+    }
+
+    /// The paper's PCIe 4.0 what-if: 32 GB/s (§V-B).
+    #[must_use]
+    pub fn pcie4() -> DmaModel {
+        DmaModel { bandwidth: 32.0e9, per_transfer_latency: Duration::from_micros(30) }
+    }
+
+    /// An arbitrary bandwidth (for the `ablation_pcie` sweep).
+    #[must_use]
+    pub fn with_bandwidth(bytes_per_sec: f64) -> DmaModel {
+        DmaModel { bandwidth: bytes_per_sec, per_transfer_latency: Duration::from_micros(30) }
+    }
+
+    /// Transfer time for `bytes` moved in `transfers` DMA operations.
+    #[must_use]
+    pub fn transfer_time(&self, bytes: u64, transfers: u64) -> Duration {
+        Duration::from_secs_f64(bytes as f64 / self.bandwidth)
+            + self.per_transfer_latency * transfers as u32
+    }
+}
+
+/// Full device configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceConfig {
+    /// Accelerator clock (paper: 250 MHz).
+    pub clock_hz: f64,
+    /// Number of replicated pipelines sharing the memory system
+    /// (paper §V-A: 16× for mark duplicates and metadata update,
+    /// 8× for BQSR).
+    pub pipelines: usize,
+    /// DMA link.
+    pub dma: DmaModel,
+    /// Device memory system configuration.
+    pub mem: MemoryConfig,
+    /// Partition window size in base pairs (paper: ~1 Mbp).
+    pub psize: u32,
+}
+
+impl Default for DeviceConfig {
+    /// F1-like defaults at the paper's configuration.
+    fn default() -> DeviceConfig {
+        DeviceConfig {
+            clock_hz: 250.0e6,
+            pipelines: 16,
+            dma: DmaModel::pcie3(),
+            mem: MemoryConfig::default(),
+            psize: 1_000_000,
+        }
+    }
+}
+
+impl DeviceConfig {
+    /// A configuration scaled down for unit tests: 4 pipelines, 20 kbp
+    /// partitions, low memory latency.
+    #[must_use]
+    pub fn small() -> DeviceConfig {
+        DeviceConfig {
+            pipelines: 4,
+            psize: 20_000,
+            mem: MemoryConfig { latency_cycles: 20, ..MemoryConfig::default() },
+            ..DeviceConfig::default()
+        }
+    }
+
+    /// Sets the pipeline replication factor.
+    #[must_use]
+    pub fn with_pipelines(mut self, n: usize) -> DeviceConfig {
+        self.pipelines = n.max(1);
+        self
+    }
+
+    /// Sets the DMA model.
+    #[must_use]
+    pub fn with_dma(mut self, dma: DmaModel) -> DeviceConfig {
+        self.dma = dma;
+        self
+    }
+
+    /// Sets the partition window size.
+    #[must_use]
+    pub fn with_psize(mut self, psize: u32) -> DeviceConfig {
+        self.psize = psize;
+        self
+    }
+
+    /// Converts simulated cycles to device wall-clock time.
+    #[must_use]
+    pub fn cycles_to_time(&self, cycles: u64) -> Duration {
+        Duration::from_secs_f64(cycles as f64 / self.clock_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dma_transfer_time() {
+        let dma = DmaModel::pcie3();
+        let t = dma.transfer_time(7_000_000_000, 0);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9);
+        let t2 = dma.transfer_time(0, 10);
+        assert_eq!(t2, Duration::from_micros(300));
+    }
+
+    #[test]
+    fn pcie4_is_faster() {
+        let b = 1_000_000_000u64;
+        assert!(DmaModel::pcie4().transfer_time(b, 1) < DmaModel::pcie3().transfer_time(b, 1));
+    }
+
+    #[test]
+    fn cycles_to_time_at_250mhz() {
+        let cfg = DeviceConfig::default();
+        assert!((cfg.cycles_to_time(250_000_000).as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builders() {
+        let cfg = DeviceConfig::default().with_pipelines(0).with_psize(5);
+        assert_eq!(cfg.pipelines, 1);
+        assert_eq!(cfg.psize, 5);
+    }
+}

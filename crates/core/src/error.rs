@@ -1,0 +1,70 @@
+//! Framework errors.
+
+use genesis_hw::SimError;
+use genesis_types::TypeError;
+use std::fmt;
+
+/// Error raised by the Genesis framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The underlying hardware simulation failed (deadlock / cycle limit).
+    Sim(SimError),
+    /// A data-model error while marshalling tables.
+    Table(TypeError),
+    /// The plan compiler does not support this operator shape.
+    Unsupported(String),
+    /// Host-API misuse (e.g. running an unconfigured pipeline).
+    Host(String),
+    /// The accelerated result failed a host-side consistency check.
+    Verification(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+            CoreError::Table(e) => write!(f, "table error: {e}"),
+            CoreError::Unsupported(s) => write!(f, "unsupported plan shape: {s}"),
+            CoreError::Host(s) => write!(f, "host api error: {s}"),
+            CoreError::Verification(s) => write!(f, "verification failed: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Sim(e) => Some(e),
+            CoreError::Table(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> CoreError {
+        CoreError::Sim(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<TypeError> for CoreError {
+    fn from(e: TypeError) -> CoreError {
+        CoreError::Table(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::Sim(SimError::CycleLimit { limit: 5 });
+        assert!(e.to_string().contains("cycle limit"));
+        assert!(e.source().is_some());
+        assert!(CoreError::Unsupported("x".into()).source().is_none());
+    }
+}

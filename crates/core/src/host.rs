@@ -1,0 +1,284 @@
+//! The paper's host application-programmer interface (§III-E):
+//! `configure_mem`, non-blocking `run_genesis`, `check_genesis`,
+//! `wait_genesis`, and `genesis_flush`.
+//!
+//! "The existence of these non-blocking calls is to allow the host CPU to
+//! perform useful work while the accelerator is running" — here the
+//! accelerator simulation genuinely runs on a worker thread, so the host
+//! can overlap work with `check_genesis` polling exactly as on the real
+//! system.
+
+use crate::error::CoreError;
+use crate::perf::AccelStats;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Inputs staged by `configure_mem` for one pipeline, keyed by column name.
+#[derive(Debug, Default, Clone)]
+pub struct ConfiguredInputs {
+    columns: HashMap<String, ColumnBuf>,
+}
+
+/// One staged column: bytes plus the element size declared by the caller.
+#[derive(Debug, Clone)]
+pub struct ColumnBuf {
+    /// Raw little-endian bytes.
+    pub bytes: Vec<u8>,
+    /// Element size declared in `configure_mem`.
+    pub elem_size: usize,
+}
+
+impl ConfiguredInputs {
+    /// Looks up a staged column.
+    #[must_use]
+    pub fn column(&self, name: &str) -> Option<&ColumnBuf> {
+        self.columns.get(name)
+    }
+
+    /// Total staged bytes (host→device DMA volume).
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.columns.values().map(|c| c.bytes.len() as u64).sum()
+    }
+
+    /// Number of staged columns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when nothing is staged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+}
+
+/// Output of one accelerator invocation.
+#[derive(Debug, Default, Clone)]
+pub struct JobOutput {
+    /// Output buffers keyed by column name.
+    pub outputs: HashMap<String, Vec<u8>>,
+    /// Run statistics.
+    pub stats: AccelStats,
+}
+
+/// The job body: consumes the staged inputs, returns outputs. Supplied by
+/// the accelerator implementation (it typically builds a
+/// [`genesis_hw::System`] and simulates it).
+pub type JobFn = Box<dyn FnOnce(ConfiguredInputs) -> Result<JobOutput, CoreError> + Send>;
+
+enum Slot {
+    Configuring(ConfiguredInputs),
+    Running {
+        done: Arc<AtomicBool>,
+        handle: JoinHandle<Result<JobOutput, CoreError>>,
+    },
+    Finished(Result<JobOutput, CoreError>),
+}
+
+impl std::fmt::Debug for Slot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Slot::Configuring(i) => write!(f, "Configuring({} cols)", i.len()),
+            Slot::Running { done, .. } => {
+                write!(f, "Running(done={})", done.load(Ordering::SeqCst))
+            }
+            Slot::Finished(r) => write!(f, "Finished(ok={})", r.is_ok()),
+        }
+    }
+}
+
+/// The host-side controller of the Genesis accelerators.
+#[derive(Debug, Default)]
+pub struct GenesisHost {
+    slots: Mutex<HashMap<u32, Slot>>,
+}
+
+impl GenesisHost {
+    /// Creates a host controller.
+    #[must_use]
+    pub fn new() -> GenesisHost {
+        GenesisHost::default()
+    }
+
+    /// The paper's `configure_mem(addr, elemsize, len, colname, pipelineID)`:
+    /// stages a column for the next invocation of `pipeline_id`. The
+    /// host-address/length pair is represented by the byte buffer itself.
+    ///
+    /// This is a blocking call (the DMA copy happens here on the real
+    /// system).
+    pub fn configure_mem(&self, pipeline_id: u32, colname: &str, bytes: Vec<u8>, elem_size: usize) {
+        let mut slots = self.slots.lock();
+        let slot = slots
+            .entry(pipeline_id)
+            .or_insert_with(|| Slot::Configuring(ConfiguredInputs::default()));
+        if !matches!(slot, Slot::Configuring(_)) {
+            *slot = Slot::Configuring(ConfiguredInputs::default());
+        }
+        if let Slot::Configuring(inputs) = slot {
+            inputs.columns.insert(colname.to_owned(), ColumnBuf { bytes, elem_size });
+        }
+    }
+
+    /// The paper's non-blocking `run_genesis(pipelineID)`: launches `job`
+    /// with the staged inputs on a worker thread and returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Host`] when the pipeline is already running.
+    pub fn run_genesis(&self, pipeline_id: u32, job: JobFn) -> Result<(), CoreError> {
+        let mut slots = self.slots.lock();
+        let inputs = match slots.remove(&pipeline_id) {
+            Some(Slot::Configuring(inputs)) => inputs,
+            Some(running @ Slot::Running { .. }) => {
+                slots.insert(pipeline_id, running);
+                return Err(CoreError::Host(format!("pipeline {pipeline_id} already running")));
+            }
+            Some(Slot::Finished(_)) | None => ConfiguredInputs::default(),
+        };
+        let done = Arc::new(AtomicBool::new(false));
+        let done2 = Arc::clone(&done);
+        let handle = std::thread::spawn(move || {
+            let out = job(inputs);
+            done2.store(true, Ordering::SeqCst);
+            out
+        });
+        slots.insert(pipeline_id, Slot::Running { done, handle });
+        Ok(())
+    }
+
+    /// The paper's `check_genesis(pipelineID)`: true once the accelerator
+    /// execution completed. Never blocks.
+    #[must_use]
+    pub fn check_genesis(&self, pipeline_id: u32) -> bool {
+        let slots = self.slots.lock();
+        match slots.get(&pipeline_id) {
+            Some(Slot::Running { done, .. }) => done.load(Ordering::SeqCst),
+            Some(Slot::Finished(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// The paper's blocking `wait_genesis(pipelineID)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Host`] when the pipeline was never started, or
+    /// the job's own error.
+    pub fn wait_genesis(&self, pipeline_id: u32) -> Result<(), CoreError> {
+        let slot = {
+            let mut slots = self.slots.lock();
+            slots.remove(&pipeline_id)
+        };
+        match slot {
+            Some(Slot::Running { handle, .. }) => {
+                let result = handle
+                    .join()
+                    .unwrap_or_else(|_| Err(CoreError::Host("accelerator thread panicked".into())));
+                let ok = result.is_ok();
+                self.slots.lock().insert(pipeline_id, Slot::Finished(result));
+                if ok {
+                    Ok(())
+                } else {
+                    // Leave the error retrievable via genesis_flush.
+                    Ok(())
+                }
+            }
+            Some(finished @ Slot::Finished(_)) => {
+                self.slots.lock().insert(pipeline_id, finished);
+                Ok(())
+            }
+            Some(other) => {
+                self.slots.lock().insert(pipeline_id, other);
+                Err(CoreError::Host(format!("pipeline {pipeline_id} was not started")))
+            }
+            None => Err(CoreError::Host(format!("pipeline {pipeline_id} was not started"))),
+        }
+    }
+
+    /// The paper's `genesis_flush(pipelineID)`: returns the output buffers
+    /// (the device→host copy). Blocks until completion if still running.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Host`] when the pipeline was never run, or the
+    /// job's own error.
+    pub fn genesis_flush(&self, pipeline_id: u32) -> Result<JobOutput, CoreError> {
+        self.wait_genesis(pipeline_id)?;
+        let mut slots = self.slots.lock();
+        match slots.remove(&pipeline_id) {
+            Some(Slot::Finished(result)) => result,
+            _ => Err(CoreError::Host(format!("pipeline {pipeline_id} has no results"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn slow_job(ms: u64) -> JobFn {
+        Box::new(move |inputs| {
+            std::thread::sleep(Duration::from_millis(ms));
+            let mut out = JobOutput::default();
+            out.outputs.insert("echo".into(), vec![inputs.len() as u8]);
+            Ok(out)
+        })
+    }
+
+    #[test]
+    fn non_blocking_run_overlaps_host_work() {
+        let host = GenesisHost::new();
+        host.configure_mem(0, "READS.QUAL", vec![1, 2, 3], 1);
+        host.run_genesis(0, slow_job(50)).unwrap();
+        // The call returned immediately; the job is still in flight.
+        assert!(!host.check_genesis(0));
+        // ... host does useful work here ...
+        host.wait_genesis(0).unwrap();
+        assert!(host.check_genesis(0));
+        let out = host.genesis_flush(0).unwrap();
+        assert_eq!(out.outputs["echo"], vec![1]);
+    }
+
+    #[test]
+    fn double_run_rejected() {
+        let host = GenesisHost::new();
+        host.run_genesis(1, slow_job(100)).unwrap();
+        assert!(matches!(host.run_genesis(1, slow_job(1)), Err(CoreError::Host(_))));
+        host.wait_genesis(1).unwrap();
+    }
+
+    #[test]
+    fn independent_pipelines() {
+        let host = GenesisHost::new();
+        host.configure_mem(0, "a", vec![0], 1);
+        host.configure_mem(1, "a", vec![0], 1);
+        host.configure_mem(1, "b", vec![0], 1);
+        host.run_genesis(0, slow_job(5)).unwrap();
+        host.run_genesis(1, slow_job(5)).unwrap();
+        let o0 = host.genesis_flush(0).unwrap();
+        let o1 = host.genesis_flush(1).unwrap();
+        assert_eq!(o0.outputs["echo"], vec![1]);
+        assert_eq!(o1.outputs["echo"], vec![2]);
+    }
+
+    #[test]
+    fn unstarted_pipeline_errors() {
+        let host = GenesisHost::new();
+        assert!(host.wait_genesis(9).is_err());
+        assert!(!host.check_genesis(9));
+    }
+
+    #[test]
+    fn job_error_surfaces_at_flush() {
+        let host = GenesisHost::new();
+        host.run_genesis(2, Box::new(|_| Err(CoreError::Host("boom".into()))))
+            .unwrap();
+        assert!(matches!(host.genesis_flush(2), Err(CoreError::Host(_))));
+    }
+}

@@ -1,0 +1,57 @@
+//! # genesis-core
+//!
+//! The Genesis framework itself (paper §III): everything that sits between
+//! the extended-SQL front end and the simulated FPGA fabric.
+//!
+//! * [`library`] — the hardware library catalog: which relational operator
+//!   maps to which hardware module (paper Figure 6 and §III-D).
+//! * [`compile`] — the logical-plan → hardware-pipeline translator. The
+//!   paper performs this step manually and "envisions it to be automated";
+//!   this module implements the automated translation for the supported
+//!   operator idioms.
+//! * [`builder`] — the manual pipeline-stitching API (the Chisel-library
+//!   analog used to construct the paper's three proof-of-concept
+//!   accelerators).
+//! * [`device`] — the modeled F1 device: clock, pipeline replication, DMA
+//!   link, and job batching across parallel pipelines (paper Figure 8).
+//! * [`host`] — the paper's host API (§III-E): `configure_mem`,
+//!   non-blocking `run_genesis`, `check_genesis`, `wait_genesis`,
+//!   `genesis_flush`; the accelerator simulation runs on a worker thread so
+//!   non-blocking semantics are real.
+//! * [`accel`] — the three paper accelerators (Mark Duplicates, Metadata
+//!   Update, BQSR covariate construction; Figures 10–12) plus the Figure 7
+//!   example pipeline, each with host-side orchestration and result merge.
+//! * [`perf`] — wall-clock/breakdown accounting (Figure 13).
+//! * [`cost`] — the AWS cost model (Tables II and III).
+//!
+//! # Examples
+//!
+//! ```
+//! use genesis_core::device::DeviceConfig;
+//! use genesis_core::accel::example::CountMatchingBases;
+//! use genesis_datagen::{DatagenConfig, Dataset};
+//!
+//! let dataset = Dataset::generate(&DatagenConfig::tiny());
+//! let accel = CountMatchingBases::new(DeviceConfig::small());
+//! let run = accel.run(&dataset.reads, &dataset.genome)?;
+//! assert_eq!(run.counts.len(), dataset.reads.len());
+//! # Ok::<(), genesis_core::CoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accel;
+pub mod builder;
+pub mod columns;
+pub mod compile;
+pub mod cost;
+pub mod device;
+pub mod error;
+pub mod host;
+pub mod library;
+pub mod perf;
+
+pub use device::DeviceConfig;
+pub use error::CoreError;
+pub use perf::{AccelStats, Breakdown};

@@ -1,0 +1,155 @@
+//! The Genesis hardware library catalog (paper Figure 6 and §III-C): the
+//! mapping between relational / genomics operators and the configurable
+//! hardware modules that implement them.
+
+use genesis_hw::modules::ModuleKind;
+use genesis_sql::LogicalPlan;
+
+/// A catalog entry describing one library module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModuleDescriptor {
+    /// Module kind.
+    pub kind: ModuleKind,
+    /// Library name.
+    pub name: &'static str,
+    /// The SQL operator(s) this module implements.
+    pub implements: &'static str,
+    /// One-line behavioral description.
+    pub description: &'static str,
+}
+
+/// The full library, as enumerated in the paper (§III-C).
+#[must_use]
+pub fn catalog() -> Vec<ModuleDescriptor> {
+    vec![
+        ModuleDescriptor {
+            kind: ModuleKind::Joiner,
+            name: "Joiner",
+            implements: "INNER/LEFT/OUTER JOIN ... ON key",
+            description: "merges two key-sorted streams, concatenating data fields on key match",
+        },
+        ModuleDescriptor {
+            kind: ModuleKind::Filter,
+            name: "Filter",
+            implements: "WHERE <field cmp field|const>",
+            description: "drops flits failing the comparison condition",
+        },
+        ModuleDescriptor {
+            kind: ModuleKind::Reducer,
+            name: "Reducer",
+            implements: "SUM / COUNT / MIN / MAX [GROUP BY item]",
+            description: "reduction tree over items, with optional bit-mask",
+        },
+        ModuleDescriptor {
+            kind: ModuleKind::Alu,
+            name: "Stream ALU",
+            implements: "scalar expressions in SELECT / SET",
+            description: "element-wise unary/binary ops on one or two streams",
+        },
+        ModuleDescriptor {
+            kind: ModuleKind::MemoryReader,
+            name: "Memory Reader",
+            implements: "FROM <table> (column scan)",
+            description: "streams a column from device memory with prefetch",
+        },
+        ModuleDescriptor {
+            kind: ModuleKind::MemoryWriter,
+            name: "Memory Writer",
+            implements: "CREATE TABLE AS / INSERT INTO",
+            description: "packs a stream into device memory lines",
+        },
+        ModuleDescriptor {
+            kind: ModuleKind::SpmReader,
+            name: "SPM Reader",
+            implements: "re-used table reads (PosExplode'd reference)",
+            description: "address, interval, and drain reads from a scratchpad",
+        },
+        ModuleDescriptor {
+            kind: ModuleKind::SpmUpdater,
+            name: "SPM Updater",
+            implements: "scratchpad builds and GROUP BY COUNT updates",
+            description: "sequential/random/read-modify-write scratchpad writes with RAW interlock",
+        },
+        ModuleDescriptor {
+            kind: ModuleKind::ReadToBases,
+            name: "ReadToBases",
+            implements: "ReadExplode(POS, CIGAR, SEQ[, QUAL])",
+            description: "expands one read into per-base rows with Ins/Del sentinels",
+        },
+        ModuleDescriptor {
+            kind: ModuleKind::MdGen,
+            name: "MDGen",
+            implements: "EXEC MDGen (custom, §III-F)",
+            description: "emits the MD tag byte stream from joined read/reference bases",
+        },
+        ModuleDescriptor {
+            kind: ModuleKind::BinIdGen,
+            name: "BinIDGen",
+            implements: "EXEC BinIDGen (custom, §IV-D)",
+            description: "computes the BQSR cycle-bin and context-bin ids per base",
+        },
+        ModuleDescriptor {
+            kind: ModuleKind::Fanout,
+            name: "Fanout",
+            implements: "multi-consumer dataflow edges",
+            description: "replicates a stream to several queues with joint backpressure",
+        },
+    ]
+}
+
+/// The hardware module a logical operator maps to (paper §III-D: "each
+/// node in the graph can be mapped to a Genesis hardware module").
+#[must_use]
+pub fn module_for_operator(plan: &LogicalPlan) -> Option<ModuleKind> {
+    Some(match plan {
+        LogicalPlan::Scan { .. } => ModuleKind::MemoryReader,
+        LogicalPlan::Filter { .. } => ModuleKind::Filter,
+        LogicalPlan::Aggregate { .. } => ModuleKind::Reducer,
+        LogicalPlan::Join { .. } => ModuleKind::Joiner,
+        LogicalPlan::ReadExplode { .. } => ModuleKind::ReadToBases,
+        // PosExplode of a re-used table materializes into a scratchpad.
+        LogicalPlan::PosExplode { .. } => ModuleKind::SpmReader,
+        // LIMIT over an SPM-resident table becomes the range read; over a
+        // stream it is a filter on row index.
+        LogicalPlan::Limit { .. } => ModuleKind::SpmReader,
+        LogicalPlan::Project { .. } => ModuleKind::Alu,
+        // Sorting stays on the host (§IV-B: the host sorts reads).
+        LogicalPlan::Sort { .. } => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_paper_modules() {
+        let names: Vec<&str> = catalog().iter().map(|d| d.name).collect();
+        for expected in [
+            "Joiner",
+            "Filter",
+            "Reducer",
+            "Stream ALU",
+            "Memory Reader",
+            "Memory Writer",
+            "SPM Reader",
+            "SPM Updater",
+            "ReadToBases",
+            "MDGen",
+            "BinIDGen",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn operators_map_to_modules() {
+        let scan = LogicalPlan::Scan { table: "READS".into(), partition: None };
+        assert_eq!(module_for_operator(&scan), Some(ModuleKind::MemoryReader));
+        let filt = LogicalPlan::Filter {
+            input: Box::new(scan),
+            pred: genesis_sql::ast::Expr::Number(1),
+        };
+        assert_eq!(module_for_operator(&filt), Some(ModuleKind::Filter));
+    }
+}

@@ -1,0 +1,119 @@
+//! Performance accounting: the numbers behind Figure 13.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Statistics of one accelerated stage run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AccelStats {
+    /// Total simulated accelerator cycles (summed over sequential batches;
+    /// parallel pipelines within a batch share cycles).
+    pub cycles: u64,
+    /// Bytes DMA'd host → device.
+    pub dma_in_bytes: u64,
+    /// Bytes DMA'd device → host.
+    pub dma_out_bytes: u64,
+    /// Number of DMA transfers.
+    pub dma_transfers: u64,
+    /// Device-memory traffic in bytes.
+    pub device_mem_bytes: u64,
+    /// Accelerator invocations (one per partition batch).
+    pub invocations: u64,
+    /// Backpressure stall events observed in the dataflow.
+    pub backpressure_stalls: u64,
+}
+
+impl AccelStats {
+    /// Accumulates another run's statistics.
+    pub fn absorb(&mut self, other: AccelStats) {
+        self.cycles += other.cycles;
+        self.dma_in_bytes += other.dma_in_bytes;
+        self.dma_out_bytes += other.dma_out_bytes;
+        self.dma_transfers += other.dma_transfers;
+        self.device_mem_bytes += other.device_mem_bytes;
+        self.invocations += other.invocations;
+        self.backpressure_stalls += other.backpressure_stalls;
+    }
+}
+
+/// The Figure 13(b) wall-clock breakdown of an accelerated stage:
+/// host software portion, host↔FPGA communication, and accelerator
+/// execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Breakdown {
+    /// Un-accelerated host software time (measured).
+    pub host: Duration,
+    /// Host↔FPGA DMA time (modeled).
+    pub dma: Duration,
+    /// Accelerator execution time (simulated cycles / clock).
+    pub accel: Duration,
+}
+
+impl Breakdown {
+    /// Total accelerated-stage wall-clock time. DMA and accelerator
+    /// execution are serialized with the host portion, matching the
+    /// paper's per-stage accounting (overlap across *stages* is what the
+    /// non-blocking API buys, not overlap within one stage's invocation).
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.host + self.dma + self.accel
+    }
+
+    /// Fractions of the total, as plotted in Figure 13(b).
+    #[must_use]
+    pub fn fractions(&self) -> [(&'static str, f64); 3] {
+        let t = self.total().as_secs_f64().max(1e-12);
+        [
+            ("host software", self.host.as_secs_f64() / t),
+            ("host-FPGA communication", self.dma.as_secs_f64() / t),
+            ("accelerator execution", self.accel.as_secs_f64() / t),
+        ]
+    }
+
+    /// Speedup of this accelerated stage over a software baseline.
+    #[must_use]
+    pub fn speedup_over(&self, baseline: Duration) -> f64 {
+        baseline.as_secs_f64() / self.total().as_secs_f64().max(1e-12)
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {:.3?} = host {:.3?} + dma {:.3?} + accel {:.3?}",
+            self.total(),
+            self.host,
+            self.dma,
+            self.accel
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = AccelStats { cycles: 10, dma_in_bytes: 100, ..AccelStats::default() };
+        a.absorb(AccelStats { cycles: 5, dma_out_bytes: 7, invocations: 1, ..AccelStats::default() });
+        assert_eq!(a.cycles, 15);
+        assert_eq!(a.dma_in_bytes, 100);
+        assert_eq!(a.dma_out_bytes, 7);
+        assert_eq!(a.invocations, 1);
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let b = Breakdown {
+            host: Duration::from_millis(10),
+            dma: Duration::from_millis(50),
+            accel: Duration::from_millis(40),
+        };
+        let sum: f64 = b.fractions().iter().map(|(_, x)| x).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(b.total(), Duration::from_millis(100));
+        assert!((b.speedup_over(Duration::from_millis(1000)) - 10.0).abs() < 1e-9);
+    }
+}

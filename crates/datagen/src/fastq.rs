@@ -1,0 +1,87 @@
+//! FASTQ serialization of generated reads — the format the sequencing
+//! instrument's primary analysis emits and the alignment stage consumes
+//! (paper §II).
+
+use genesis_types::{Base, Qual, ReadRecord, TypeError};
+
+/// Serializes reads as FASTQ text (4 lines per read).
+#[must_use]
+pub fn to_fastq(reads: &[ReadRecord]) -> String {
+    let mut out = String::new();
+    for r in reads {
+        out.push('@');
+        out.push_str(&r.name);
+        out.push('\n');
+        out.push_str(&Base::seq_to_string(&r.seq));
+        out.push_str("\n+\n");
+        out.push_str(&Qual::seq_to_string(&r.qual));
+        out.push('\n');
+    }
+    out
+}
+
+/// One parsed FASTQ record: name, bases, qualities.
+pub type FastqRecord = (String, Vec<Base>, Vec<Qual>);
+
+/// Parses FASTQ text into unaligned sequence/quality pairs.
+///
+/// # Errors
+///
+/// Returns [`TypeError::ShapeMismatch`] on structural problems and
+/// propagates base/quality parse errors.
+pub fn from_fastq(text: &str) -> Result<Vec<FastqRecord>, TypeError> {
+    let lines: Vec<&str> = text.lines().collect();
+    if !lines.len().is_multiple_of(4) {
+        return Err(TypeError::ShapeMismatch(format!(
+            "FASTQ line count {} is not a multiple of 4",
+            lines.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(lines.len() / 4);
+    for chunk in lines.chunks_exact(4) {
+        let name = chunk[0]
+            .strip_prefix('@')
+            .ok_or_else(|| TypeError::ShapeMismatch("FASTQ record must start with @".into()))?;
+        if !chunk[2].starts_with('+') {
+            return Err(TypeError::ShapeMismatch("FASTQ separator line must start with +".into()));
+        }
+        let seq = Base::seq_from_str(chunk[1])?;
+        let qual = Qual::seq_from_str(chunk[3])?;
+        if seq.len() != qual.len() {
+            return Err(TypeError::ShapeMismatch(format!(
+                "read {name}: sequence length {} != quality length {}",
+                seq.len(),
+                qual.len()
+            )));
+        }
+        out.push((name.to_owned(), seq, qual));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatagenConfig, Dataset};
+
+    #[test]
+    fn roundtrip_generated_reads() {
+        let dataset = Dataset::generate(&DatagenConfig::tiny());
+        let text = to_fastq(&dataset.reads[..10]);
+        let parsed = from_fastq(&text).unwrap();
+        assert_eq!(parsed.len(), 10);
+        for (r, (name, seq, qual)) in dataset.reads.iter().zip(&parsed) {
+            assert_eq!(&r.name, name);
+            assert_eq!(&r.seq, seq);
+            assert_eq!(&r.qual, qual);
+        }
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(from_fastq("@x\nACGT\n+\n").is_err()); // 3 lines... wait, 4 lines needed
+        assert!(from_fastq("x\nACGT\n+\nIIII\n").is_err()); // missing @
+        assert!(from_fastq("@x\nACGT\n-\nIIII\n").is_err()); // bad separator
+        assert!(from_fastq("@x\nACGT\n+\nIII\n").is_err()); // length mismatch
+    }
+}

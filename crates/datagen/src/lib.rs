@@ -1,0 +1,43 @@
+//! # genesis-datagen
+//!
+//! Synthetic genomic workload generation for the Genesis reproduction.
+//!
+//! The paper evaluates on Illumina reads of patient NA12878 against the
+//! GRCh38 reference with the dbSNP138 known-sites set (paper §V-A) — data we
+//! do not have, and at a scale (700 M reads) far beyond a test machine. This
+//! crate produces a *synthetic equivalent* that exercises the same code
+//! paths:
+//!
+//! * a seeded random reference genome and a known-SNP site table,
+//! * an individual genotype that differs from the reference at a fraction of
+//!   SNP sites (so SNP masking in BQSR has real work to do),
+//! * a read simulator producing aligned reads with sequencing errors,
+//!   indels, soft clips, reverse-strand reads, read groups (lanes) and PCR
+//!   duplicate sets,
+//! * a **systematic quality-score bias model**: the *reported* quality
+//!   deviates from the *actual* per-base error rate as a function of read
+//!   group, machine cycle, and dinucleotide context — exactly the biases the
+//!   BQSR stage (paper §IV-D) is designed to measure and correct.
+//!
+//! # Examples
+//!
+//! ```
+//! use genesis_datagen::{DatagenConfig, Dataset};
+//!
+//! let dataset = Dataset::generate(&DatagenConfig::tiny());
+//! assert!(dataset.reads.len() >= 100);
+//! assert_eq!(dataset.genome.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod fastq;
+pub mod quality;
+pub mod reads;
+pub mod reference;
+
+pub use config::DatagenConfig;
+pub use quality::QualityBiasModel;
+pub use reads::{Dataset, ReadTruth};

@@ -1,0 +1,159 @@
+//! Systematic quality-score bias model.
+//!
+//! BQSR exists because machine-reported quality scores "often do not match
+//! well with the empirical error rate" due to "various sources of systematic
+//! biases (e.g., the lane of the sequencing machine used to process this
+//! data)" (paper §IV-D). This module injects exactly those biases: the
+//! *actual* error probability of a base deviates from its *reported*
+//! quality as a deterministic function of read group, machine cycle, and
+//! dinucleotide context.
+
+use genesis_types::base::{context_id, Base};
+use genesis_types::Qual;
+
+/// Deterministic systematic bias on top of reported quality scores.
+///
+/// The bias is expressed in Phred units: a bias of `-3` means bases in that
+/// bin are *worse* (higher error rate) than reported by 3 Phred points, so a
+/// correct recalibrator should lower their scores by about 3.
+#[derive(Debug, Clone)]
+pub struct QualityBiasModel {
+    /// Per-read-group Phred offset (lane bias).
+    group_bias: Vec<f64>,
+    /// Amplitude of the cycle-dependent bias (worst at read ends).
+    cycle_amplitude: f64,
+    /// Per-context Phred offsets, indexed by dinucleotide context id.
+    context_bias: [f64; 16],
+}
+
+impl QualityBiasModel {
+    /// Builds the bias model used in all experiments.
+    ///
+    /// Group biases alternate sign so different lanes are distinguishable;
+    /// the cycle bias follows the classic Illumina "quality droop" toward
+    /// the 3′ end; homopolymer-adjacent contexts (AA, CC, GG, TT) are made
+    /// slightly worse than reported.
+    #[must_use]
+    pub fn standard(read_groups: u8) -> QualityBiasModel {
+        let group_bias = (0..read_groups)
+            .map(|g| match g % 4 {
+                0 => 0.0,
+                1 => -2.5,
+                2 => 1.5,
+                _ => -4.0,
+            })
+            .collect();
+        let mut context_bias = [0.0f64; 16];
+        for (ctx, slot) in context_bias.iter_mut().enumerate() {
+            let prev = (ctx / 4) as u8;
+            let cur = (ctx % 4) as u8;
+            *slot = if prev == cur { -2.0 } else { 0.5 * f64::from(cur) - 0.75 };
+        }
+        QualityBiasModel { group_bias, cycle_amplitude: 3.0, context_bias }
+    }
+
+    /// A bias-free model (reported quality == actual quality); useful as a
+    /// negative control in BQSR tests.
+    #[must_use]
+    pub fn unbiased(read_groups: u8) -> QualityBiasModel {
+        QualityBiasModel {
+            group_bias: vec![0.0; read_groups as usize],
+            cycle_amplitude: 0.0,
+            context_bias: [0.0; 16],
+        }
+    }
+
+    /// The Phred-unit bias applied to a base: positive means the base is
+    /// *better* than reported.
+    ///
+    /// `cycle` is the 0-based machine cycle; `read_len` the read length;
+    /// `prev`/`cur` the dinucleotide context.
+    #[must_use]
+    pub fn bias_phred(&self, read_group: u8, cycle: u32, read_len: u32, prev: Base, cur: Base) -> f64 {
+        let g = self.group_bias.get(read_group as usize).copied().unwrap_or(0.0);
+        // Parabolic droop: zero mid-read, -amplitude at either end.
+        let t = if read_len > 1 {
+            2.0 * (f64::from(cycle) / f64::from(read_len - 1)) - 1.0
+        } else {
+            0.0
+        };
+        let c = -self.cycle_amplitude * t * t;
+        let ctx = context_id(prev, cur).map_or(0.0, |id| self.context_bias[id as usize]);
+        g + c + ctx
+    }
+
+    /// The *actual* error probability for a base whose machine-reported
+    /// quality is `reported`.
+    #[must_use]
+    pub fn actual_error_probability(
+        &self,
+        reported: Qual,
+        read_group: u8,
+        cycle: u32,
+        read_len: u32,
+        prev: Base,
+        cur: Base,
+    ) -> f64 {
+        let effective = f64::from(reported.value())
+            + self.bias_phred(read_group, cycle, read_len, prev, cur);
+        let effective = effective.clamp(1.0, f64::from(Qual::MAX.value()));
+        10f64.powf(-effective / 10.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbiased_model_reports_truth() {
+        let m = QualityBiasModel::unbiased(4);
+        let q = Qual::new(30).unwrap();
+        let p = m.actual_error_probability(q, 2, 75, 151, Base::A, Base::C);
+        assert!((p - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lane_bias_shifts_error_rate() {
+        let m = QualityBiasModel::standard(4);
+        let q = Qual::new(30).unwrap();
+        // Group 1 is biased -2.5 Phred: actual error rate higher than reported.
+        let p_mid_g1 = m.actual_error_probability(q, 1, 75, 151, Base::A, Base::C);
+        let p_mid_g0 = m.actual_error_probability(q, 0, 75, 151, Base::A, Base::C);
+        assert!(p_mid_g1 > p_mid_g0);
+    }
+
+    #[test]
+    fn cycle_droop_is_worst_at_ends() {
+        let m = QualityBiasModel::standard(1);
+        let q = Qual::new(30).unwrap();
+        let p_start = m.actual_error_probability(q, 0, 0, 151, Base::A, Base::C);
+        let p_mid = m.actual_error_probability(q, 0, 75, 151, Base::A, Base::C);
+        let p_end = m.actual_error_probability(q, 0, 150, 151, Base::A, Base::C);
+        assert!(p_start > p_mid);
+        assert!(p_end > p_mid);
+    }
+
+    #[test]
+    fn homopolymer_context_is_worse() {
+        let m = QualityBiasModel::standard(1);
+        let aa = m.bias_phred(0, 75, 151, Base::A, Base::A);
+        let ac = m.bias_phred(0, 75, 151, Base::A, Base::C);
+        assert!(aa < ac);
+    }
+
+    #[test]
+    fn n_context_has_no_context_term() {
+        let m = QualityBiasModel::standard(1);
+        let with_n = m.bias_phred(0, 75, 151, Base::N, Base::A);
+        let mid_only = m.bias_phred(0, 75, 151, Base::N, Base::N);
+        assert_eq!(with_n, mid_only);
+    }
+
+    #[test]
+    fn out_of_range_group_defaults_to_zero_bias() {
+        let m = QualityBiasModel::standard(2);
+        let p = m.bias_phred(200, 75, 151, Base::N, Base::N);
+        assert_eq!(p, 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # genesis-gatk
+//!
+//! A faithful Rust reimplementation of the GATK4 Best Practices data
+//! preprocessing pipeline (paper §IV-A) — the software baseline the Genesis
+//! accelerators are measured against, and the correctness oracle for every
+//! hardware pipeline.
+//!
+//! Stages (paper Figure 9):
+//!
+//! 1. **Alignment** ([`align`]) — k-mer seeding plus banded Smith–Waterman
+//!    extension producing `POS`/CIGAR (the paper delegates this stage to
+//!    accelerators like GenAx; the software stage exists to reproduce the
+//!    Figure 9 runtime breakdown).
+//! 2. **Mark Duplicates** ([`markdup`]) — coordinate sort, unclipped-5′
+//!    duplicate keys, and survivor selection by the sum of quality scores
+//!    (§IV-B).
+//! 3. **Metadata Update** ([`metadata`]) — `SetNmMdAndUqTags` (§IV-C).
+//! 4. **Base Quality Score Recalibration** ([`bqsr`]) — covariate table
+//!    construction and quality score update (§IV-D).
+//!
+//! [`pipeline`] drives all stages with per-stage wall-clock timing.
+//!
+//! # Examples
+//!
+//! ```
+//! use genesis_datagen::{DatagenConfig, Dataset};
+//! use genesis_gatk::markdup::mark_duplicates;
+//!
+//! let mut dataset = Dataset::generate(&DatagenConfig::tiny());
+//! let report = mark_duplicates(&mut dataset.reads);
+//! assert!(report.duplicates > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod align;
+pub mod bqsr;
+pub mod markdup;
+pub mod metadata;
+pub mod pipeline;
+pub mod sort;
+
+pub use bqsr::{CovariateTable, RecalReport};
+pub use markdup::MarkDupReport;
+pub use pipeline::{PipelineReport, PreprocessingPipeline, StageTimings};

@@ -1,0 +1,215 @@
+//! Mark Duplicates (paper §IV-B).
+//!
+//! Reads originating from the same DNA fragment (PCR amplification copies)
+//! share the same *unclipped 5′ prime position* and orientation. Within
+//! each such set, the read with the highest sum of quality scores survives;
+//! the rest are flagged as duplicates.
+
+use crate::sort::coordinate_sort;
+use genesis_types::{ReadFlags, ReadRecord};
+use std::collections::HashMap;
+
+/// Outcome of the Mark Duplicates stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MarkDupReport {
+    /// Total reads processed.
+    pub total: usize,
+    /// Reads flagged as duplicates.
+    pub duplicates: usize,
+    /// Number of distinct duplicate keys with more than one member.
+    pub duplicate_sets: usize,
+}
+
+/// The duplicate key of a read: chromosome, unclipped 5′ position,
+/// orientation, and (for paired reads) the mate's key half (footnote 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DuplicateKey {
+    chr: u8,
+    five_prime: u32,
+    reverse: bool,
+    mate: Option<(u8, u32, bool)>,
+}
+
+impl DuplicateKey {
+    /// Computes the key for a read.
+    #[must_use]
+    pub fn of(read: &ReadRecord) -> DuplicateKey {
+        DuplicateKey {
+            chr: read.chr.id(),
+            five_prime: read.unclipped_five_prime(),
+            reverse: read.flags.is_reverse(),
+            mate: read.mate.as_ref().map(|m| (m.chr.id(), m.unclipped_five_prime, m.reverse)),
+        }
+    }
+}
+
+/// Computes the per-read sum of quality scores — the computation the
+/// Genesis Mark Duplicates accelerator offloads (paper Figure 10).
+#[must_use]
+pub fn quality_sums(reads: &[ReadRecord]) -> Vec<u64> {
+    reads.iter().map(ReadRecord::quality_sum).collect()
+}
+
+/// Runs the full Mark Duplicates stage: coordinate sort, duplicate-set
+/// identification, and survivor selection. Returns the report; duplicate
+/// reads get [`ReadFlags::DUPLICATE`] set in place.
+pub fn mark_duplicates(reads: &mut [ReadRecord]) -> MarkDupReport {
+    let sums = quality_sums(reads);
+    mark_duplicates_with_sums(reads, &sums)
+}
+
+/// The host-side portion of the stage, taking precomputed quality sums
+/// (from software or from the accelerator): everything in §IV-B except the
+/// sum-of-quality-scores computation.
+///
+/// # Panics
+///
+/// Panics when `sums.len() != reads.len()`.
+pub fn mark_duplicates_with_sums(reads: &mut [ReadRecord], sums: &[u64]) -> MarkDupReport {
+    assert_eq!(reads.len(), sums.len(), "one quality sum per read");
+    // Find the best (max quality sum; ties by name for determinism) read
+    // per duplicate key, before sorting perturbs indices.
+    let mut best: HashMap<DuplicateKey, (u64, &str, usize)> = HashMap::new();
+    let mut members: HashMap<DuplicateKey, usize> = HashMap::new();
+    for (i, read) in reads.iter().enumerate() {
+        if read.flags.is_unmapped() {
+            continue;
+        }
+        let key = DuplicateKey::of(read);
+        *members.entry(key).or_insert(0) += 1;
+        let candidate = (sums[i], read.name.as_str(), i);
+        match best.get(&key) {
+            Some(&(s, n, _)) if (s, n) >= (candidate.0, candidate.1) => {}
+            _ => {
+                best.insert(key, candidate);
+            }
+        }
+    }
+    let survivors: std::collections::HashSet<usize> =
+        best.values().map(|&(_, _, i)| i).collect();
+    let mut duplicates = 0;
+    for (i, read) in reads.iter_mut().enumerate() {
+        if read.flags.is_unmapped() {
+            continue;
+        }
+        let key = DuplicateKey::of(read);
+        if members[&key] > 1 && !survivors.contains(&i) {
+            read.flags.insert(ReadFlags::DUPLICATE);
+            duplicates += 1;
+        } else {
+            read.flags.remove(ReadFlags::DUPLICATE);
+        }
+    }
+    let duplicate_sets = members.values().filter(|&&n| n > 1).count();
+    coordinate_sort(reads);
+    MarkDupReport { total: reads.len(), duplicates, duplicate_sets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genesis_types::{Base, Chrom, Qual};
+
+    fn read(name: &str, pos: u32, cigar: &str, quals: &[u8], reverse: bool) -> ReadRecord {
+        let cigar: genesis_types::Cigar = cigar.parse().unwrap();
+        let n = cigar.read_len() as usize;
+        let seq: Vec<Base> = (0..n).map(|i| Base::from_code((i % 4) as u8)).collect();
+        ReadRecord::builder(name, Chrom::new(1), pos)
+            .cigar(cigar)
+            .seq(seq)
+            .qual(quals.iter().map(|&q| Qual::new(q).unwrap()).collect())
+            .flags(ReadFlags::empty().with(ReadFlags::REVERSE, reverse))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn highest_quality_sum_survives() {
+        let mut reads = vec![
+            read("low", 100, "4M", &[10, 10, 10, 10], false),
+            read("high", 100, "4M", &[30, 30, 30, 30], false),
+            read("mid", 100, "4M", &[20, 20, 20, 20], false),
+        ];
+        let report = mark_duplicates(&mut reads);
+        assert_eq!(report.duplicates, 2);
+        assert_eq!(report.duplicate_sets, 1);
+        for r in &reads {
+            assert_eq!(r.flags.is_duplicate(), r.name != "high", "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn soft_clips_join_duplicate_sets() {
+        // pos 102 with 2 leading soft clips has unclipped start 100:
+        // a duplicate of the read aligned at 100.
+        let mut reads = vec![
+            read("plain", 100, "4M", &[30, 30, 30, 30], false),
+            read("clipped", 102, "2S4M", &[10, 10, 10, 10, 10, 10], false),
+        ];
+        let report = mark_duplicates(&mut reads);
+        assert_eq!(report.duplicates, 1);
+        assert!(reads.iter().find(|r| r.name == "clipped").unwrap().flags.is_duplicate());
+    }
+
+    #[test]
+    fn strand_separates_sets() {
+        let mut reads = vec![
+            read("fwd", 100, "4M", &[30; 4], false),
+            read("rev", 100, "4M", &[10; 4], true),
+        ];
+        let report = mark_duplicates(&mut reads);
+        assert_eq!(report.duplicates, 0);
+    }
+
+    #[test]
+    fn reverse_reads_key_on_unclipped_end() {
+        // Reverse reads with the same unclipped 5' end (= end + trailing
+        // clips) are duplicates even when POS differs.
+        let mut reads = vec![
+            read("a", 100, "4M", &[30; 4], true), // end 104
+            read("b", 102, "2M2S", &[9; 4], true), // end 104 + 0... unclipped_end = 102+2+2 = 106
+            read("c", 102, "2M", &[8; 2], true),  // end 104
+        ];
+        let report = mark_duplicates(&mut reads);
+        assert_eq!(report.duplicates, 1);
+        assert!(reads.iter().find(|r| r.name == "c").unwrap().flags.is_duplicate());
+        assert!(!reads.iter().find(|r| r.name == "b").unwrap().flags.is_duplicate());
+    }
+
+    #[test]
+    fn output_is_sorted() {
+        let mut reads = vec![
+            read("z", 500, "4M", &[30; 4], false),
+            read("a", 100, "4M", &[30; 4], false),
+        ];
+        mark_duplicates(&mut reads);
+        assert_eq!(reads[0].pos, 100);
+    }
+
+    #[test]
+    fn rerunning_is_idempotent() {
+        let mut reads = vec![
+            read("low", 100, "4M", &[10; 4], false),
+            read("high", 100, "4M", &[30; 4], false),
+        ];
+        mark_duplicates(&mut reads);
+        let first: Vec<bool> = reads.iter().map(|r| r.flags.is_duplicate()).collect();
+        mark_duplicates(&mut reads);
+        let second: Vec<bool> = reads.iter().map(|r| r.flags.is_duplicate()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn precomputed_sums_match_inline() {
+        let mut a = vec![
+            read("x", 100, "4M", &[10; 4], false),
+            read("y", 100, "4M", &[30; 4], false),
+        ];
+        let mut b = a.clone();
+        let sums = quality_sums(&a);
+        let r1 = mark_duplicates(&mut a);
+        let r2 = mark_duplicates_with_sums(&mut b, &sums);
+        assert_eq!(r1, r2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,199 @@
+//! The full GATK4-analog preprocessing pipeline with per-stage timing
+//! (the measurement substrate behind paper Figure 9).
+
+use crate::align::{align_all, KmerIndex};
+use crate::bqsr::{apply_recalibration, build_covariate_table, CovariateTable, RecalReport};
+use crate::markdup::{mark_duplicates, MarkDupReport};
+use crate::metadata::{set_nm_md_uq_tags, MetadataReport};
+use genesis_types::{ReadRecord, ReferenceGenome, TypeError};
+use std::time::{Duration, Instant};
+
+/// Wall-clock time of each preprocessing stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Alignment (seed + banded extension).
+    pub alignment: Duration,
+    /// Mark Duplicates (incl. coordinate sort).
+    pub mark_duplicates: Duration,
+    /// Metadata update (`SetNmMdAndUqTags`).
+    pub metadata_update: Duration,
+    /// BQSR covariate table construction.
+    pub bqsr_table: Duration,
+    /// BQSR quality score update.
+    pub bqsr_update: Duration,
+}
+
+impl StageTimings {
+    /// Total pipeline time.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.alignment
+            + self.mark_duplicates
+            + self.metadata_update
+            + self.bqsr_table
+            + self.bqsr_update
+    }
+
+    /// Fractions per stage (summing to 1), in Figure 9's stage order.
+    #[must_use]
+    pub fn fractions(&self) -> [(&'static str, f64); 5] {
+        let t = self.total().as_secs_f64().max(1e-12);
+        [
+            ("Alignment", self.alignment.as_secs_f64() / t),
+            ("Duplicate Marking", self.mark_duplicates.as_secs_f64() / t),
+            ("Metadata Update", self.metadata_update.as_secs_f64() / t),
+            ("BQSR (covariate table construction)", self.bqsr_table.as_secs_f64() / t),
+            ("BQSR (quality score update)", self.bqsr_update.as_secs_f64() / t),
+        ]
+    }
+}
+
+/// Everything the pipeline produced.
+#[derive(Debug)]
+pub struct PipelineReport {
+    /// Per-stage timings.
+    pub timings: StageTimings,
+    /// Mark Duplicates outcome.
+    pub markdup: MarkDupReport,
+    /// Metadata outcome.
+    pub metadata: MetadataReport,
+    /// The constructed covariate table.
+    pub covariates: CovariateTable,
+    /// Recalibration outcome.
+    pub recal: RecalReport,
+}
+
+/// Configuration of a pipeline run.
+#[derive(Debug, Clone, Copy)]
+pub struct PreprocessingPipeline {
+    /// Run the (expensive) alignment stage; when false, the generator's
+    /// alignments are kept and alignment time is reported as zero.
+    pub run_alignment: bool,
+    /// k-mer length for the alignment index.
+    pub aligner_k: usize,
+    /// Number of read groups in the data set.
+    pub read_groups: u8,
+    /// Read length of the data set.
+    pub read_len: u32,
+}
+
+impl PreprocessingPipeline {
+    /// Creates a pipeline configuration matching a data set's shape.
+    #[must_use]
+    pub fn new(read_groups: u8, read_len: u32) -> PreprocessingPipeline {
+        PreprocessingPipeline { run_alignment: false, aligner_k: 17, read_groups, read_len }
+    }
+
+    /// Enables the alignment stage.
+    #[must_use]
+    pub fn with_alignment(mut self) -> PreprocessingPipeline {
+        self.run_alignment = true;
+        self
+    }
+
+    /// Runs all stages over `reads`, mutating them in place (sorted,
+    /// duplicate-flagged, tagged, recalibrated).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TypeError`] from the metadata stage on malformed reads.
+    pub fn run(
+        &self,
+        reads: &mut Vec<ReadRecord>,
+        genome: &ReferenceGenome,
+    ) -> Result<PipelineReport, TypeError> {
+        let mut timings = StageTimings::default();
+
+        if self.run_alignment {
+            let t = Instant::now();
+            let index = KmerIndex::build(genome, self.aligner_k);
+            *reads = align_all(&index, reads);
+            timings.alignment = t.elapsed();
+        }
+
+        let t = Instant::now();
+        let markdup = mark_duplicates(reads);
+        timings.mark_duplicates = t.elapsed();
+
+        let t = Instant::now();
+        let metadata = set_nm_md_uq_tags(reads, genome)?;
+        timings.metadata_update = t.elapsed();
+
+        let t = Instant::now();
+        let covariates = build_covariate_table(reads, genome, self.read_groups, self.read_len);
+        timings.bqsr_table = t.elapsed();
+
+        let t = Instant::now();
+        let recal = apply_recalibration(reads, genome, &covariates);
+        timings.bqsr_update = t.elapsed();
+
+        Ok(PipelineReport { timings, markdup, metadata, covariates, recal })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genesis_datagen::{DatagenConfig, Dataset};
+
+    #[test]
+    fn full_pipeline_runs_end_to_end() {
+        let cfg = DatagenConfig::tiny();
+        let mut dataset = Dataset::generate(&cfg);
+        let pipeline = PreprocessingPipeline::new(cfg.read_groups, cfg.read_len);
+        let report = pipeline.run(&mut dataset.reads, &dataset.genome).unwrap();
+        assert!(report.markdup.duplicates > 0);
+        assert_eq!(report.metadata.updated, dataset.reads.len());
+        assert!(report.covariates.total_observations() > 0);
+        assert!(report.recal.bases_visited > 0);
+        // Reads end up sorted and tagged.
+        assert!(crate::sort::is_coordinate_sorted(&dataset.reads));
+        assert!(dataset.reads.iter().all(|r| r.md.is_some()));
+    }
+
+    #[test]
+    fn alignment_stage_recovers_generator_positions() {
+        let cfg = DatagenConfig {
+            num_reads: 60,
+            chrom_len: 30_000,
+            num_chromosomes: 1,
+            // Indels and clips complicate exact position recovery; the
+            // alignment-quality test in align.rs covers those. Here we
+            // check the pipeline plumbing.
+            insertion_rate: 0.0,
+            deletion_rate: 0.0,
+            soft_clip_rate: 0.0,
+            ..DatagenConfig::tiny()
+        };
+        let mut dataset = Dataset::generate(&cfg);
+        let truth: std::collections::HashMap<String, u32> = dataset
+            .reads
+            .iter()
+            .map(|r| (r.name.clone(), r.pos))
+            .collect();
+        let pipeline = PreprocessingPipeline::new(cfg.read_groups, cfg.read_len).with_alignment();
+        let report = pipeline.run(&mut dataset.reads, &dataset.genome).unwrap();
+        assert!(report.timings.alignment > Duration::ZERO);
+        let recovered = dataset
+            .reads
+            .iter()
+            .filter(|r| truth.get(&r.name) == Some(&r.pos))
+            .count();
+        let rate = recovered as f64 / dataset.reads.len() as f64;
+        assert!(rate > 0.95, "aligner only recovered {rate:.2} of positions");
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let timings = StageTimings {
+            alignment: Duration::from_millis(60),
+            mark_duplicates: Duration::from_millis(10),
+            metadata_update: Duration::from_millis(20),
+            bqsr_table: Duration::from_millis(5),
+            bqsr_update: Duration::from_millis(5),
+        };
+        let sum: f64 = timings.fractions().iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(timings.total(), Duration::from_millis(100));
+    }
+}

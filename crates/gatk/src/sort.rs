@@ -1,0 +1,58 @@
+//! Coordinate sorting of aligned reads.
+
+use genesis_types::ReadRecord;
+
+/// Sorts reads by (chromosome, aligned start position, name) — the
+/// coordinate order GATK establishes during the Mark Duplicates stage
+/// (paper §IV-A: "this step also sorts all reads based on their starting
+/// positions").
+pub fn coordinate_sort(reads: &mut [ReadRecord]) {
+    reads.sort_by(|a, b| {
+        (a.chr, a.pos, a.name.as_str()).cmp(&(b.chr, b.pos, b.name.as_str()))
+    });
+}
+
+/// True when reads are in coordinate order.
+#[must_use]
+pub fn is_coordinate_sorted(reads: &[ReadRecord]) -> bool {
+    reads.windows(2).all(|w| (w[0].chr, w[0].pos) <= (w[1].chr, w[1].pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genesis_types::{Base, Chrom, Qual};
+
+    fn read(chr: u8, pos: u32, name: &str) -> ReadRecord {
+        ReadRecord::builder(name, Chrom::new(chr), pos)
+            .cigar("2M".parse().unwrap())
+            .seq(Base::seq_from_str("AC").unwrap())
+            .qual(vec![Qual::new(30).unwrap(); 2])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sorts_by_chrom_then_pos() {
+        let mut reads =
+            vec![read(2, 5, "a"), read(1, 9, "b"), read(1, 3, "c"), read(2, 1, "d")];
+        assert!(!is_coordinate_sorted(&reads));
+        coordinate_sort(&mut reads);
+        let order: Vec<&str> = reads.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(order, vec!["c", "b", "d", "a"]);
+        assert!(is_coordinate_sorted(&reads));
+    }
+
+    #[test]
+    fn name_breaks_ties_deterministically() {
+        let mut reads = vec![read(1, 5, "z"), read(1, 5, "a")];
+        coordinate_sort(&mut reads);
+        assert_eq!(reads[0].name, "a");
+    }
+
+    #[test]
+    fn empty_and_single_are_sorted() {
+        assert!(is_coordinate_sorted(&[]));
+        assert!(is_coordinate_sorted(&[read(1, 1, "x")]));
+    }
+}

@@ -1,0 +1,71 @@
+//! # genesis-hw
+//!
+//! The Genesis hardware library and a cycle-level dataflow simulator.
+//!
+//! The paper (§III-C) composes configurable hardware modules — Joiner,
+//! Filter, Reducer, stream ALU, Memory Reader/Writer, Scratchpad (SPM)
+//! Reader/Updater, and the genomics modules ReadToBases, MDGen and BinIDGen —
+//! into dataflow pipelines connected by hardware queues, clocked at 250 MHz
+//! on an AWS F1 FPGA. This crate reproduces that library as a discrete,
+//! cycle-stepped simulation:
+//!
+//! * [`word`] — 64-bit stream words with the paper's `Ins`/`Del` sentinels,
+//!   grouped into multi-field flits with explicit end-of-item delimiters.
+//! * [`queue`] — bounded hardware queues with backpressure.
+//! * [`memory`] — a channelized device-memory model (64 B access
+//!   granularity, per-channel service rate, fixed latency) with the local /
+//!   global arbiter tree of paper Figure 8.
+//! * [`spm`] — on-chip scratchpad memories.
+//! * [`modules`] — the module library itself.
+//! * [`system`] — pipeline wiring and the per-cycle simulation engine.
+//! * [`resource`] — the analytical FPGA resource model behind Table IV.
+//!
+//! Simulation semantics: each module processes at most one flit per input
+//! per cycle (the paper's "fully-pipelined... single base pair per cycle"),
+//! queues are bounded so stalls propagate backpressure, and the memory
+//! system enforces per-cycle channel-service and arbitration limits. Module
+//! ticks within a cycle run in construction order, so a flit can traverse
+//! several modules in the cycle it was produced; this keeps throughput
+//! modeling exact while slightly under-counting latency, which is noted in
+//! DESIGN.md.
+//!
+//! # Examples
+//!
+//! A two-module pipeline that sums a stream (the heart of the paper's Mark
+//! Duplicates accelerator, Figure 10):
+//!
+//! ```
+//! use genesis_hw::system::System;
+//! use genesis_hw::modules::{source::StreamSource, reducer::{Reducer, ReduceOp}, sink::StreamSink};
+//! use genesis_hw::word::{Flit, HwWord};
+//!
+//! let mut sys = System::new();
+//! let q_in = sys.add_queue("in");
+//! let q_out = sys.add_queue("out");
+//! let items = vec![vec![1u64, 2, 3], vec![10, 20]];
+//! sys.add_module(Box::new(StreamSource::from_items("src", q_in, &items)));
+//! sys.add_module(Box::new(Reducer::new("sum", ReduceOp::Sum, 0, q_in, q_out)));
+//! let sink = sys.add_module(Box::new(StreamSink::new("sink", q_out)));
+//! let stats = sys.run(10_000).expect("pipeline drains");
+//! let sums = sys.sink_values(sink);
+//! assert_eq!(sums, vec![HwWord::Val(6), HwWord::Val(30)]);
+//! assert!(stats.cycles > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod memory;
+pub mod modules;
+pub mod queue;
+pub mod resource;
+pub mod spm;
+pub mod system;
+pub mod word;
+
+pub use memory::{MemoryConfig, MemorySystem};
+pub use queue::{QueueId, QueuePool};
+pub use resource::{ResourceReport, ResourceUsage};
+pub use spm::{SpmId, SpmPool};
+pub use system::{SimError, SimStats, System};
+pub use word::{Flit, HwWord};

@@ -1,0 +1,375 @@
+//! Channelized device-memory model with the arbiter tree of Figure 8.
+//!
+//! Memory readers/writers access device memory at a 64 B line granularity.
+//! Requests pass a *local arbiter* (one per pipeline) and a *global
+//! arbiter* per memory channel (paper Figure 8); each enforces a per-cycle
+//! request limit, so over-replicated pipeline configurations saturate —
+//! the effect behind the paper's "performance limit where an accelerator
+//! can no longer get more speedup from parallelism" (§V-A).
+
+use std::collections::VecDeque;
+
+/// Memory line size in bytes (the paper's access granularity example).
+pub const LINE_BYTES: usize = 64;
+
+/// A 64-byte memory line.
+pub type Line = [u8; LINE_BYTES];
+
+/// Configuration of the device memory system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryConfig {
+    /// Number of memory channels (AWS F1: 4 DDR4 channels).
+    pub num_channels: usize,
+    /// Read/write latency in cycles.
+    pub latency_cycles: u64,
+    /// Line requests each channel can accept per cycle.
+    pub channel_requests_per_cycle: u32,
+    /// Line requests each local (per-pipeline) arbiter forwards per cycle.
+    pub local_requests_per_cycle: u32,
+    /// Maximum outstanding requests per port (the reader prefetch depth).
+    pub max_inflight_per_port: usize,
+}
+
+impl Default for MemoryConfig {
+    /// AWS F1-like defaults: 4 channels, 100-cycle latency, one line per
+    /// channel per cycle (≈64 GB/s aggregate at 250 MHz), 2 requests per
+    /// local arbiter per cycle, 8 outstanding lines per port.
+    fn default() -> MemoryConfig {
+        MemoryConfig {
+            num_channels: 4,
+            latency_cycles: 100,
+            channel_requests_per_cycle: 1,
+            local_requests_per_cycle: 2,
+            max_inflight_per_port: 8,
+        }
+    }
+}
+
+/// Identifier of a memory port (one per memory reader/writer module).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortId(u32);
+
+/// Aggregate memory traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Lines read by the device.
+    pub read_lines: u64,
+    /// Lines written by the device.
+    pub write_lines: u64,
+    /// Requests refused by channel arbitration.
+    pub channel_stalls: u64,
+    /// Requests refused by local arbitration.
+    pub local_stalls: u64,
+}
+
+impl MemStats {
+    /// Bytes read by the device.
+    #[must_use]
+    pub fn read_bytes(&self) -> u64 {
+        self.read_lines * LINE_BYTES as u64
+    }
+
+    /// Bytes written by the device.
+    #[must_use]
+    pub fn write_bytes(&self) -> u64 {
+        self.write_lines * LINE_BYTES as u64
+    }
+}
+
+#[derive(Debug)]
+struct Port {
+    group: u32,
+    inflight: usize,
+    responses: VecDeque<(u64, u64)>, // (ready_cycle, line_addr)
+}
+
+/// The device memory: backing store, channels, arbiters, and statistics.
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: MemoryConfig,
+    data: Vec<u8>,
+    cycle: u64,
+    ports: Vec<Port>,
+    channel_used: Vec<u32>,
+    group_used: Vec<u32>,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Creates a memory system.
+    #[must_use]
+    pub fn new(cfg: MemoryConfig) -> MemorySystem {
+        let channels = cfg.num_channels;
+        MemorySystem {
+            cfg,
+            data: Vec::new(),
+            cycle: 0,
+            ports: Vec::new(),
+            channel_used: vec![0; channels],
+            group_used: Vec::new(),
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &MemoryConfig {
+        &self.cfg
+    }
+
+    /// Allocates `len` bytes of zeroed device memory, 64 B aligned.
+    /// Returns the base address.
+    pub fn alloc(&mut self, len: usize) -> u64 {
+        let addr = self.data.len() as u64;
+        let padded = len.div_ceil(LINE_BYTES) * LINE_BYTES;
+        self.data.resize(self.data.len() + padded, 0);
+        addr
+    }
+
+    /// Host-side fill (models the DMA copy in `configure_mem`; traffic is
+    /// accounted by the host DMA model, not here).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is unallocated.
+    pub fn host_write(&mut self, addr: u64, bytes: &[u8]) {
+        let start = addr as usize;
+        self.data[start..start + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Host-side readback (models `genesis_flush`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is unallocated.
+    #[must_use]
+    pub fn host_read(&self, addr: u64, len: usize) -> Vec<u8> {
+        let start = addr as usize;
+        self.data[start..start + len].to_vec()
+    }
+
+    /// Registers a port belonging to local-arbiter group `group`
+    /// (one group per pipeline in Figure 8).
+    pub fn register_port(&mut self, group: u32) -> PortId {
+        if group as usize >= self.group_used.len() {
+            self.group_used.resize(group as usize + 1, 0);
+        }
+        self.ports.push(Port { group, inflight: 0, responses: VecDeque::new() });
+        PortId(self.ports.len() as u32 - 1)
+    }
+
+    /// Starts a new cycle: resets per-cycle arbitration counters.
+    pub fn begin_cycle(&mut self, cycle: u64) {
+        self.cycle = cycle;
+        self.channel_used.fill(0);
+        self.group_used.fill(0);
+    }
+
+    fn channel_of(&self, line_addr: u64) -> usize {
+        ((line_addr / LINE_BYTES as u64) % self.cfg.num_channels as u64) as usize
+    }
+
+    fn arbitrate(&mut self, port: PortId) -> bool {
+        let group = self.ports[port.0 as usize].group as usize;
+        if self.group_used[group] >= self.cfg.local_requests_per_cycle {
+            self.stats.local_stalls += 1;
+            return false;
+        }
+        true
+    }
+
+    /// Attempts to issue a line read. Returns `false` (and counts a stall)
+    /// when arbitration or the port's in-flight limit refuses the request.
+    pub fn try_read(&mut self, port: PortId, line_addr: u64) -> bool {
+        debug_assert_eq!(line_addr % LINE_BYTES as u64, 0, "unaligned line read");
+        if self.ports[port.0 as usize].inflight >= self.cfg.max_inflight_per_port {
+            return false;
+        }
+        if !self.arbitrate(port) {
+            return false;
+        }
+        let chan = self.channel_of(line_addr);
+        if self.channel_used[chan] >= self.cfg.channel_requests_per_cycle {
+            self.stats.channel_stalls += 1;
+            return false;
+        }
+        let group = self.ports[port.0 as usize].group as usize;
+        self.group_used[group] += 1;
+        self.channel_used[chan] += 1;
+        self.stats.read_lines += 1;
+        let ready = self.cycle + self.cfg.latency_cycles;
+        let p = &mut self.ports[port.0 as usize];
+        p.inflight += 1;
+        p.responses.push_back((ready, line_addr));
+        true
+    }
+
+    /// Delivers the oldest completed read response for `port`, copying the
+    /// line out of the backing store.
+    pub fn poll_response(&mut self, port: PortId) -> Option<(u64, Line)> {
+        let p = &mut self.ports[port.0 as usize];
+        match p.responses.front() {
+            Some(&(ready, addr)) if ready <= self.cycle => {
+                p.responses.pop_front();
+                p.inflight -= 1;
+                let start = addr as usize;
+                let mut line = [0u8; LINE_BYTES];
+                line.copy_from_slice(&self.data[start..start + LINE_BYTES]);
+                Some((addr, line))
+            }
+            _ => None,
+        }
+    }
+
+    /// Attempts to write `bytes` at `addr` (must fit within one line).
+    /// Data is applied immediately; bandwidth and arbitration are modeled
+    /// like reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the write crosses a line boundary or is unallocated.
+    pub fn try_write(&mut self, port: PortId, addr: u64, bytes: &[u8]) -> bool {
+        assert!(
+            (addr % LINE_BYTES as u64) as usize + bytes.len() <= LINE_BYTES,
+            "write crosses line boundary"
+        );
+        if !self.arbitrate(port) {
+            return false;
+        }
+        let chan = self.channel_of(addr - addr % LINE_BYTES as u64);
+        if self.channel_used[chan] >= self.cfg.channel_requests_per_cycle {
+            self.stats.channel_stalls += 1;
+            return false;
+        }
+        let group = self.ports[port.0 as usize].group as usize;
+        self.group_used[group] += 1;
+        self.channel_used[chan] += 1;
+        self.stats.write_lines += 1;
+        let start = addr as usize;
+        self.data[start..start + bytes.len()].copy_from_slice(bytes);
+        true
+    }
+
+    /// Traffic statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Total allocated device memory in bytes.
+    #[must_use]
+    pub fn allocated_bytes(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> MemorySystem {
+        MemorySystem::new(MemoryConfig { latency_cycles: 3, ..MemoryConfig::default() })
+    }
+
+    #[test]
+    fn alloc_is_line_aligned() {
+        let mut m = mem();
+        let a = m.alloc(10);
+        let b = m.alloc(100);
+        assert_eq!(a % 64, 0);
+        assert_eq!(b % 64, 0);
+        assert_eq!(b, 64);
+    }
+
+    #[test]
+    fn read_after_latency() {
+        let mut m = mem();
+        let a = m.alloc(64);
+        m.host_write(a, &[7u8; 64]);
+        let p = m.register_port(0);
+        m.begin_cycle(0);
+        assert!(m.try_read(p, a));
+        assert!(m.poll_response(p).is_none());
+        m.begin_cycle(3);
+        let (addr, line) = m.poll_response(p).unwrap();
+        assert_eq!(addr, a);
+        assert_eq!(line[0], 7);
+    }
+
+    #[test]
+    fn channel_arbitration_limits_per_cycle() {
+        let mut m = mem();
+        let a = m.alloc(64 * 16);
+        let p0 = m.register_port(0);
+        let p1 = m.register_port(1);
+        m.begin_cycle(0);
+        // Same channel (addresses 0 and 4*64 both map to channel 0).
+        assert!(m.try_read(p0, a));
+        assert!(!m.try_read(p1, a + 4 * 64));
+        // Different channel is still free.
+        assert!(m.try_read(p1, a + 64));
+        assert!(m.stats().channel_stalls >= 1);
+    }
+
+    #[test]
+    fn local_arbitration_limits_group() {
+        let mut m = mem();
+        let a = m.alloc(64 * 16);
+        let p0 = m.register_port(0);
+        let p1 = m.register_port(0);
+        let p2 = m.register_port(0);
+        m.begin_cycle(0);
+        assert!(m.try_read(p0, a));
+        assert!(m.try_read(p1, a + 64));
+        // Third request from the same local arbiter group this cycle.
+        assert!(!m.try_read(p2, a + 2 * 64));
+        assert_eq!(m.stats().local_stalls, 1);
+    }
+
+    #[test]
+    fn inflight_limit() {
+        let mut m = MemorySystem::new(MemoryConfig {
+            max_inflight_per_port: 2,
+            latency_cycles: 100,
+            local_requests_per_cycle: 8,
+            ..MemoryConfig::default()
+        });
+        let a = m.alloc(64 * 8);
+        let p = m.register_port(0);
+        m.begin_cycle(0);
+        assert!(m.try_read(p, a));
+        m.begin_cycle(1);
+        assert!(m.try_read(p, a + 64));
+        m.begin_cycle(2);
+        assert!(!m.try_read(p, a + 128));
+    }
+
+    #[test]
+    fn write_applies_and_counts() {
+        let mut m = mem();
+        let a = m.alloc(64);
+        let p = m.register_port(0);
+        m.begin_cycle(0);
+        assert!(m.try_write(p, a + 8, &[1, 2, 3]));
+        assert_eq!(m.host_read(a + 8, 3), vec![1, 2, 3]);
+        assert_eq!(m.stats().write_lines, 1);
+        assert_eq!(m.stats().write_bytes(), 64);
+    }
+
+    #[test]
+    fn responses_are_fifo_per_port() {
+        let mut m = mem();
+        let a = m.alloc(64 * 4);
+        m.host_write(a, &[1u8; 64]);
+        m.host_write(a + 64, &[2u8; 64]);
+        let p = m.register_port(0);
+        m.begin_cycle(0);
+        assert!(m.try_read(p, a));
+        m.begin_cycle(1);
+        assert!(m.try_read(p, a + 64));
+        m.begin_cycle(10);
+        assert_eq!(m.poll_response(p).unwrap().0, a);
+        assert_eq!(m.poll_response(p).unwrap().0, a + 64);
+        assert!(m.poll_response(p).is_none());
+    }
+}

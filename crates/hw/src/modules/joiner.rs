@@ -1,0 +1,248 @@
+//! Joiner: key-merge of two sorted streams (paper §III-C, Figure 6).
+
+use super::{try_push, Ctx, Module, ModuleKind};
+use crate::queue::QueueId;
+use crate::word::{Flit, HwWord};
+use std::any::Any;
+
+/// Join semantics (paper §III-C): inner discards unmatched flits, left
+/// keeps unmatched flits from the first queue, outer never discards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Discard flits without a matching key.
+    Inner,
+    /// Keep unmatched flits from the first (left) queue.
+    Left,
+    /// Never discard flits.
+    Outer,
+}
+
+/// Merges two item-aligned streams whose flits carry an ascending key in
+/// field 0. Matching keys concatenate data fields; unmatched flits are
+/// emitted with `Del` padding or discarded per [`JoinKind`].
+///
+/// Genomics extension: a left flit whose key is the `Ins` sentinel (an
+/// inserted base from ReadToBases) never matches — it is emitted padded for
+/// left/outer joins and discarded for inner joins, without consuming the
+/// right stream.
+#[derive(Debug)]
+pub struct Joiner {
+    label: String,
+    kind: JoinKind,
+    left: QueueId,
+    right: QueueId,
+    out: QueueId,
+    /// Data fields after the key on the left stream (for padding).
+    left_data_fields: usize,
+    /// Data fields after the key on the right stream (for padding).
+    right_data_fields: usize,
+    done: bool,
+}
+
+enum Head {
+    Data(Flit),
+    End,
+    /// Stream closed and drained: behaves like a permanent delimiter.
+    Finished,
+    /// Nothing available this cycle.
+    Stall,
+}
+
+impl Joiner {
+    /// Creates a joiner. `left_data_fields`/`right_data_fields` describe
+    /// how many data fields follow the key on each input, for padding
+    /// unmatched outputs.
+    #[must_use]
+    pub fn new(
+        label: &str,
+        kind: JoinKind,
+        left: QueueId,
+        right: QueueId,
+        out: QueueId,
+        left_data_fields: usize,
+        right_data_fields: usize,
+    ) -> Joiner {
+        Joiner {
+            label: label.to_owned(),
+            kind,
+            left,
+            right,
+            out,
+            left_data_fields,
+            right_data_fields,
+            done: false,
+        }
+    }
+
+    fn head(ctx: &Ctx<'_>, q: QueueId) -> Head {
+        let queue = ctx.queues.get(q);
+        match queue.peek() {
+            Some(f) if f.is_end_item() => Head::End,
+            Some(f) => Head::Data(*f),
+            None if queue.is_closed() => Head::Finished,
+            None => Head::Stall,
+        }
+    }
+
+    fn pad(n: usize) -> Vec<HwWord> {
+        vec![HwWord::Del; n]
+    }
+
+    /// Output for an unmatched left flit: key + left data + right padding.
+    fn left_padded(&self, f: &Flit) -> Flit {
+        f.concat(&Flit::data(&Self::pad(self.right_data_fields)))
+    }
+
+    /// Output for an unmatched right flit: key + left padding + right data.
+    fn right_padded(&self, f: &Flit) -> Flit {
+        let mut fields = vec![f.field(0)];
+        fields.extend(Self::pad(self.left_data_fields));
+        fields.extend(f.fields().iter().skip(1).copied());
+        Flit::data(&fields)
+    }
+
+    /// Merged output for matching keys: key + left data + right data.
+    fn merged(l: &Flit, r: &Flit) -> Flit {
+        let mut fields: Vec<HwWord> = l.fields().to_vec();
+        fields.extend(r.fields().iter().skip(1).copied());
+        Flit::data(&fields)
+    }
+}
+
+impl Module for Joiner {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn kind(&self) -> ModuleKind {
+        ModuleKind::Joiner
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        if self.done {
+            return;
+        }
+        let lq = ctx.queues.get(self.left);
+        let rq = ctx.queues.get(self.right);
+        if lq.is_finished() && rq.is_finished() {
+            ctx.queues.get_mut(self.out).close();
+            self.done = true;
+            return;
+        }
+        let lh = Self::head(ctx, self.left);
+        let rh = Self::head(ctx, self.right);
+        match (lh, rh) {
+            (Head::Stall, _) | (_, Head::Stall) => {}
+            // Both items complete: forward one delimiter.
+            (Head::End | Head::Finished, Head::End | Head::Finished) => {
+                if try_push(ctx.queues, self.out, Flit::end_item()) {
+                    // Pop real delimiters; Finished sides have nothing to pop.
+                    if ctx.queues.get(self.left).peek().is_some_and(Flit::is_end_item) {
+                        ctx.queues.get_mut(self.left).pop();
+                    }
+                    if ctx.queues.get(self.right).peek().is_some_and(Flit::is_end_item) {
+                        ctx.queues.get_mut(self.right).pop();
+                    }
+                }
+            }
+            // Left item done; drain the right side of this item.
+            (Head::End | Head::Finished, Head::Data(r)) => match self.kind {
+                JoinKind::Inner | JoinKind::Left => {
+                    ctx.queues.get_mut(self.right).pop();
+                    let _ = r;
+                }
+                JoinKind::Outer => {
+                    let out = self.right_padded(&r);
+                    if try_push(ctx.queues, self.out, out) {
+                        ctx.queues.get_mut(self.right).pop();
+                    }
+                }
+            },
+            // Right item done; drain the left side of this item.
+            (Head::Data(l), Head::End | Head::Finished) => match self.kind {
+                JoinKind::Inner => {
+                    ctx.queues.get_mut(self.left).pop();
+                }
+                JoinKind::Left | JoinKind::Outer => {
+                    let out = self.left_padded(&l);
+                    if try_push(ctx.queues, self.out, out) {
+                        ctx.queues.get_mut(self.left).pop();
+                    }
+                }
+            },
+            (Head::Data(l), Head::Data(r)) => {
+                let lk = l.field(0);
+                let rk = r.field(0);
+                // Inserted-base flits never match.
+                if lk.is_marker() {
+                    match self.kind {
+                        JoinKind::Inner => {
+                            ctx.queues.get_mut(self.left).pop();
+                        }
+                        JoinKind::Left | JoinKind::Outer => {
+                            let out = self.left_padded(&l);
+                            if try_push(ctx.queues, self.out, out) {
+                                ctx.queues.get_mut(self.left).pop();
+                            }
+                        }
+                    }
+                    return;
+                }
+                if rk.is_marker() {
+                    // Malformed right keys are discarded.
+                    ctx.queues.get_mut(self.right).pop();
+                    return;
+                }
+                let (lv, rv) = (lk.val_or_zero(), rk.val_or_zero());
+                if lv == rv {
+                    let out = Self::merged(&l, &r);
+                    if try_push(ctx.queues, self.out, out) {
+                        ctx.queues.get_mut(self.left).pop();
+                        ctx.queues.get_mut(self.right).pop();
+                    }
+                } else if lv < rv {
+                    match self.kind {
+                        JoinKind::Inner => {
+                            ctx.queues.get_mut(self.left).pop();
+                        }
+                        JoinKind::Left | JoinKind::Outer => {
+                            let out = self.left_padded(&l);
+                            if try_push(ctx.queues, self.out, out) {
+                                ctx.queues.get_mut(self.left).pop();
+                            }
+                        }
+                    }
+                } else {
+                    match self.kind {
+                        JoinKind::Inner | JoinKind::Left => {
+                            ctx.queues.get_mut(self.right).pop();
+                        }
+                        JoinKind::Outer => {
+                            let out = self.right_padded(&r);
+                            if try_push(ctx.queues, self.out, out) {
+                                ctx.queues.get_mut(self.right).pop();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn input_queues(&self) -> Vec<QueueId> {
+        vec![self.left, self.right]
+    }
+
+    fn output_queues(&self) -> Vec<QueueId> {
+        vec![self.out]
+    }
+}

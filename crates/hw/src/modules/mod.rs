@@ -1,0 +1,123 @@
+//! The Genesis hardware module library (paper §III-C, Figure 6).
+//!
+//! Every module implements [`Module`]: one [`Module::tick`] call per clock
+//! cycle, consuming at most one flit per input queue and producing at most
+//! one flit per output queue, with explicit backpressure through the
+//! bounded queues.
+
+use crate::memory::MemorySystem;
+use crate::queue::{QueueId, QueuePool};
+use crate::spm::SpmPool;
+use crate::word::Flit;
+use std::any::Any;
+use std::fmt;
+
+pub mod alu;
+pub mod binidgen;
+pub mod fanout;
+pub mod filter;
+pub mod joiner;
+pub mod mdgen;
+pub mod mem_reader;
+pub mod mem_writer;
+pub mod read_to_bases;
+pub mod reducer;
+pub mod sink;
+pub mod source;
+pub mod spm_reader;
+pub mod spm_updater;
+
+/// Kind tag used by the FPGA resource model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModuleKind {
+    /// Streams a column from device memory.
+    MemoryReader,
+    /// Writes a stream to device memory.
+    MemoryWriter,
+    /// Key-merge of two sorted streams.
+    Joiner,
+    /// Predicate filter.
+    Filter,
+    /// Reduction-tree aggregation.
+    Reducer,
+    /// Streaming ALU.
+    Alu,
+    /// Scratchpad reader.
+    SpmReader,
+    /// Scratchpad updater (with read-modify-write interlock).
+    SpmUpdater,
+    /// The `ReadExplode` hardware (genomics module).
+    ReadToBases,
+    /// MD-tag generator (custom genomics module).
+    MdGen,
+    /// BQSR bin-id generator (custom genomics module).
+    BinIdGen,
+    /// One-to-many stream replication.
+    Fanout,
+    /// Host-side stream injector (testing / host interface).
+    Source,
+    /// Host-side stream collector (testing / host interface).
+    Sink,
+}
+
+/// Everything a module can touch during a cycle.
+#[derive(Debug)]
+pub struct Ctx<'a> {
+    /// All queues.
+    pub queues: &'a mut QueuePool,
+    /// All scratchpads.
+    pub spms: &'a mut SpmPool,
+    /// The device memory system.
+    pub mem: &'a mut MemorySystem,
+    /// Current cycle number.
+    pub cycle: u64,
+}
+
+/// One hardware module instance.
+///
+/// Modules are `Send` so a whole [`crate::System`] can execute on a worker
+/// thread behind the non-blocking host API (paper §III-E).
+pub trait Module: fmt::Debug + Send {
+    /// Instance label for diagnostics.
+    fn label(&self) -> &str;
+
+    /// Kind tag for the resource model.
+    fn kind(&self) -> ModuleKind;
+
+    /// Advances one clock cycle.
+    fn tick(&mut self, ctx: &mut Ctx<'_>);
+
+    /// True once the module has finished all work and flushed all outputs.
+    fn is_done(&self) -> bool;
+
+    /// Downcasting support (used to read results out of sinks/writers).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Queues this module consumes (for pipeline visualization).
+    fn input_queues(&self) -> Vec<QueueId> {
+        Vec::new()
+    }
+
+    /// Queues this module produces into (for pipeline visualization).
+    fn output_queues(&self) -> Vec<QueueId> {
+        Vec::new()
+    }
+}
+
+/// Pushes `flit` to queue `q` if space permits; returns whether it was
+/// accepted and records a backpressure stall otherwise.
+pub(crate) fn try_push(queues: &mut QueuePool, q: QueueId, flit: Flit) -> bool {
+    let queue = queues.get_mut(q);
+    if queue.can_push() {
+        queue.push(flit);
+        true
+    } else {
+        queue.note_full_stall();
+        false
+    }
+}
+
+/// True when every queue in `qs` can accept a flit this cycle.
+pub(crate) fn all_can_push(queues: &QueuePool, qs: &[QueueId]) -> bool {
+    qs.iter().all(|&q| queues.get(q).can_push())
+}

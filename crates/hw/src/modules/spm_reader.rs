@@ -1,0 +1,323 @@
+//! SPM Reader: address, range, and drain reads from scratchpads
+//! (paper §III-C).
+
+use super::{try_push, Ctx, Module, ModuleKind};
+use crate::queue::QueueId;
+use crate::spm::SpmId;
+use crate::word::{Flit, HwWord};
+use std::any::Any;
+
+/// Operating mode of the streaming [`SpmReader`]. The paper's third mode —
+/// one lookup per input address — is provided by [`SpmAddrReader`].
+#[derive(Debug, Clone, Copy)]
+pub enum SpmReadMode {
+    /// Interval reads: a start queue and an end queue supply one
+    /// `[start, end)` pair per item; the reader streams
+    /// `[pos, spm0[pos-offset], ...]` for the interval, then a delimiter.
+    Range {
+        /// Queue supplying interval starts.
+        start: QueueId,
+        /// Queue supplying exclusive interval ends.
+        end: QueueId,
+    },
+    /// Drains `[0, len)` once the trigger queue finishes, emitting
+    /// `[idx, spm0[idx], ...]`. Used to dump the BQSR count buffers.
+    Drain {
+        /// Stream whose completion triggers the drain (flits discarded).
+        trigger: QueueId,
+        /// Number of elements to drain.
+        len: u64,
+    },
+}
+
+/// Streams scratchpad contents. `spms` may list several scratchpads: the
+/// output flit carries one field per scratchpad after the position field
+/// (the BQSR pipeline reads `REF.SEQ` and `REF.IS_SNP` together).
+#[derive(Debug)]
+pub struct SpmReader {
+    label: String,
+    spms: Vec<SpmId>,
+    mode: SpmReadMode,
+    /// Value subtracted from input positions to form scratchpad indices
+    /// (the partition's base position).
+    addr_offset: u64,
+    out: QueueId,
+    /// Queues that must finish before reading starts (the SPM-load gate:
+    /// the updater filling this scratchpad forwards its stream here, so
+    /// range reads cannot race ahead of initialization).
+    gates: Vec<QueueId>,
+    cur: Option<(u64, u64)>,
+    pending_end: bool,
+    drain_cursor: u64,
+    draining: bool,
+    done: bool,
+}
+
+impl SpmReader {
+    /// Creates a reader.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `spms` is empty.
+    #[must_use]
+    pub fn new(
+        label: &str,
+        spms: Vec<SpmId>,
+        mode: SpmReadMode,
+        addr_offset: u64,
+        out: QueueId,
+    ) -> SpmReader {
+        assert!(!spms.is_empty(), "SPM reader needs at least one scratchpad");
+        SpmReader {
+            label: label.to_owned(),
+            spms,
+            mode,
+            addr_offset,
+            out,
+            gates: Vec::new(),
+            cur: None,
+            pending_end: false,
+            drain_cursor: 0,
+            draining: false,
+            done: false,
+        }
+    }
+
+    /// Blocks all reading until every gate queue has finished; gate
+    /// traffic is consumed and discarded (one flit per gate per cycle).
+    #[must_use]
+    pub fn with_gates(mut self, gates: Vec<QueueId>) -> SpmReader {
+        self.gates = gates;
+        self
+    }
+
+    /// Consumes gate traffic; true once every gate has finished.
+    fn gates_open(&self, ctx: &mut Ctx<'_>) -> bool {
+        let mut open = true;
+        for &g in &self.gates {
+            let q = ctx.queues.get_mut(g);
+            if q.pop().is_some() || !q.is_finished() {
+                open = false;
+            }
+        }
+        open
+    }
+
+    fn read_flit(&self, ctx: &mut Ctx<'_>, pos: u64) -> Flit {
+        let mut fields = vec![HwWord::Val(pos)];
+        for &id in &self.spms {
+            let idx = pos.wrapping_sub(self.addr_offset);
+            fields.push(HwWord::Val(ctx.spms.get_mut(id).read(idx)));
+        }
+        Flit::data(&fields)
+    }
+}
+
+impl Module for SpmReader {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn kind(&self) -> ModuleKind {
+        ModuleKind::SpmReader
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        if self.done {
+            return;
+        }
+        if !self.gates_open(ctx) {
+            return;
+        }
+        match self.mode {
+            SpmReadMode::Range { start, end } => {
+                if self.pending_end {
+                    if try_push(ctx.queues, self.out, Flit::end_item()) {
+                        self.pending_end = false;
+                    }
+                    return;
+                }
+                if let Some((pos, stop)) = self.cur {
+                    if pos >= stop {
+                        self.cur = None;
+                        self.pending_end = true;
+                        return;
+                    }
+                    if ctx.queues.get(self.out).can_push() {
+                        let flit = self.read_flit(ctx, pos);
+                        ctx.queues.get_mut(self.out).push(flit);
+                        self.cur = Some((pos + 1, stop));
+                    } else {
+                        ctx.queues.get_mut(self.out).note_full_stall();
+                    }
+                    return;
+                }
+                // Acquire the next [start, end) pair, skipping delimiters.
+                loop {
+                    let sflit = ctx.queues.get(start).peek().copied();
+                    match sflit {
+                        Some(f) if f.is_end_item() => {
+                            ctx.queues.get_mut(start).pop();
+                        }
+                        _ => break,
+                    }
+                }
+                loop {
+                    let eflit = ctx.queues.get(end).peek().copied();
+                    match eflit {
+                        Some(f) if f.is_end_item() => {
+                            ctx.queues.get_mut(end).pop();
+                        }
+                        _ => break,
+                    }
+                }
+                let (s, e) = (ctx.queues.get(start).peek().copied(), ctx.queues.get(end).peek().copied());
+                match (s, e) {
+                    (Some(sf), Some(ef)) => {
+                        ctx.queues.get_mut(start).pop();
+                        ctx.queues.get_mut(end).pop();
+                        self.cur = Some((sf.field(0).val_or_zero(), ef.field(0).val_or_zero()));
+                    }
+                    _ => {
+                        if ctx.queues.get(start).is_finished() && ctx.queues.get(end).is_finished()
+                        {
+                            ctx.queues.get_mut(self.out).close();
+                            self.done = true;
+                        }
+                    }
+                }
+            }
+            SpmReadMode::Drain { trigger, len } => {
+                if !self.draining {
+                    // Discard trigger traffic until the stream finishes.
+                    if ctx.queues.get_mut(trigger).pop().is_some() {
+                        return;
+                    }
+                    if ctx.queues.get(trigger).is_finished() {
+                        self.draining = true;
+                    }
+                    return;
+                }
+                if self.drain_cursor >= len {
+                    if try_push(ctx.queues, self.out, Flit::end_item()) {
+                        ctx.queues.get_mut(self.out).close();
+                        self.done = true;
+                    }
+                    return;
+                }
+                if ctx.queues.get(self.out).can_push() {
+                    let pos = self.drain_cursor + self.addr_offset;
+                    let flit = self.read_flit(ctx, pos);
+                    ctx.queues.get_mut(self.out).push(flit);
+                    self.drain_cursor += 1;
+                } else {
+                    ctx.queues.get_mut(self.out).note_full_stall();
+                }
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn input_queues(&self) -> Vec<QueueId> {
+        let mut qs = self.gates.clone();
+        match self.mode {
+            SpmReadMode::Range { start, end } => qs.extend([start, end]),
+            SpmReadMode::Drain { trigger, .. } => qs.push(trigger),
+        }
+        qs
+    }
+
+    fn output_queues(&self) -> Vec<QueueId> {
+        vec![self.out]
+    }
+}
+
+/// Address-mode SPM reader: one lookup per input flit.
+#[derive(Debug)]
+pub struct SpmAddrReader {
+    label: String,
+    spms: Vec<SpmId>,
+    addr_offset: u64,
+    input: QueueId,
+    out: QueueId,
+    done: bool,
+}
+
+impl SpmAddrReader {
+    /// Creates an address-mode reader.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `spms` is empty.
+    #[must_use]
+    pub fn new(
+        label: &str,
+        spms: Vec<SpmId>,
+        addr_offset: u64,
+        input: QueueId,
+        out: QueueId,
+    ) -> SpmAddrReader {
+        assert!(!spms.is_empty(), "SPM reader needs at least one scratchpad");
+        SpmAddrReader { label: label.to_owned(), spms, addr_offset, input, out, done: false }
+    }
+}
+
+impl Module for SpmAddrReader {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn kind(&self) -> ModuleKind {
+        ModuleKind::SpmReader
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        if self.done {
+            return;
+        }
+        let Some(&flit) = ctx.queues.get(self.input).peek() else {
+            if ctx.queues.get(self.input).is_finished() {
+                ctx.queues.get_mut(self.out).close();
+                self.done = true;
+            }
+            return;
+        };
+        let out = if flit.is_end_item() {
+            flit
+        } else {
+            let pos = flit.field(0).val_or_zero();
+            let mut fields = vec![HwWord::Val(pos)];
+            for &id in &self.spms {
+                fields.push(HwWord::Val(ctx.spms.get_mut(id).read(pos.wrapping_sub(self.addr_offset))));
+            }
+            Flit::data(&fields)
+        };
+        if try_push(ctx.queues, self.out, out) {
+            ctx.queues.get_mut(self.input).pop();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn input_queues(&self) -> Vec<QueueId> {
+        vec![self.input]
+    }
+
+    fn output_queues(&self) -> Vec<QueueId> {
+        vec![self.out]
+    }
+}

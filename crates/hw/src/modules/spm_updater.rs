@@ -1,0 +1,227 @@
+//! SPM Updater: sequential / random / read-modify-write scratchpad writes
+//! with the RAW hazard interlock (paper §III-C).
+
+use super::{try_push, Ctx, Module, ModuleKind};
+use crate::queue::QueueId;
+use crate::spm::SpmId;
+use std::any::Any;
+use std::collections::VecDeque;
+
+/// Read-modify-write function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmwOp {
+    /// `spm[addr] += 1` (the BQSR count update).
+    Increment,
+    /// `spm[addr] += value_field`.
+    Add,
+    /// `spm[addr] -= value_field`.
+    Sub,
+}
+
+/// Operating mode (paper §III-C lists exactly these three).
+#[derive(Debug, Clone, Copy)]
+pub enum SpmUpdateMode {
+    /// Sequential writes starting at a base index; input flits carry the
+    /// value in `value_field`.
+    Sequential {
+        /// First element index written.
+        base: u64,
+    },
+    /// Random writes; input flits carry `(addr_field, value_field)`.
+    Random,
+    /// Read-modify-write updates with the 3-stage RAW interlock.
+    Rmw {
+        /// The modify function.
+        op: RmwOp,
+    },
+}
+
+/// Depth of the read-modify-write pipeline whose in-flight addresses are
+/// checked against incoming flits (paper §III-C: read, modify, write).
+pub const RMW_PIPELINE_DEPTH: usize = 3;
+
+/// Writes a stream into a scratchpad.
+///
+/// `forward` optionally passes every consumed flit downstream unchanged —
+/// the "cascaded" wiring of the BQSR pipeline (Figure 12) where the same
+/// filtered stream updates several count buffers in sequence.
+#[derive(Debug)]
+pub struct SpmUpdater {
+    label: String,
+    spm: SpmId,
+    mode: SpmUpdateMode,
+    addr_field: usize,
+    value_field: usize,
+    input: QueueId,
+    forward: Option<QueueId>,
+    seq_cursor: u64,
+    /// Addresses currently in the read/modify/write stages, tagged with
+    /// their entry cycle; an address occupies the pipeline for
+    /// [`RMW_PIPELINE_DEPTH`] cycles.
+    inflight: VecDeque<(u64, u64)>,
+    hazard_stalls: u64,
+    updates: u64,
+    done: bool,
+}
+
+impl SpmUpdater {
+    /// Creates an updater. `addr_field`/`value_field` select the input flit
+    /// fields used as address and value (ignored where the mode does not
+    /// need them).
+    #[must_use]
+    pub fn new(
+        label: &str,
+        spm: SpmId,
+        mode: SpmUpdateMode,
+        addr_field: usize,
+        value_field: usize,
+        input: QueueId,
+    ) -> SpmUpdater {
+        let seq_cursor = match mode {
+            SpmUpdateMode::Sequential { base } => base,
+            _ => 0,
+        };
+        SpmUpdater {
+            label: label.to_owned(),
+            spm,
+            mode,
+            addr_field,
+            value_field,
+            input,
+            forward: None,
+            seq_cursor,
+            inflight: VecDeque::with_capacity(RMW_PIPELINE_DEPTH),
+            hazard_stalls: 0,
+            updates: 0,
+            done: false,
+        }
+    }
+
+    /// Forwards every consumed flit to `q` (cascade wiring).
+    #[must_use]
+    pub fn with_forward(mut self, q: QueueId) -> SpmUpdater {
+        self.forward = Some(q);
+        self
+    }
+
+    /// RAW-hazard stall count.
+    #[must_use]
+    pub fn hazard_stalls(&self) -> u64 {
+        self.hazard_stalls
+    }
+
+    /// Number of scratchpad updates performed.
+    #[must_use]
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+}
+
+impl Module for SpmUpdater {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn kind(&self) -> ModuleKind {
+        ModuleKind::SpmUpdater
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        if self.done {
+            return;
+        }
+        // Retire RMW stages that have aged out of the 3-stage pipeline.
+        while let Some(&(entered, _)) = self.inflight.front() {
+            if ctx.cycle.saturating_sub(entered) >= RMW_PIPELINE_DEPTH as u64 {
+                self.inflight.pop_front();
+            } else {
+                break;
+            }
+        }
+        let Some(&flit) = ctx.queues.get(self.input).peek() else {
+            if ctx.queues.get(self.input).is_finished() {
+                self.inflight.clear();
+                if let Some(fq) = self.forward {
+                    ctx.queues.get_mut(fq).close();
+                }
+                self.done = true;
+            }
+            return;
+        };
+        // The cascade must accept the flit in the same cycle we consume it.
+        if let Some(fq) = self.forward {
+            if !ctx.queues.get(fq).can_push() {
+                ctx.queues.get_mut(fq).note_full_stall();
+                return;
+            }
+        }
+        if flit.is_end_item() {
+            ctx.queues.get_mut(self.input).pop();
+            if let Some(fq) = self.forward {
+                let pushed = try_push(ctx.queues, fq, flit);
+                debug_assert!(pushed, "forward space was checked");
+            }
+            return;
+        }
+        match self.mode {
+            SpmUpdateMode::Sequential { .. } => {
+                let v = flit.field(self.value_field).val_or_zero();
+                ctx.spms.get_mut(self.spm).write(self.seq_cursor, v);
+                self.seq_cursor += 1;
+                self.updates += 1;
+            }
+            SpmUpdateMode::Random => {
+                let addr = flit.field(self.addr_field);
+                if !addr.is_marker() {
+                    let v = flit.field(self.value_field).val_or_zero();
+                    ctx.spms.get_mut(self.spm).write(addr.val_or_zero(), v);
+                    self.updates += 1;
+                }
+            }
+            SpmUpdateMode::Rmw { op } => {
+                let addr = flit.field(self.addr_field);
+                if !addr.is_marker() {
+                    let a = addr.val_or_zero();
+                    // RAW interlock: an address already in the 3-stage
+                    // pipeline blocks the incoming flit.
+                    if self.inflight.iter().any(|&(_, addr)| addr == a) {
+                        self.hazard_stalls += 1;
+                        return;
+                    }
+                    let spm = ctx.spms.get_mut(self.spm);
+                    let old = spm.read(a);
+                    let v = flit.field(self.value_field).val_or_zero();
+                    let new = match op {
+                        RmwOp::Increment => old.wrapping_add(1),
+                        RmwOp::Add => old.wrapping_add(v),
+                        RmwOp::Sub => old.wrapping_sub(v),
+                    };
+                    spm.write(a, new);
+                    self.inflight.push_back((ctx.cycle, a));
+                    self.updates += 1;
+                }
+            }
+        }
+        ctx.queues.get_mut(self.input).pop();
+        if let Some(fq) = self.forward {
+            let pushed = try_push(ctx.queues, fq, flit);
+            debug_assert!(pushed, "forward space was checked");
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn input_queues(&self) -> Vec<QueueId> {
+        vec![self.input]
+    }
+
+    fn output_queues(&self) -> Vec<QueueId> {
+        self.forward.into_iter().collect()
+    }
+}

@@ -1,0 +1,267 @@
+//! Bounded hardware queues with backpressure.
+
+use crate::word::Flit;
+use std::collections::VecDeque;
+
+/// Identifier of a queue within a [`QueuePool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueueId(pub(crate) u32);
+
+impl QueueId {
+    /// Raw index (stable for the lifetime of the pool).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Default queue capacity in flits.
+pub const DEFAULT_CAPACITY: usize = 16;
+
+/// One bounded hardware queue.
+#[derive(Debug)]
+pub struct Queue {
+    name: String,
+    buf: VecDeque<Flit>,
+    capacity: usize,
+    closed: bool,
+    /// Total flits ever enqueued (for utilization stats).
+    pushed: u64,
+    /// Cycles on which a push was refused for lack of space.
+    full_stalls: u64,
+    /// Highest occupancy ever reached (buffer-sizing feedback).
+    high_water: usize,
+}
+
+impl Queue {
+    fn new(name: &str, capacity: usize) -> Queue {
+        Queue {
+            name: name.to_owned(),
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            closed: false,
+            pushed: 0,
+            full_stalls: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Queue name (for diagnostics).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// True when a flit can be pushed this cycle.
+    #[must_use]
+    pub fn can_push(&self) -> bool {
+        self.buf.len() < self.capacity
+    }
+
+    /// Pushes a flit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when full or closed — callers must check [`Queue::can_push`]
+    /// first (that is the backpressure contract).
+    pub fn push(&mut self, flit: Flit) {
+        assert!(!self.closed, "push to closed queue {}", self.name);
+        assert!(self.can_push(), "push to full queue {}", self.name);
+        self.buf.push_back(flit);
+        self.pushed += 1;
+        self.high_water = self.high_water.max(self.buf.len());
+    }
+
+    /// Records that a producer wanted to push but could not.
+    pub fn note_full_stall(&mut self) {
+        self.full_stalls += 1;
+    }
+
+    /// Peeks at the head flit.
+    #[must_use]
+    pub fn peek(&self) -> Option<&Flit> {
+        self.buf.front()
+    }
+
+    /// Pops the head flit.
+    pub fn pop(&mut self) -> Option<Flit> {
+        self.buf.pop_front()
+    }
+
+    /// Number of buffered flits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no flits are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Marks the stream complete: no further flits will arrive.
+    pub fn close(&mut self) {
+        self.closed = true;
+    }
+
+    /// True once the producer closed the stream.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// True when the stream is closed *and* fully drained — the consumer's
+    /// end-of-stream condition.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.closed && self.buf.is_empty()
+    }
+
+    /// Total flits ever pushed.
+    #[must_use]
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Total refused pushes.
+    #[must_use]
+    pub fn total_full_stalls(&self) -> u64 {
+        self.full_stalls
+    }
+
+    /// Highest occupancy the queue ever reached.
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+/// All queues of a simulated system, addressed by [`QueueId`].
+#[derive(Debug, Default)]
+pub struct QueuePool {
+    queues: Vec<Queue>,
+}
+
+impl QueuePool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> QueuePool {
+        QueuePool::default()
+    }
+
+    /// Adds a queue with [`DEFAULT_CAPACITY`].
+    pub fn add(&mut self, name: &str) -> QueueId {
+        self.add_with_capacity(name, DEFAULT_CAPACITY)
+    }
+
+    /// Adds a queue with an explicit capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0`.
+    pub fn add_with_capacity(&mut self, name: &str, capacity: usize) -> QueueId {
+        assert!(capacity > 0, "queue capacity must be positive");
+        self.queues.push(Queue::new(name, capacity));
+        QueueId(self.queues.len() as u32 - 1)
+    }
+
+    /// Borrows a queue.
+    #[must_use]
+    pub fn get(&self, id: QueueId) -> &Queue {
+        &self.queues[id.index()]
+    }
+
+    /// Mutably borrows a queue.
+    #[must_use]
+    pub fn get_mut(&mut self, id: QueueId) -> &mut Queue {
+        &mut self.queues[id.index()]
+    }
+
+    /// Number of queues.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// True when the pool has no queues.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queues.is_empty()
+    }
+
+    /// Iterates over all queues.
+    pub fn iter(&self) -> std::slice::Iter<'_, Queue> {
+        self.queues.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut pool = QueuePool::new();
+        let q = pool.add("q");
+        pool.get_mut(q).push(Flit::val(1));
+        pool.get_mut(q).push(Flit::val(2));
+        assert_eq!(pool.get_mut(q).pop(), Some(Flit::val(1)));
+        assert_eq!(pool.get_mut(q).pop(), Some(Flit::val(2)));
+        assert_eq!(pool.get_mut(q).pop(), None);
+    }
+
+    #[test]
+    fn capacity_backpressure() {
+        let mut pool = QueuePool::new();
+        let q = pool.add_with_capacity("q", 2);
+        let queue = pool.get_mut(q);
+        queue.push(Flit::val(1));
+        queue.push(Flit::val(2));
+        assert!(!queue.can_push());
+        queue.pop();
+        assert!(queue.can_push());
+    }
+
+    #[test]
+    #[should_panic(expected = "full queue")]
+    fn push_full_panics() {
+        let mut pool = QueuePool::new();
+        let q = pool.add_with_capacity("q", 1);
+        pool.get_mut(q).push(Flit::val(1));
+        pool.get_mut(q).push(Flit::val(2));
+    }
+
+    #[test]
+    fn close_semantics() {
+        let mut pool = QueuePool::new();
+        let q = pool.add("q");
+        pool.get_mut(q).push(Flit::val(1));
+        pool.get_mut(q).close();
+        assert!(pool.get(q).is_closed());
+        assert!(!pool.get(q).is_finished());
+        pool.get_mut(q).pop();
+        assert!(pool.get(q).is_finished());
+    }
+
+    #[test]
+    fn stats_count() {
+        let mut pool = QueuePool::new();
+        let q = pool.add("q");
+        pool.get_mut(q).push(Flit::val(1));
+        pool.get_mut(q).note_full_stall();
+        assert_eq!(pool.get(q).total_pushed(), 1);
+        assert_eq!(pool.get(q).total_full_stalls(), 1);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let mut pool = QueuePool::new();
+        let q = pool.add("q");
+        pool.get_mut(q).push(Flit::val(1));
+        pool.get_mut(q).push(Flit::val(2));
+        pool.get_mut(q).pop();
+        pool.get_mut(q).push(Flit::val(3));
+        assert_eq!(pool.get(q).high_water(), 2);
+    }
+}

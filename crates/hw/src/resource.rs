@@ -1,0 +1,228 @@
+//! Analytical FPGA resource model (paper Table IV).
+//!
+//! The paper reports post-synthesis CLB LUT / CLB register / BRAM usage on
+//! the Xilinx Virtex UltraScale+ VU9P of an AWS F1 instance. Without an
+//! FPGA toolchain (DESIGN.md §2) we estimate usage from a per-module cost
+//! table plus per-queue and per-scratchpad BRAM demand, and a fixed cost
+//! for the AWS shell and DMA/command plumbing. The per-module constants
+//! were set so the three paper accelerators land near Table IV's totals;
+//! the *analysis* the paper draws (under-utilization, BRAM-heaviness of the
+//! metadata pipeline) is structural and does not depend on exact constants.
+
+use crate::modules::ModuleKind;
+use std::fmt;
+
+/// LUT / register / BRAM usage of one component or design.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResourceUsage {
+    /// CLB lookup tables.
+    pub luts: u64,
+    /// CLB registers (flip-flops).
+    pub registers: u64,
+    /// Block RAM bytes.
+    pub bram_bytes: u64,
+}
+
+impl ResourceUsage {
+    /// Component-wise sum.
+    #[must_use]
+    pub fn plus(self, other: ResourceUsage) -> ResourceUsage {
+        ResourceUsage {
+            luts: self.luts + other.luts,
+            registers: self.registers + other.registers,
+            bram_bytes: self.bram_bytes + other.bram_bytes,
+        }
+    }
+
+    /// Component-wise scaling (pipeline replication).
+    #[must_use]
+    pub fn times(self, n: u64) -> ResourceUsage {
+        ResourceUsage {
+            luts: self.luts * n,
+            registers: self.registers * n,
+            bram_bytes: self.bram_bytes * n,
+        }
+    }
+}
+
+impl std::ops::Add for ResourceUsage {
+    type Output = ResourceUsage;
+
+    fn add(self, rhs: ResourceUsage) -> ResourceUsage {
+        self.plus(rhs)
+    }
+}
+
+/// VU9P device capacity as reported in paper Table IV.
+pub const VU9P_LUTS: u64 = 895_000;
+/// VU9P CLB register capacity.
+pub const VU9P_REGISTERS: u64 = 1_790_000;
+/// VU9P BRAM capacity in bytes (7.56 MB).
+pub const VU9P_BRAM_BYTES: u64 = 7_560_000;
+
+/// Fixed overhead of the AWS F1 shell, DMA engine, command interface and
+/// arbiter tree, charged once per design.
+#[must_use]
+pub fn shell_overhead() -> ResourceUsage {
+    ResourceUsage { luts: 95_000, registers: 130_000, bram_bytes: 250_000 }
+}
+
+/// Per-pipeline overhead: local arbiter, command decoding, control FSM.
+#[must_use]
+pub fn pipeline_overhead() -> ResourceUsage {
+    ResourceUsage { luts: 1_800, registers: 2_500, bram_bytes: 0 }
+}
+
+/// Logic cost of one module instance (queues and scratchpads are charged
+/// separately from their actual capacities).
+#[must_use]
+pub fn module_cost(kind: ModuleKind) -> ResourceUsage {
+    let (luts, registers) = match kind {
+        ModuleKind::MemoryReader => (1_500, 2_200),
+        ModuleKind::MemoryWriter => (1_200, 1_800),
+        ModuleKind::Joiner => (900, 700),
+        ModuleKind::Filter => (350, 250),
+        ModuleKind::Reducer => (800, 900),
+        ModuleKind::Alu => (600, 500),
+        ModuleKind::SpmReader => (700, 600),
+        ModuleKind::SpmUpdater => (1_100, 900),
+        ModuleKind::ReadToBases => (2_400, 1_700),
+        ModuleKind::MdGen => (1_300, 900),
+        ModuleKind::BinIdGen => (1_600, 1_100),
+        ModuleKind::Fanout => (150, 200),
+        // Host-side helpers occupy no fabric.
+        ModuleKind::Source | ModuleKind::Sink => (0, 0),
+    };
+    ResourceUsage { luts, registers, bram_bytes: 0 }
+}
+
+/// BRAM bytes consumed by one hardware queue of `capacity` flits
+/// (each flit buffers up to 8 × 64-bit fields plus control bits, and the
+/// prefetch buffering around it is charged here too).
+#[must_use]
+pub fn queue_bram(capacity: usize) -> u64 {
+    (capacity as u64) * 72
+}
+
+/// A design-level resource report.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResourceReport {
+    /// Total usage including shell overhead.
+    pub total: ResourceUsage,
+}
+
+impl ResourceReport {
+    /// Builds a report from raw fabric usage (shell added here).
+    #[must_use]
+    pub fn from_fabric(fabric: ResourceUsage) -> ResourceReport {
+        ResourceReport { total: fabric + shell_overhead() }
+    }
+
+    /// LUT utilization fraction of the VU9P.
+    #[must_use]
+    pub fn lut_util(&self) -> f64 {
+        self.total.luts as f64 / VU9P_LUTS as f64
+    }
+
+    /// Register utilization fraction.
+    #[must_use]
+    pub fn register_util(&self) -> f64 {
+        self.total.registers as f64 / VU9P_REGISTERS as f64
+    }
+
+    /// BRAM utilization fraction.
+    #[must_use]
+    pub fn bram_util(&self) -> f64 {
+        self.total.bram_bytes as f64 / VU9P_BRAM_BYTES as f64
+    }
+
+    /// True when the design fits the VU9P.
+    #[must_use]
+    pub fn fits(&self) -> bool {
+        self.lut_util() <= 1.0 && self.register_util() <= 1.0 && self.bram_util() <= 1.0
+    }
+}
+
+impl fmt::Display for ResourceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "CLB Lookup Tables  {:>8}  / {:>8}  ({:.1}%)",
+            self.total.luts,
+            VU9P_LUTS,
+            self.lut_util() * 100.0
+        )?;
+        writeln!(
+            f,
+            "CLB Registers      {:>8}  / {:>8}  ({:.1}%)",
+            self.total.registers,
+            VU9P_REGISTERS,
+            self.register_util() * 100.0
+        )?;
+        write!(
+            f,
+            "BRAMs              {:>7.2}MB / {:>5.2}MB  ({:.1}%)",
+            self.total.bram_bytes as f64 / 1e6,
+            VU9P_BRAM_BYTES as f64 / 1e6,
+            self.bram_util() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_arithmetic() {
+        let a = ResourceUsage { luts: 10, registers: 20, bram_bytes: 30 };
+        let b = ResourceUsage { luts: 1, registers: 2, bram_bytes: 3 };
+        let s = a + b;
+        assert_eq!(s.luts, 11);
+        assert_eq!(s.times(2).registers, 44);
+    }
+
+    #[test]
+    fn all_module_kinds_have_costs() {
+        for kind in [
+            ModuleKind::MemoryReader,
+            ModuleKind::MemoryWriter,
+            ModuleKind::Joiner,
+            ModuleKind::Filter,
+            ModuleKind::Reducer,
+            ModuleKind::Alu,
+            ModuleKind::SpmReader,
+            ModuleKind::SpmUpdater,
+            ModuleKind::ReadToBases,
+            ModuleKind::MdGen,
+            ModuleKind::BinIdGen,
+            ModuleKind::Fanout,
+        ] {
+            assert!(module_cost(kind).luts > 0, "{kind:?} has no cost");
+        }
+        assert_eq!(module_cost(ModuleKind::Sink).luts, 0);
+    }
+
+    #[test]
+    fn report_utilization() {
+        let r = ResourceReport::from_fabric(ResourceUsage {
+            luts: 100_000,
+            registers: 100_000,
+            bram_bytes: 1_000_000,
+        });
+        assert!(r.fits());
+        assert!(r.lut_util() > 0.1 && r.lut_util() < 0.3);
+        let s = r.to_string();
+        assert!(s.contains("CLB Lookup Tables"));
+    }
+
+    #[test]
+    fn oversized_design_does_not_fit() {
+        let r = ResourceReport::from_fabric(ResourceUsage {
+            luts: VU9P_LUTS,
+            registers: 0,
+            bram_bytes: 0,
+        });
+        assert!(!r.fits());
+    }
+}

@@ -1,0 +1,400 @@
+//! Pipeline wiring and the per-cycle simulation engine.
+
+use crate::memory::{MemStats, MemoryConfig, MemorySystem, PortId};
+use crate::modules::{Ctx, Module, ModuleKind};
+use crate::queue::{QueueId, QueuePool};
+use crate::resource::{
+    module_cost, pipeline_overhead, queue_bram, ResourceReport, ResourceUsage,
+};
+use crate::spm::{SpmId, SpmPool};
+use crate::word::HwWord;
+use std::fmt;
+
+/// Handle for a module registered in a [`System`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModuleId(usize);
+
+/// Simulation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No forward progress for an implausibly long window: a wiring bug
+    /// (e.g. a queue nobody drains) rather than a performance artifact.
+    Deadlock {
+        /// Cycle at which the deadlock was declared.
+        cycle: u64,
+        /// Labels of modules that had not finished.
+        stuck: Vec<String>,
+    },
+    /// The cycle budget was exhausted before the pipeline drained.
+    CycleLimit {
+        /// The exhausted budget.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { cycle, stuck } => {
+                write!(f, "simulation deadlocked at cycle {cycle}; stuck modules: {stuck:?}")
+            }
+            SimError::CycleLimit { limit } => {
+                write!(f, "cycle limit {limit} exhausted before pipeline drained")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Results of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimStats {
+    /// Cycles until every module finished.
+    pub cycles: u64,
+    /// Device memory traffic.
+    pub mem: MemStats,
+    /// Total flits moved through all queues.
+    pub total_flits: u64,
+    /// Total refused pushes (backpressure events).
+    pub backpressure_stalls: u64,
+}
+
+/// A complete simulated accelerator: queues, scratchpads, device memory,
+/// and modules, stepped one clock cycle at a time.
+///
+/// Modules tick in registration order each cycle; register pipelines
+/// front-to-back so data can flow through multiple modules per cycle
+/// without inflating cycle counts.
+#[derive(Debug)]
+pub struct System {
+    queues: QueuePool,
+    spms: SpmPool,
+    mem: MemorySystem,
+    modules: Vec<Box<dyn Module>>,
+    cycle: u64,
+    /// Module-id ranges per pipeline (for resource accounting).
+    pipeline_count: u32,
+}
+
+impl Default for System {
+    fn default() -> System {
+        System::new()
+    }
+}
+
+impl System {
+    /// Creates a system with default (F1-like) memory configuration.
+    #[must_use]
+    pub fn new() -> System {
+        System::with_memory(MemoryConfig::default())
+    }
+
+    /// Creates a system with an explicit memory configuration.
+    #[must_use]
+    pub fn with_memory(cfg: MemoryConfig) -> System {
+        System {
+            queues: QueuePool::new(),
+            spms: SpmPool::new(),
+            mem: MemorySystem::new(cfg),
+            modules: Vec::new(),
+            cycle: 0,
+            pipeline_count: 1,
+        }
+    }
+
+    /// Adds a queue.
+    pub fn add_queue(&mut self, name: &str) -> QueueId {
+        self.queues.add(name)
+    }
+
+    /// Adds a queue with explicit capacity.
+    pub fn add_queue_with_capacity(&mut self, name: &str, capacity: usize) -> QueueId {
+        self.queues.add_with_capacity(name, capacity)
+    }
+
+    /// Adds a scratchpad.
+    pub fn add_spm(&mut self, name: &str, len: usize, elem_bytes: usize) -> SpmId {
+        self.spms.add(name, len, elem_bytes)
+    }
+
+    /// Registers a memory port in local-arbiter group `group`.
+    pub fn register_mem_port(&mut self, group: u32) -> PortId {
+        self.pipeline_count = self.pipeline_count.max(group + 1);
+        self.mem.register_port(group)
+    }
+
+    /// Allocates device memory.
+    pub fn alloc_mem(&mut self, len: usize) -> u64 {
+        self.mem.alloc(len)
+    }
+
+    /// Host-side device-memory fill (the DMA copy of `configure_mem`).
+    pub fn host_write(&mut self, addr: u64, bytes: &[u8]) {
+        self.mem.host_write(addr, bytes);
+    }
+
+    /// Host-side device-memory readback (`genesis_flush`).
+    #[must_use]
+    pub fn host_read(&self, addr: u64, len: usize) -> Vec<u8> {
+        self.mem.host_read(addr, len)
+    }
+
+    /// Registers a module; tick order follows registration order.
+    pub fn add_module(&mut self, module: Box<dyn Module>) -> ModuleId {
+        self.modules.push(module);
+        ModuleId(self.modules.len() - 1)
+    }
+
+    /// Borrows a registered module.
+    #[must_use]
+    pub fn module(&self, id: ModuleId) -> &dyn Module {
+        self.modules[id.0].as_ref()
+    }
+
+    /// Downcasts a registered module to a concrete type.
+    #[must_use]
+    pub fn module_as<T: 'static>(&self, id: ModuleId) -> Option<&T> {
+        self.modules[id.0].as_any().downcast_ref::<T>()
+    }
+
+    /// Convenience: the collected field-0 values of a
+    /// [`crate::modules::sink::StreamSink`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not a `StreamSink`.
+    #[must_use]
+    pub fn sink_values(&self, id: ModuleId) -> Vec<HwWord> {
+        self.module_as::<crate::modules::sink::StreamSink>(id)
+            .expect("module is a StreamSink")
+            .values()
+    }
+
+    /// Borrows the scratchpad pool (for result extraction).
+    #[must_use]
+    pub fn spms(&self) -> &SpmPool {
+        &self.spms
+    }
+
+    /// Mutably borrows the scratchpad pool (host-side initialization in
+    /// tests).
+    #[must_use]
+    pub fn spms_mut(&mut self) -> &mut SpmPool {
+        &mut self.spms
+    }
+
+    /// Borrows the queue pool.
+    #[must_use]
+    pub fn queues(&self) -> &QueuePool {
+        &self.queues
+    }
+
+    /// Advances one clock cycle.
+    pub fn step(&mut self) {
+        self.mem.begin_cycle(self.cycle);
+        let mut ctx = Ctx {
+            queues: &mut self.queues,
+            spms: &mut self.spms,
+            mem: &mut self.mem,
+            cycle: self.cycle,
+        };
+        for m in &mut self.modules {
+            if !m.is_done() {
+                m.tick(&mut ctx);
+            }
+        }
+        self.cycle += 1;
+    }
+
+    /// True when every registered module has finished.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.modules.iter().all(|m| m.is_done())
+    }
+
+    /// Runs until every module finishes or `max_cycles` elapse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] when no observable progress happens
+    /// for a long window, or [`SimError::CycleLimit`] at the budget.
+    pub fn run(&mut self, max_cycles: u64) -> Result<SimStats, SimError> {
+        let deadlock_window = 4 * self.mem.config().latency_cycles + 10_000;
+        let mut last_progress_cycle = self.cycle;
+        let mut last_signature = self.progress_signature();
+        while !self.is_done() {
+            if self.cycle >= max_cycles {
+                return Err(SimError::CycleLimit { limit: max_cycles });
+            }
+            self.step();
+            // Progress checks are amortized.
+            if self.cycle.is_multiple_of(512) {
+                let sig = self.progress_signature();
+                if sig != last_signature {
+                    last_signature = sig;
+                    last_progress_cycle = self.cycle;
+                } else if self.cycle - last_progress_cycle > deadlock_window {
+                    let stuck = self
+                        .modules
+                        .iter()
+                        .filter(|m| !m.is_done())
+                        .map(|m| m.label().to_owned())
+                        .collect();
+                    return Err(SimError::Deadlock { cycle: self.cycle, stuck });
+                }
+            }
+        }
+        Ok(self.stats())
+    }
+
+    fn progress_signature(&self) -> (u64, u64, usize) {
+        let pushed: u64 = self.queues.iter().map(|q| q.total_pushed()).sum();
+        let mem = self.mem.stats();
+        let done = self.modules.iter().filter(|m| m.is_done()).count();
+        (pushed, mem.read_lines + mem.write_lines, done)
+    }
+
+    /// Statistics for the run so far.
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            cycles: self.cycle,
+            mem: self.mem.stats(),
+            total_flits: self.queues.iter().map(|q| q.total_pushed()).sum(),
+            backpressure_stalls: self.queues.iter().map(|q| q.total_full_stalls()).sum(),
+        }
+    }
+
+    /// Analytical FPGA resource usage of this design (paper Table IV):
+    /// module logic + queue BRAM + scratchpad BRAM + per-pipeline and
+    /// shell overheads.
+    #[must_use]
+    pub fn resource_report(&self) -> ResourceReport {
+        let mut fabric = ResourceUsage::default();
+        for m in &self.modules {
+            fabric = fabric + module_cost(m.kind());
+        }
+        let queue_bytes: u64 = self.queues.iter().map(|_| queue_bram(16)).sum();
+        fabric.bram_bytes += queue_bytes + self.spms.total_bytes() as u64;
+        fabric = fabric + pipeline_overhead().times(u64::from(self.pipeline_count));
+        ResourceReport::from_fabric(fabric)
+    }
+
+    /// Current cycle number.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Renders the module/queue graph in Graphviz dot format — the
+    /// pipeline diagrams of paper Figures 7, 10, 11 and 12, generated
+    /// from the actual wiring.
+    #[must_use]
+    pub fn to_dot(&self, title: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{title}\" {{");
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+        let _ = writeln!(out, "  label=\"{title}\";");
+        for (i, m) in self.modules.iter().enumerate() {
+            let shape = match m.kind() {
+                ModuleKind::MemoryReader | ModuleKind::MemoryWriter => "cylinder",
+                ModuleKind::SpmReader | ModuleKind::SpmUpdater => "box3d",
+                ModuleKind::Source | ModuleKind::Sink => "ellipse",
+                _ => "box",
+            };
+            let _ = writeln!(
+                out,
+                "  m{i} [label=\"{}\\n({:?})\", shape={shape}];",
+                m.label(),
+                m.kind()
+            );
+        }
+        // Queue edges: producer module -> consumer module, labeled by the
+        // queue name.
+        for (pi, producer) in self.modules.iter().enumerate() {
+            for q in producer.output_queues() {
+                let name = self.queues.get(q).name();
+                for (ci, consumer) in self.modules.iter().enumerate() {
+                    if consumer.input_queues().contains(&q) {
+                        let _ = writeln!(out, "  m{pi} -> m{ci} [label=\"{name}\"];");
+                    }
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Number of module kinds registered, per kind (diagnostics).
+    #[must_use]
+    pub fn module_census(&self) -> Vec<(ModuleKind, usize)> {
+        let mut counts: Vec<(ModuleKind, usize)> = Vec::new();
+        for m in &self.modules {
+            if let Some(entry) = counts.iter_mut().find(|(k, _)| *k == m.kind()) {
+                entry.1 += 1;
+            } else {
+                counts.push((m.kind(), 1));
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modules::sink::StreamSink;
+    use crate::modules::source::StreamSource;
+
+    #[test]
+    fn source_to_sink_roundtrip() {
+        let mut sys = System::new();
+        let q = sys.add_queue("q");
+        sys.add_module(Box::new(StreamSource::from_items("src", q, &[vec![1, 2], vec![3]])));
+        let sink = sys.add_module(Box::new(StreamSink::new("sink", q)));
+        let stats = sys.run(1000).unwrap();
+        assert_eq!(
+            sys.sink_values(sink),
+            vec![HwWord::Val(1), HwWord::Val(2), HwWord::Val(3)]
+        );
+        let items = sys.module_as::<StreamSink>(sink).unwrap().items();
+        assert_eq!(items.len(), 2);
+        assert!(stats.cycles >= 5);
+    }
+
+    #[test]
+    fn cycle_limit_detected() {
+        let mut sys = System::new();
+        let q = sys.add_queue("q");
+        // A sink on a queue nobody ever closes never finishes.
+        let _ = sys.add_module(Box::new(StreamSink::new("sink", q)));
+        let err = sys.run(100).unwrap_err();
+        assert_eq!(err, SimError::CycleLimit { limit: 100 });
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut sys = System::new();
+        let q = sys.add_queue("q");
+        let _ = sys.add_module(Box::new(StreamSink::new("sink", q)));
+        let err = sys.run(u64::MAX >> 2).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn resource_report_counts_modules() {
+        let mut sys = System::new();
+        let q = sys.add_queue("q");
+        sys.add_spm("ref", 1000, 1);
+        sys.add_module(Box::new(StreamSource::from_items("src", q, &[vec![1]])));
+        sys.add_module(Box::new(StreamSink::new("sink", q)));
+        let report = sys.resource_report();
+        // Sources/sinks are free; shell + pipeline overhead + queue + spm.
+        assert!(report.total.luts >= 95_000);
+        assert!(report.total.bram_bytes >= 250_000 + 1000);
+        assert!(report.fits());
+    }
+}

@@ -1,0 +1,232 @@
+//! Stream words and flits.
+
+use std::fmt;
+
+/// A 64-bit hardware word, optionally carrying one of the paper's
+/// genomics sentinels (`Ins` for a base not present in the reference,
+/// `Del` for a reference position not present in the read — Figure 3).
+///
+/// # Examples
+///
+/// ```
+/// use genesis_hw::word::HwWord;
+///
+/// assert_eq!(HwWord::Val(7).as_val(), Some(7));
+/// assert!(HwWord::Ins.is_marker());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HwWord {
+    /// An ordinary value.
+    Val(u64),
+    /// Inserted-base sentinel.
+    Ins,
+    /// Deleted-base sentinel.
+    Del,
+    /// Unused field slot.
+    #[default]
+    Empty,
+}
+
+impl HwWord {
+    /// Returns the payload of a `Val` word.
+    #[must_use]
+    pub fn as_val(self) -> Option<u64> {
+        match self {
+            HwWord::Val(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True for the `Ins`/`Del` sentinels.
+    #[must_use]
+    pub fn is_marker(self) -> bool {
+        matches!(self, HwWord::Ins | HwWord::Del)
+    }
+
+    /// Payload or 0 for sentinels/empty — the hardware's "don't care" view.
+    #[must_use]
+    pub fn val_or_zero(self) -> u64 {
+        self.as_val().unwrap_or(0)
+    }
+}
+
+impl From<u64> for HwWord {
+    fn from(v: u64) -> HwWord {
+        HwWord::Val(v)
+    }
+}
+
+impl fmt::Display for HwWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwWord::Val(v) => write!(f, "{v}"),
+            HwWord::Ins => write!(f, "Ins"),
+            HwWord::Del => write!(f, "Del"),
+            HwWord::Empty => write!(f, "-"),
+        }
+    }
+}
+
+/// Maximum number of fields a flit can carry.
+pub const MAX_FIELDS: usize = 8;
+
+/// The atomic unit of communication between modules (paper §III-C): a small
+/// group of typed fields, or an explicit *end-of-item* delimiter separating
+/// data items (e.g. reads) within a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    fields: [HwWord; MAX_FIELDS],
+    len: u8,
+    end_item: bool,
+}
+
+impl Flit {
+    /// Creates a data flit from fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than [`MAX_FIELDS`] fields are given.
+    #[must_use]
+    pub fn data(fields: &[HwWord]) -> Flit {
+        assert!(fields.len() <= MAX_FIELDS, "flit supports at most {MAX_FIELDS} fields");
+        let mut f = [HwWord::Empty; MAX_FIELDS];
+        f[..fields.len()].copy_from_slice(fields);
+        Flit { fields: f, len: fields.len() as u8, end_item: false }
+    }
+
+    /// Creates a single-value data flit.
+    #[must_use]
+    pub fn val(v: u64) -> Flit {
+        Flit::data(&[HwWord::Val(v)])
+    }
+
+    /// Creates an end-of-item delimiter flit.
+    #[must_use]
+    pub fn end_item() -> Flit {
+        Flit { fields: [HwWord::Empty; MAX_FIELDS], len: 0, end_item: true }
+    }
+
+    /// True for the end-of-item delimiter.
+    #[must_use]
+    pub fn is_end_item(&self) -> bool {
+        self.end_item
+    }
+
+    /// The populated fields.
+    #[must_use]
+    pub fn fields(&self) -> &[HwWord] {
+        &self.fields[..self.len as usize]
+    }
+
+    /// Number of populated fields.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the flit carries no fields (delimiters).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Field `i`, or `Empty` when out of range.
+    #[must_use]
+    pub fn field(&self, i: usize) -> HwWord {
+        if i < self.len as usize {
+            self.fields[i]
+        } else {
+            HwWord::Empty
+        }
+    }
+
+    /// Returns a new flit with the fields of `other` appended (the Joiner's
+    /// merge-by-concatenation, paper §III-C).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the combined field count exceeds [`MAX_FIELDS`].
+    #[must_use]
+    pub fn concat(&self, other: &Flit) -> Flit {
+        let total = self.len() + other.len();
+        assert!(total <= MAX_FIELDS, "joined flit would carry {total} fields");
+        let mut f = [HwWord::Empty; MAX_FIELDS];
+        f[..self.len()].copy_from_slice(self.fields());
+        f[self.len()..total].copy_from_slice(other.fields());
+        Flit { fields: f, len: total as u8, end_item: false }
+    }
+
+    /// Returns a new flit keeping only the selected field indices.
+    #[must_use]
+    pub fn select(&self, indices: &[usize]) -> Flit {
+        let words: Vec<HwWord> = indices.iter().map(|&i| self.field(i)).collect();
+        Flit::data(&words)
+    }
+}
+
+impl fmt::Display for Flit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.end_item {
+            return write!(f, "|END|");
+        }
+        write!(f, "(")?;
+        for (i, w) in self.fields().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{w}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_flit_fields() {
+        let f = Flit::data(&[HwWord::Val(1), HwWord::Ins]);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.field(0), HwWord::Val(1));
+        assert_eq!(f.field(1), HwWord::Ins);
+        assert_eq!(f.field(5), HwWord::Empty);
+        assert!(!f.is_end_item());
+    }
+
+    #[test]
+    fn end_item_flit() {
+        let f = Flit::end_item();
+        assert!(f.is_end_item());
+        assert!(f.is_empty());
+        assert_eq!(f.to_string(), "|END|");
+    }
+
+    #[test]
+    fn concat_merges_fields() {
+        let a = Flit::data(&[HwWord::Val(1), HwWord::Val(2)]);
+        let b = Flit::data(&[HwWord::Del]);
+        let c = a.concat(&b);
+        assert_eq!(c.fields(), &[HwWord::Val(1), HwWord::Val(2), HwWord::Del]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_fields_panics() {
+        let _ = Flit::data(&[HwWord::Val(0); MAX_FIELDS + 1]);
+    }
+
+    #[test]
+    fn select_projects() {
+        let f = Flit::data(&[HwWord::Val(1), HwWord::Val(2), HwWord::Val(3)]);
+        assert_eq!(f.select(&[2, 0]).fields(), &[HwWord::Val(3), HwWord::Val(1)]);
+    }
+
+    #[test]
+    fn word_display() {
+        assert_eq!(HwWord::Val(9).to_string(), "9");
+        assert_eq!(HwWord::Ins.to_string(), "Ins");
+        assert_eq!(HwWord::Val(9).val_or_zero(), 9);
+        assert_eq!(HwWord::Del.val_or_zero(), 0);
+    }
+}

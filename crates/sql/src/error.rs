@@ -1,0 +1,85 @@
+//! SQL front-end errors.
+
+use genesis_types::TypeError;
+use std::fmt;
+
+/// Error raised by the SQL lexer, parser, planner, or engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// A character the lexer cannot start a token with.
+    Lex {
+        /// Byte offset in the source.
+        offset: usize,
+        /// The offending character.
+        found: char,
+    },
+    /// The parser expected something else.
+    Parse {
+        /// What was expected.
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+    /// A name (table, column, variable, module) could not be resolved.
+    Unknown {
+        /// The kind of name ("table", "column", …).
+        kind: &'static str,
+        /// The name itself.
+        name: String,
+    },
+    /// An ambiguous column reference matched several columns.
+    Ambiguous {
+        /// The reference.
+        name: String,
+    },
+    /// A runtime type error (bad operand types, sentinel arithmetic, …).
+    Eval(String),
+    /// An underlying table-layer error.
+    Table(TypeError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { offset, found } => {
+                write!(f, "unexpected character {found:?} at byte {offset}")
+            }
+            SqlError::Parse { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            SqlError::Unknown { kind, name } => write!(f, "unknown {kind} {name:?}"),
+            SqlError::Ambiguous { name } => write!(f, "ambiguous column reference {name:?}"),
+            SqlError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            SqlError::Table(e) => write!(f, "table error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlError::Table(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<TypeError> for SqlError {
+    fn from(e: TypeError) -> SqlError {
+        SqlError::Table(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SqlError::Unknown { kind: "table", name: "X".into() };
+        assert_eq!(e.to_string(), "unknown table \"X\"");
+        let e = SqlError::Parse { expected: "FROM".into(), found: "WHERE".into() };
+        assert!(e.to_string().contains("expected FROM"));
+    }
+}

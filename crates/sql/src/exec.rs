@@ -1,0 +1,1101 @@
+//! The software query engine: evaluates logical plans over columnar
+//! tables. This is the reference semantics every Genesis hardware pipeline
+//! is validated against.
+
+use crate::ast::{AggFn, BinOp, ColRef, Expr, JoinKind, SelectItem, Statement};
+use crate::catalog::Catalog;
+use crate::error::SqlError;
+use crate::parser::parse_script;
+use crate::plan::{lower_query, LogicalPlan};
+use genesis_types::{CigarElem, CigarOp, DataType, Field, Schema, Table, Value};
+#[cfg(test)]
+use genesis_types::Column;
+use std::collections::HashMap;
+
+/// Execution environment: `@variables` and loop-row bindings.
+#[derive(Debug, Default)]
+pub struct Env {
+    vars: HashMap<String, Value>,
+    rows: HashMap<String, RowBinding>,
+}
+
+/// One bound row (the loop variable of `FOR row IN table`).
+#[derive(Debug, Clone)]
+pub struct RowBinding {
+    names: Vec<String>,
+    values: Vec<Value>,
+}
+
+impl Env {
+    /// Sets a variable.
+    pub fn set_var(&mut self, name: &str, value: Value) {
+        self.vars.insert(name.to_owned(), value);
+    }
+
+    /// Reads a variable.
+    #[must_use]
+    pub fn var(&self, name: &str) -> Option<&Value> {
+        self.vars.get(name)
+    }
+}
+
+/// Resolves a column reference against a schema whose field names may be
+/// bare (`POS`) or qualified (`#AlignedRead.POS`).
+fn resolve_col(schema: &Schema, col: &ColRef) -> Result<usize, SqlError> {
+    let want = col.display_name();
+    if let Some(i) = schema.index_of(&want) {
+        return Ok(i);
+    }
+    // Qualified reference may match a bare field; bare reference may match
+    // a uniquely-qualified field.
+    let suffix = format!(".{}", col.column);
+    let matches: Vec<usize> = schema
+        .fields()
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.name == col.column || f.name.ends_with(&suffix))
+        .map(|(i, _)| i)
+        .collect();
+    match matches.as_slice() {
+        [i] => Ok(*i),
+        [] => Err(SqlError::Unknown { kind: "column", name: want }),
+        _ => Err(SqlError::Ambiguous { name: want }),
+    }
+}
+
+/// A row context for scalar evaluation.
+#[derive(Debug, Clone, Copy)]
+struct RowCtx<'a> {
+    schema: &'a Schema,
+    row: &'a [Value],
+}
+
+fn eval_expr(expr: &Expr, ctx: Option<RowCtx<'_>>, env: &Env) -> Result<Value, SqlError> {
+    match expr {
+        Expr::Number(n) => Ok(Value::U64(*n)),
+        Expr::Var(name) => env
+            .var(name)
+            .cloned()
+            .ok_or_else(|| SqlError::Unknown { kind: "variable", name: name.clone() }),
+        Expr::Col(col) => {
+            // Loop-row bindings take precedence for qualified references.
+            if let Some(t) = &col.table {
+                if let Some(binding) = env.rows.get(t) {
+                    let i = binding
+                        .names
+                        .iter()
+                        .position(|n| n == &col.column)
+                        .ok_or_else(|| SqlError::Unknown {
+                            kind: "column",
+                            name: col.display_name(),
+                        })?;
+                    return Ok(binding.values[i].clone());
+                }
+            }
+            if let Some(ctx) = ctx {
+                if let Ok(i) = resolve_col(ctx.schema, col) {
+                    return Ok(ctx.row[i].clone());
+                }
+            }
+            // Bare names fall back to `@name` variables (the paper's
+            // Figure 4 writes `LIMIT SingleRead.POS, rlen`).
+            if col.table.is_none() {
+                if let Some(v) = env.var(&format!("@{}", col.column)) {
+                    return Ok(v.clone());
+                }
+            }
+            Err(SqlError::Unknown { kind: "column", name: col.display_name() })
+        }
+        Expr::Bin { op, lhs, rhs } => {
+            let l = eval_expr(lhs, ctx, env)?;
+            let r = eval_expr(rhs, ctx, env)?;
+            eval_binop(*op, &l, &r)
+        }
+    }
+}
+
+/// Scalar operator semantics. The genomics sentinels `Ins`/`Del` (and SQL
+/// NULL) compare *unequal* to everything — matching the hardware Filter's
+/// sentinel rule — and never satisfy ordered comparisons.
+fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value, SqlError> {
+    let comparable = !(l.is_marker() || r.is_marker() || l.is_null() || r.is_null());
+    match op {
+        BinOp::Eq => Ok(Value::Bool(comparable && l == r)),
+        BinOp::Ne => Ok(Value::Bool(!(comparable && l == r))),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let (Some(a), Some(b)) = (l.as_u64(), r.as_u64()) else {
+                return Ok(Value::Bool(false));
+            };
+            Ok(Value::Bool(match op {
+                BinOp::Lt => a < b,
+                BinOp::Le => a <= b,
+                BinOp::Gt => a > b,
+                BinOp::Ge => a >= b,
+                _ => unreachable!(),
+            }))
+        }
+        BinOp::Add | BinOp::Sub => {
+            let (Some(a), Some(b)) = (l.as_u64(), r.as_u64()) else {
+                return Err(SqlError::Eval(format!("arithmetic on non-numeric {l} / {r}")));
+            };
+            Ok(Value::U64(match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                _ => unreachable!(),
+            }))
+        }
+        BinOp::And | BinOp::Or => {
+            let (Some(a), Some(b)) = (truthy(l), truthy(r)) else {
+                return Ok(Value::Bool(false));
+            };
+            Ok(Value::Bool(if op == BinOp::And { a && b } else { a || b }))
+        }
+    }
+}
+
+fn truthy(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        Value::U64(n) => Some(*n != 0),
+        _ => None,
+    }
+}
+
+/// Executes a logical plan against the catalog.
+///
+/// # Errors
+///
+/// Returns [`SqlError`] for unresolved names, type errors, or table-layer
+/// failures.
+pub fn execute_plan(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    env: &Env,
+) -> Result<Table, SqlError> {
+    match plan {
+        LogicalPlan::Scan { table, partition } => {
+            // Loop-row bindings act as single-row tables.
+            if let Some(binding) = env.rows.get(table) {
+                let schema = Schema::new(
+                    binding.names.iter().map(|n| Field::new(n, DataType::Cell)).collect(),
+                );
+                let mut t = Table::new(schema);
+                t.push_row(binding.values.clone())?;
+                return Ok(t);
+            }
+            let found = match partition {
+                Some(p) => {
+                    let pid = eval_expr(p, None, env)?
+                        .as_u64()
+                        .ok_or_else(|| SqlError::Eval("partition id not numeric".into()))?;
+                    catalog.partition(table, pid)
+                }
+                None => catalog.table(table),
+            };
+            found
+                .cloned()
+                .ok_or_else(|| SqlError::Unknown { kind: "table", name: table.clone() })
+        }
+        LogicalPlan::Filter { input, pred } => {
+            let t = execute_plan(input, catalog, env)?;
+            let mut out = Table::new(t.schema().clone());
+            for r in 0..t.num_rows() {
+                let row = t.row(r);
+                let keep = eval_expr(pred, Some(RowCtx { schema: t.schema(), row: &row }), env)?;
+                if truthy(&keep).unwrap_or(false) {
+                    out.push_row(row)?;
+                }
+            }
+            Ok(out)
+        }
+        LogicalPlan::Project { input, items } => {
+            let t = execute_plan(input, catalog, env)?;
+            project(&t, items, env)
+        }
+        LogicalPlan::Aggregate { input, items, group_by } => {
+            let t = execute_plan(input, catalog, env)?;
+            aggregate(&t, items, group_by, env)
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let t = execute_plan(input, catalog, env)?;
+            let key_cols: Vec<(usize, bool)> = keys
+                .iter()
+                .map(|(c, desc)| resolve_col(t.schema(), c).map(|i| (i, *desc)))
+                .collect::<Result<_, _>>()?;
+            let mut order: Vec<usize> = (0..t.num_rows()).collect();
+            order.sort_by(|&a, &b| {
+                for &(col, desc) in &key_cols {
+                    let (va, vb) = (t.column_at(col).get(a), t.column_at(col).get(b));
+                    let cmp = va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal);
+                    let cmp = if desc { cmp.reverse() } else { cmp };
+                    if cmp != std::cmp::Ordering::Equal {
+                        return cmp;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            let mut out = Table::new(t.schema().clone());
+            for r in order {
+                out.push_row(t.row(r))?;
+            }
+            Ok(out)
+        }
+        LogicalPlan::Limit { input, offset, count } => {
+            let t = execute_plan(input, catalog, env)?;
+            let off = eval_expr(offset, None, env)?
+                .as_u64()
+                .ok_or_else(|| SqlError::Eval("LIMIT offset not numeric".into()))?
+                as usize;
+            let cnt = eval_expr(count, None, env)?
+                .as_u64()
+                .ok_or_else(|| SqlError::Eval("LIMIT count not numeric".into()))?
+                as usize;
+            let mut out = Table::new(t.schema().clone());
+            let end = off.saturating_add(cnt).min(t.num_rows());
+            for r in off.min(t.num_rows())..end {
+                out.push_row(t.row(r))?;
+            }
+            Ok(out)
+        }
+        LogicalPlan::Join { kind, left, right, left_key, right_key } => {
+            let lt = execute_plan(left, catalog, env)?;
+            let rt = execute_plan(right, catalog, env)?;
+            join(&lt, &rt, *kind, left_key, right_key)
+        }
+        LogicalPlan::PosExplode { input, array, init_pos } => {
+            let t = execute_plan(input, catalog, env)?;
+            let col = resolve_col(t.schema(), array)?;
+            let name = &t.schema().fields()[col].name;
+            let schema = Schema::new(vec![
+                Field::new("POS", DataType::Cell),
+                Field::new(name, DataType::Cell),
+            ]);
+            let mut out = Table::new(schema);
+            for r in 0..t.num_rows() {
+                let row = t.row(r);
+                let init = eval_expr(
+                    init_pos,
+                    Some(RowCtx { schema: t.schema(), row: &row }),
+                    env,
+                )?
+                .as_u64()
+                .ok_or_else(|| SqlError::Eval("INITPOS not numeric".into()))?;
+                let Value::List(items) = &row[col] else {
+                    return Err(SqlError::Eval(format!(
+                        "PosExplode source column {name} is not a list"
+                    )));
+                };
+                for (i, item) in items.iter().enumerate() {
+                    out.push_row(vec![Value::U64(init + i as u64), item.clone()])?;
+                }
+            }
+            Ok(out)
+        }
+        LogicalPlan::ReadExplode { input, pos, cigar, seq, qual } => {
+            let t = execute_plan(input, catalog, env)?;
+            read_explode(&t, pos, cigar, seq, qual.as_ref(), env)
+        }
+    }
+}
+
+/// `ReadExplode` software semantics (paper Figure 3). Output columns are
+/// `POS`, `SEQ` and (when a quality column is given) `QUAL`, all dynamic
+/// cells so the `Ins`/`Del` sentinels can be carried.
+fn read_explode(
+    t: &Table,
+    pos: &Expr,
+    cigar: &ColRef,
+    seq: &ColRef,
+    qual: Option<&ColRef>,
+    env: &Env,
+) -> Result<Table, SqlError> {
+    let cigar_i = resolve_col(t.schema(), cigar)?;
+    let seq_i = resolve_col(t.schema(), seq)?;
+    let qual_i = qual.map(|q| resolve_col(t.schema(), q)).transpose()?;
+    let mut fields = vec![Field::new("POS", DataType::Cell), Field::new("SEQ", DataType::Cell)];
+    if qual_i.is_some() {
+        fields.push(Field::new("QUAL", DataType::Cell));
+    }
+    let mut out = Table::new(Schema::new(fields));
+    for r in 0..t.num_rows() {
+        let row = t.row(r);
+        let mut ref_pos = eval_expr(pos, Some(RowCtx { schema: t.schema(), row: &row }), env)?
+            .as_u64()
+            .ok_or_else(|| SqlError::Eval("ReadExplode POS not numeric".into()))?;
+        let cigar_list = row[cigar_i]
+            .as_list()
+            .ok_or_else(|| SqlError::Eval("CIGAR column is not a list".into()))?
+            .to_vec();
+        let seq_list = row[seq_i]
+            .as_list()
+            .ok_or_else(|| SqlError::Eval("SEQ column is not a list".into()))?
+            .to_vec();
+        let qual_list = match qual_i {
+            Some(qi) => Some(
+                row[qi]
+                    .as_list()
+                    .ok_or_else(|| SqlError::Eval("QUAL column is not a list".into()))?
+                    .to_vec(),
+            ),
+            None => None,
+        };
+        let mut seq_idx = 0usize;
+        for packed in &cigar_list {
+            let p = packed
+                .as_u64()
+                .ok_or_else(|| SqlError::Eval("CIGAR element not numeric".into()))?;
+            let elem = CigarElem::unpack(p as u16).map_err(SqlError::Table)?;
+            for _ in 0..elem.len {
+                match elem.op {
+                    CigarOp::Match | CigarOp::SeqMatch | CigarOp::SeqMismatch => {
+                        let mut out_row = vec![
+                            Value::U64(ref_pos),
+                            seq_list.get(seq_idx).cloned().unwrap_or(Value::Null),
+                        ];
+                        if let Some(q) = &qual_list {
+                            out_row.push(q.get(seq_idx).cloned().unwrap_or(Value::Null));
+                        }
+                        out.push_row(out_row)?;
+                        ref_pos += 1;
+                        seq_idx += 1;
+                    }
+                    CigarOp::Ins => {
+                        let mut out_row = vec![
+                            Value::Ins,
+                            seq_list.get(seq_idx).cloned().unwrap_or(Value::Null),
+                        ];
+                        if let Some(q) = &qual_list {
+                            out_row.push(q.get(seq_idx).cloned().unwrap_or(Value::Null));
+                        }
+                        out.push_row(out_row)?;
+                        seq_idx += 1;
+                    }
+                    CigarOp::Del | CigarOp::RefSkip => {
+                        let mut out_row = vec![Value::U64(ref_pos), Value::Del];
+                        if qual_list.is_some() {
+                            out_row.push(Value::Del);
+                        }
+                        out.push_row(out_row)?;
+                        ref_pos += 1;
+                    }
+                    CigarOp::SoftClip => {
+                        seq_idx += 1;
+                    }
+                    CigarOp::HardClip => {}
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn project(t: &Table, items: &[SelectItem], env: &Env) -> Result<Table, SqlError> {
+    let mut fields = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        match item {
+            SelectItem::Star => fields.extend(t.schema().fields().iter().cloned()),
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| match expr {
+                    Expr::Col(c) => c.display_name(),
+                    _ => format!("EXPR{i}"),
+                });
+                fields.push(Field::new(&name, DataType::Cell));
+            }
+            SelectItem::Agg { .. } => {
+                return Err(SqlError::Eval("aggregate outside Aggregate node".into()))
+            }
+        }
+    }
+    let mut out = Table::new(Schema::new(fields));
+    for r in 0..t.num_rows() {
+        let row = t.row(r);
+        let ctx = RowCtx { schema: t.schema(), row: &row };
+        let mut out_row = Vec::new();
+        for item in items {
+            match item {
+                SelectItem::Star => out_row.extend(row.iter().cloned()),
+                SelectItem::Expr { expr, .. } => out_row.push(eval_expr(expr, Some(ctx), env)?),
+                SelectItem::Agg { .. } => unreachable!("checked above"),
+            }
+        }
+        out.push_row(out_row)?;
+    }
+    Ok(out)
+}
+
+fn agg_name(func: AggFn) -> &'static str {
+    match func {
+        AggFn::Sum => "SUM",
+        AggFn::Count => "COUNT",
+        AggFn::Min => "MIN",
+        AggFn::Max => "MAX",
+    }
+}
+
+fn aggregate(
+    t: &Table,
+    items: &[SelectItem],
+    group_by: &[ColRef],
+    env: &Env,
+) -> Result<Table, SqlError> {
+    let key_cols: Vec<usize> =
+        group_by.iter().map(|c| resolve_col(t.schema(), c)).collect::<Result<_, _>>()?;
+    // Group rows (a single implicit group without GROUP BY).
+    let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+    let mut index: HashMap<Vec<String>, usize> = HashMap::new();
+    for r in 0..t.num_rows() {
+        let row = t.row(r);
+        let key: Vec<Value> = key_cols.iter().map(|&i| row[i].clone()).collect();
+        let key_str: Vec<String> = key.iter().map(ToString::to_string).collect();
+        let slot = *index.entry(key_str).or_insert_with(|| {
+            groups.push((key, Vec::new()));
+            groups.len() - 1
+        });
+        groups[slot].1.push(r);
+    }
+    if group_by.is_empty() && groups.is_empty() {
+        groups.push((Vec::new(), Vec::new()));
+    }
+
+    let mut fields = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        match item {
+            SelectItem::Agg { func, alias, .. } => {
+                let name = alias.clone().unwrap_or_else(|| agg_name(*func).to_owned());
+                fields.push(Field::new(&name, DataType::Cell));
+            }
+            SelectItem::Expr { expr: Expr::Col(c), alias } => {
+                let name = alias.clone().unwrap_or_else(|| c.display_name());
+                fields.push(Field::new(&name, DataType::Cell));
+            }
+            _ => {
+                return Err(SqlError::Eval(format!(
+                    "select item {i} must be an aggregate or a grouped column"
+                )))
+            }
+        }
+    }
+    let mut out = Table::new(Schema::new(fields));
+    for (key, rows) in &groups {
+        let mut out_row = Vec::new();
+        for item in items {
+            match item {
+                SelectItem::Agg { func, arg, .. } => {
+                    out_row.push(eval_agg(t, rows, *func, arg.as_ref(), env)?);
+                }
+                SelectItem::Expr { expr: Expr::Col(c), .. } => {
+                    // Grouped column: take from the key.
+                    let pos = group_by
+                        .iter()
+                        .position(|g| g == c)
+                        .ok_or_else(|| SqlError::Eval(format!(
+                            "column {} not in GROUP BY",
+                            c.display_name()
+                        )))?;
+                    out_row.push(key[pos].clone());
+                }
+                _ => unreachable!("checked above"),
+            }
+        }
+        out.push_row(out_row)?;
+    }
+    Ok(out)
+}
+
+fn eval_agg(
+    t: &Table,
+    rows: &[usize],
+    func: AggFn,
+    arg: Option<&Expr>,
+    env: &Env,
+) -> Result<Value, SqlError> {
+    let mut sum = 0u64;
+    let mut count = 0u64;
+    let mut min: Option<u64> = None;
+    let mut max: Option<u64> = None;
+    for &r in rows {
+        let row = t.row(r);
+        let ctx = RowCtx { schema: t.schema(), row: &row };
+        let v = match arg {
+            Some(e) => eval_expr(e, Some(ctx), env)?,
+            None => Value::U64(1),
+        };
+        match &v {
+            Value::U64(n) => {
+                sum += n;
+                count += 1;
+                min = Some(min.map_or(*n, |m| m.min(*n)));
+                max = Some(max.map_or(*n, |m| m.max(*n)));
+            }
+            Value::Bool(b) => {
+                sum += u64::from(*b);
+                count += 1;
+            }
+            // NULL and sentinel cells do not contribute to SUM/MIN/MAX but
+            // COUNT(expr) still counts sentinel-valued rows, matching the
+            // hardware Reducer (a mismatch at an indel is a mismatch).
+            Value::Ins | Value::Del => count += 1,
+            _ => {}
+        }
+    }
+    Ok(match func {
+        AggFn::Sum => Value::U64(sum),
+        AggFn::Count => Value::U64(count),
+        AggFn::Min => min.map_or(Value::Null, Value::U64),
+        AggFn::Max => max.map_or(Value::Null, Value::U64),
+    })
+}
+
+fn join(
+    lt: &Table,
+    rt: &Table,
+    kind: JoinKind,
+    left_key: &ColRef,
+    right_key: &ColRef,
+) -> Result<Table, SqlError> {
+    let lk = resolve_col(lt.schema(), left_key)?;
+    let rk = resolve_col(rt.schema(), right_key)?;
+    // Output schema: left fields qualified by the left key's table name
+    // when they would collide, then right fields likewise.
+    let lprefix = left_key.table.clone();
+    let rprefix = right_key.table.clone();
+    let mut fields = Vec::new();
+    let qualify = |prefix: &Option<String>, name: &str| -> String {
+        match prefix {
+            Some(p) if !name.contains('.') => format!("{p}.{name}"),
+            _ => name.to_owned(),
+        }
+    };
+    for f in lt.schema().fields() {
+        fields.push(Field::new(&qualify(&lprefix, &f.name), DataType::Cell));
+    }
+    for f in rt.schema().fields() {
+        fields.push(Field::new(&qualify(&rprefix, &f.name), DataType::Cell));
+    }
+    let mut out = Table::new(Schema::new(fields));
+
+    // Hash the right side.
+    let mut right_index: HashMap<String, Vec<usize>> = HashMap::new();
+    for r in 0..rt.num_rows() {
+        let key = rt.row(r)[rk].clone();
+        if !key.is_marker() && !key.is_null() {
+            right_index.entry(key.to_string()).or_default().push(r);
+        }
+    }
+    let mut right_matched = vec![false; rt.num_rows()];
+    for l in 0..lt.num_rows() {
+        let lrow = lt.row(l);
+        let key = &lrow[lk];
+        let matches = if key.is_marker() || key.is_null() {
+            None
+        } else {
+            right_index.get(&key.to_string())
+        };
+        match matches {
+            Some(rows) => {
+                for &r in rows {
+                    right_matched[r] = true;
+                    let mut out_row = lrow.clone();
+                    out_row.extend(rt.row(r));
+                    out.push_row(out_row)?;
+                }
+            }
+            None => {
+                if kind != JoinKind::Inner {
+                    // Pad the right side with the Del sentinel, matching
+                    // the hardware Joiner's padding.
+                    let mut out_row = lrow.clone();
+                    out_row.extend(std::iter::repeat_n(Value::Del, rt.num_columns()));
+                    out.push_row(out_row)?;
+                }
+            }
+        }
+    }
+    if kind == JoinKind::Outer {
+        for (r, matched) in right_matched.iter().enumerate() {
+            if !matched {
+                let mut out_row: Vec<Value> =
+                    std::iter::repeat_n(Value::Del, lt.num_columns()).collect();
+                out_row.extend(rt.row(r));
+                out.push_row(out_row)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// A parsed multi-statement script.
+#[derive(Debug, Clone)]
+pub struct Script {
+    stmts: Vec<Statement>,
+}
+
+impl Script {
+    /// Parses a script.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SqlError`] on lex/parse failure.
+    pub fn parse(src: &str) -> Result<Script, SqlError> {
+        Ok(Script { stmts: parse_script(src)? })
+    }
+
+    /// The parsed statements.
+    #[must_use]
+    pub fn statements(&self) -> &[Statement] {
+        &self.stmts
+    }
+
+    /// Runs the script against a catalog with a fresh environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first evaluation error.
+    pub fn run(&self, catalog: &mut Catalog) -> Result<(), SqlError> {
+        let mut env = Env::default();
+        run_statements(&self.stmts, catalog, &mut env)
+    }
+}
+
+fn run_statements(
+    stmts: &[Statement],
+    catalog: &mut Catalog,
+    env: &mut Env,
+) -> Result<(), SqlError> {
+    for stmt in stmts {
+        match stmt {
+            Statement::CreateTableAs { name, query } => {
+                let plan = lower_query(query);
+                let table = execute_plan(&plan, catalog, env)?;
+                catalog.register(name, table);
+            }
+            Statement::Insert { name, query } => {
+                let plan = lower_query(query);
+                let table = execute_plan(&plan, catalog, env)?;
+                match catalog.remove(name) {
+                    Some(mut existing) => {
+                        for r in 0..table.num_rows() {
+                            existing.push_row(table.row(r))?;
+                        }
+                        catalog.register(name, existing);
+                    }
+                    None => catalog.register(name, table),
+                }
+            }
+            Statement::Declare { name } => {
+                env.set_var(name, Value::Null);
+            }
+            Statement::Set { name, expr } => {
+                let v = eval_expr(expr, None, env)?;
+                env.set_var(name, v);
+            }
+            Statement::ForLoop { var, table, body } => {
+                let t = catalog
+                    .table(table)
+                    .ok_or_else(|| SqlError::Unknown { kind: "table", name: table.clone() })?
+                    .clone();
+                let names: Vec<String> =
+                    t.schema().fields().iter().map(|f| f.name.clone()).collect();
+                for r in 0..t.num_rows() {
+                    env.rows.insert(
+                        var.clone(),
+                        RowBinding { names: names.clone(), values: t.row(r) },
+                    );
+                    run_statements(body, catalog, env)?;
+                }
+                env.rows.remove(var);
+            }
+            Statement::Exec { module, inputs } => {
+                let f = catalog
+                    .module(module)
+                    .ok_or_else(|| SqlError::Unknown { kind: "module", name: module.clone() })?;
+                let tables: Vec<&Table> = inputs
+                    .iter()
+                    .map(|n| {
+                        catalog
+                            .table(n)
+                            .ok_or_else(|| SqlError::Unknown { kind: "table", name: n.clone() })
+                    })
+                    .collect::<Result<_, _>>()?;
+                let out = f(&tables)?;
+                let out_name = format!("{module}_OUT");
+                drop(tables);
+                catalog.register(&out_name, out);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog_with(name: &str, cols: Vec<(&str, Column)>) -> Catalog {
+        let schema = Schema::new(
+            cols.iter().map(|(n, c)| Field::new(n, c.dtype())).collect(),
+        );
+        let table =
+            Table::from_columns(schema, cols.into_iter().map(|(_, c)| c).collect()).unwrap();
+        let mut cat = Catalog::new();
+        cat.register(name, table);
+        cat
+    }
+
+    #[test]
+    fn select_where_project() {
+        let mut cat = catalog_with(
+            "T",
+            vec![("X", Column::U32(vec![1, 5, 9])), ("Y", Column::U32(vec![10, 50, 90]))],
+        );
+        Script::parse("CREATE TABLE S AS SELECT Y FROM T WHERE X > 1")
+            .unwrap()
+            .run(&mut cat)
+            .unwrap();
+        let s = cat.table("S").unwrap();
+        assert_eq!(s.num_rows(), 2);
+        assert_eq!(s.get(0, "Y").unwrap(), Value::U64(50));
+    }
+
+    #[test]
+    fn aggregate_whole_table() {
+        let mut cat = catalog_with("T", vec![("X", Column::U32(vec![1, 2, 3]))]);
+        Script::parse("CREATE TABLE S AS SELECT SUM(X), COUNT(*), MIN(X), MAX(X) FROM T")
+            .unwrap()
+            .run(&mut cat)
+            .unwrap();
+        let s = cat.table("S").unwrap();
+        assert_eq!(s.row(0), vec![Value::U64(6), Value::U64(3), Value::U64(1), Value::U64(3)]);
+    }
+
+    #[test]
+    fn group_by() {
+        let mut cat = catalog_with(
+            "T",
+            vec![
+                ("G", Column::U8(vec![1, 1, 2])),
+                ("X", Column::U32(vec![10, 20, 5])),
+            ],
+        );
+        Script::parse("CREATE TABLE S AS SELECT G, SUM(X) FROM T GROUP BY G")
+            .unwrap()
+            .run(&mut cat)
+            .unwrap();
+        let s = cat.table("S").unwrap();
+        assert_eq!(s.num_rows(), 2);
+        assert_eq!(s.get(0, "SUM").unwrap(), Value::U64(30));
+        assert_eq!(s.get(1, "SUM").unwrap(), Value::U64(5));
+    }
+
+    #[test]
+    fn inner_join_by_key() {
+        let mut cat = catalog_with(
+            "A",
+            vec![("K", Column::U32(vec![1, 2, 3])), ("VA", Column::U32(vec![10, 20, 30]))],
+        );
+        let b = Table::from_columns(
+            Schema::new(vec![Field::new("K", DataType::U32), Field::new("VB", DataType::U32)]),
+            vec![Column::U32(vec![2, 3, 4]), Column::U32(vec![200, 300, 400])],
+        )
+        .unwrap();
+        cat.register("B", b);
+        Script::parse("CREATE TABLE S AS SELECT A.VA, B.VB FROM A INNER JOIN B ON A.K = B.K")
+            .unwrap()
+            .run(&mut cat)
+            .unwrap();
+        let s = cat.table("S").unwrap();
+        assert_eq!(s.num_rows(), 2);
+        assert_eq!(s.get(0, "A.VA").unwrap(), Value::U64(20));
+        assert_eq!(s.get(0, "B.VB").unwrap(), Value::U64(200));
+    }
+
+    #[test]
+    fn left_join_pads_with_del() {
+        let mut cat = catalog_with("A", vec![("K", Column::U32(vec![1, 2]))]);
+        let b = Table::from_columns(
+            Schema::new(vec![Field::new("K", DataType::U32)]),
+            vec![Column::U32(vec![2])],
+        )
+        .unwrap();
+        cat.register("B", b);
+        Script::parse("CREATE TABLE S AS SELECT * FROM A LEFT JOIN B ON A.K = B.K")
+            .unwrap()
+            .run(&mut cat)
+            .unwrap();
+        let s = cat.table("S").unwrap();
+        assert_eq!(s.num_rows(), 2);
+        assert_eq!(s.get(0, "B.K").unwrap(), Value::Del);
+    }
+
+    #[test]
+    fn order_by_sorts_rows() {
+        let mut cat = catalog_with(
+            "T",
+            vec![
+                ("CHR", Column::U8(vec![2, 1, 1])),
+                ("POS", Column::U32(vec![5, 9, 3])),
+            ],
+        );
+        Script::parse("CREATE TABLE S AS SELECT * FROM T ORDER BY CHR, POS")
+            .unwrap()
+            .run(&mut cat)
+            .unwrap();
+        let s = cat.table("S").unwrap();
+        assert_eq!(s.get(0, "POS").unwrap(), Value::U64(3));
+        assert_eq!(s.get(1, "POS").unwrap(), Value::U64(9));
+        assert_eq!(s.get(2, "CHR").unwrap(), Value::U64(2));
+
+        Script::parse("CREATE TABLE D AS SELECT * FROM T ORDER BY POS DESC")
+            .unwrap()
+            .run(&mut cat)
+            .unwrap();
+        let d = cat.table("D").unwrap();
+        assert_eq!(d.get(0, "POS").unwrap(), Value::U64(9));
+        assert_eq!(d.get(2, "POS").unwrap(), Value::U64(3));
+    }
+
+    #[test]
+    fn order_by_then_limit() {
+        let mut cat = catalog_with("T", vec![("X", Column::U32(vec![4, 1, 3, 2]))]);
+        Script::parse("CREATE TABLE S AS SELECT * FROM T ORDER BY X LIMIT 2")
+            .unwrap()
+            .run(&mut cat)
+            .unwrap();
+        let s = cat.table("S").unwrap();
+        assert_eq!(s.num_rows(), 2);
+        assert_eq!(s.get(0, "X").unwrap(), Value::U64(1));
+        assert_eq!(s.get(1, "X").unwrap(), Value::U64(2));
+    }
+
+    #[test]
+    fn limit_with_offset() {
+        let mut cat = catalog_with("T", vec![("X", Column::U32(vec![0, 1, 2, 3, 4]))]);
+        Script::parse("CREATE TABLE S AS SELECT * FROM T LIMIT 1, 2")
+            .unwrap()
+            .run(&mut cat)
+            .unwrap();
+        let s = cat.table("S").unwrap();
+        assert_eq!(s.num_rows(), 2);
+        assert_eq!(s.get(0, "X").unwrap(), Value::U64(1));
+    }
+
+    #[test]
+    fn pos_explode() {
+        let mut cat = catalog_with(
+            "R",
+            vec![
+                ("POS", Column::U32(vec![100])),
+                ("SEQ", Column::ListU8(vec![vec![0, 1, 2]])),
+            ],
+        );
+        Script::parse("CREATE TABLE S AS PosExplode(R.SEQ, R.POS) FROM R")
+            .unwrap()
+            .run(&mut cat)
+            .unwrap();
+        let s = cat.table("S").unwrap();
+        assert_eq!(s.num_rows(), 3);
+        assert_eq!(s.get(2, "POS").unwrap(), Value::U64(102));
+        assert_eq!(s.get(2, "SEQ").unwrap(), Value::U64(2));
+    }
+
+    #[test]
+    fn read_explode_matches_figure3() {
+        // POS=104, CIGAR=2S3M1I1M1D2M, SEQ=AGGTAAACA with qualities.
+        let cigar: genesis_types::Cigar = "2S3M1I1M1D2M".parse().unwrap();
+        let packed = cigar.pack().unwrap();
+        let seq = genesis_types::Base::seq_from_str("AGGTAAACA").unwrap();
+        let mut cat = catalog_with(
+            "R",
+            vec![
+                ("POS", Column::U32(vec![104])),
+                ("CIGAR", Column::ListU16(vec![packed])),
+                ("SEQ", Column::ListU8(vec![seq.iter().map(|b| b.code()).collect()])),
+                ("QUAL", Column::ListU8(vec![vec![2, 2, 24, 29, 29, 32, 32, 33, 30]])),
+            ],
+        );
+        Script::parse("CREATE TABLE S AS ReadExplode(R.POS, R.CIGAR, R.SEQ, R.QUAL) FROM R")
+            .unwrap()
+            .run(&mut cat)
+            .unwrap();
+        let s = cat.table("S").unwrap();
+        assert_eq!(s.num_rows(), 8);
+        // Row 3 is the inserted base; row 5 the deletion.
+        assert_eq!(s.get(3, "POS").unwrap(), Value::Ins);
+        assert_eq!(s.get(5, "SEQ").unwrap(), Value::Del);
+        assert_eq!(s.get(5, "QUAL").unwrap(), Value::Del);
+        assert_eq!(s.get(0, "POS").unwrap(), Value::U64(104));
+        assert_eq!(s.get(7, "POS").unwrap(), Value::U64(110));
+    }
+
+    #[test]
+    fn for_loop_with_variables_and_insert() {
+        let mut cat = catalog_with("T", vec![("X", Column::U32(vec![2, 7]))]);
+        let src = "DECLARE @acc int \
+                   FOR Row IN T: \
+                     SET @acc = Row.X + 1 \
+                     INSERT INTO Out SELECT @acc AS V FROM Row \
+                   END LOOP;";
+        Script::parse(src).unwrap().run(&mut cat).unwrap();
+        let out = cat.table("Out").unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.get(0, "V").unwrap(), Value::U64(3));
+        assert_eq!(out.get(1, "V").unwrap(), Value::U64(8));
+    }
+
+    #[test]
+    fn exec_custom_module() {
+        let mut cat = catalog_with("In1", vec![("X", Column::U32(vec![5]))]);
+        cat.register_module(
+            "Double",
+            Box::new(|ins| {
+                let t = ins[0];
+                let mut out = Table::new(t.schema().clone());
+                for r in 0..t.num_rows() {
+                    let v = t.row(r)[0].as_u64().unwrap() * 2;
+                    out.push_row(vec![Value::U64(v)]).map_err(SqlError::Table)?;
+                }
+                Ok(out)
+            }),
+        );
+        Script::parse("EXEC Double In1 = _").unwrap().run(&mut cat).unwrap();
+        assert_eq!(cat.table("Double_OUT").unwrap().get(0, "X").unwrap(), Value::U64(10));
+    }
+
+    #[test]
+    fn partition_scan() {
+        let mut cat = Catalog::new();
+        let t = Table::from_columns(
+            Schema::new(vec![Field::new("X", DataType::U32)]),
+            vec![Column::U32(vec![42])],
+        )
+        .unwrap();
+        cat.register_partition("READS", 7, t);
+        Script::parse("CREATE TABLE S AS SELECT * FROM READS PARTITION (7)")
+            .unwrap()
+            .run(&mut cat)
+            .unwrap();
+        assert_eq!(cat.table("S").unwrap().get(0, "X").unwrap(), Value::U64(42));
+        assert!(Script::parse("CREATE TABLE S AS SELECT * FROM READS PARTITION (8)")
+            .unwrap()
+            .run(&mut cat)
+            .is_err());
+    }
+
+    #[test]
+    fn sentinel_comparison_semantics() {
+        assert_eq!(
+            eval_binop(BinOp::Eq, &Value::Ins, &Value::Ins).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Ne, &Value::Del, &Value::U64(0)).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Lt, &Value::Del, &Value::U64(9)).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn unknown_column_and_ambiguity() {
+        let cat = catalog_with("T", vec![("X", Column::U32(vec![1]))]);
+        let env = Env::default();
+        let plan = lower_query(&crate::ast::Query::Select {
+            items: vec![SelectItem::Expr {
+                expr: Expr::Col(ColRef::bare("NOPE")),
+                alias: None,
+            }],
+            from: crate::ast::TableRef::Named { name: "T".into(), partition: None },
+            join: None,
+            filter: None,
+            group_by: vec![],
+            order_by: vec![],
+            limit: None,
+        });
+        assert!(matches!(
+            execute_plan(&plan, &cat, &env),
+            Err(SqlError::Unknown { kind: "column", .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod error_path_tests {
+    use super::*;
+
+    fn one_col_catalog() -> Catalog {
+        let schema = Schema::new(vec![Field::new("X", DataType::U32)]);
+        let t = Table::from_columns(schema, vec![Column::U32(vec![1, 2])]).unwrap();
+        let mut cat = Catalog::new();
+        cat.register("T", t);
+        cat
+    }
+
+    #[test]
+    fn unknown_table_reported() {
+        let mut cat = one_col_catalog();
+        let err = Script::parse("CREATE TABLE S AS SELECT * FROM NOPE")
+            .unwrap()
+            .run(&mut cat)
+            .unwrap_err();
+        assert!(matches!(err, SqlError::Unknown { kind: "table", .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_variable_reported() {
+        let mut cat = one_col_catalog();
+        let err = Script::parse("CREATE TABLE S AS SELECT * FROM T LIMIT @nope, 1")
+            .unwrap()
+            .run(&mut cat)
+            .unwrap_err();
+        assert!(matches!(err, SqlError::Unknown { kind: "variable", .. }), "{err}");
+    }
+
+    #[test]
+    fn arithmetic_on_list_reported() {
+        let schema = Schema::new(vec![Field::new("L", DataType::ListU8)]);
+        let t = Table::from_columns(schema, vec![Column::ListU8(vec![vec![1, 2]])]).unwrap();
+        let mut cat = Catalog::new();
+        cat.register("T", t);
+        let err = Script::parse("CREATE TABLE S AS SELECT L + 1 FROM T")
+            .unwrap()
+            .run(&mut cat)
+            .unwrap_err();
+        assert!(matches!(err, SqlError::Eval(_)), "{err}");
+    }
+
+    #[test]
+    fn for_loop_over_missing_table_reported() {
+        let mut cat = one_col_catalog();
+        let err = Script::parse("FOR r IN Missing: SET @x = 1 END LOOP;")
+            .unwrap()
+            .run(&mut cat)
+            .unwrap_err();
+        assert!(matches!(err, SqlError::Unknown { kind: "table", .. }), "{err}");
+    }
+
+    #[test]
+    fn exec_unknown_module_reported() {
+        let mut cat = one_col_catalog();
+        let err = Script::parse("EXEC Nope T = _").unwrap().run(&mut cat).unwrap_err();
+        assert!(matches!(err, SqlError::Unknown { kind: "module", .. }), "{err}");
+    }
+
+    #[test]
+    fn ambiguous_column_after_self_join() {
+        let mut cat = one_col_catalog();
+        // Join T with itself without qualification: selecting bare X is
+        // ambiguous (both sides expose a column ending in X).
+        let err = Script::parse(
+            "CREATE TABLE S AS SELECT X FROM T INNER JOIN (SELECT * FROM T) ON T.X = T.X",
+        )
+        .unwrap()
+        .run(&mut cat)
+        .unwrap_err();
+        assert!(
+            matches!(err, SqlError::Ambiguous { .. } | SqlError::Unknown { .. }),
+            "{err}"
+        );
+    }
+}

@@ -1,0 +1,349 @@
+//! Lexer for the extended SQL dialect.
+
+use crate::error::SqlError;
+use std::fmt;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier (may begin with `#` for temp tables or `@` for
+    /// variables); keywords are produced as `Keyword`.
+    Ident(String),
+    /// Unsigned integer literal.
+    Number(u64),
+    /// A keyword, upper-cased.
+    Keyword(Kw),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `.`.
+    Dot,
+    /// `;`.
+    Semi,
+    /// `:`.
+    Colon,
+    /// `*`.
+    Star,
+    /// `=`.
+    Assign,
+    /// `==`.
+    EqEq,
+    /// `!=` / `<>`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `_` placeholder (EXEC argument).
+    Underscore,
+}
+
+/// Keywords of the dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Kw {
+    Create,
+    Table,
+    As,
+    Select,
+    From,
+    Where,
+    Inner,
+    Left,
+    Outer,
+    Join,
+    On,
+    Group,
+    By,
+    Limit,
+    Sum,
+    Count,
+    Min,
+    Max,
+    Insert,
+    Into,
+    Declare,
+    Set,
+    For,
+    In,
+    End,
+    Loop,
+    Partition,
+    Order,
+    Desc,
+    Asc,
+    PosExplode,
+    ReadExplode,
+    Exec,
+    And,
+    Or,
+    Int,
+}
+
+impl Kw {
+    fn from_upper(s: &str) -> Option<Kw> {
+        Some(match s {
+            "CREATE" => Kw::Create,
+            "TABLE" => Kw::Table,
+            "AS" => Kw::As,
+            "SELECT" => Kw::Select,
+            "FROM" => Kw::From,
+            "WHERE" => Kw::Where,
+            "INNER" => Kw::Inner,
+            "LEFT" => Kw::Left,
+            "OUTER" => Kw::Outer,
+            "JOIN" => Kw::Join,
+            "ON" => Kw::On,
+            "GROUP" => Kw::Group,
+            "BY" => Kw::By,
+            "LIMIT" => Kw::Limit,
+            "SUM" => Kw::Sum,
+            "COUNT" => Kw::Count,
+            "MIN" => Kw::Min,
+            "MAX" => Kw::Max,
+            "INSERT" => Kw::Insert,
+            "INTO" => Kw::Into,
+            "DECLARE" => Kw::Declare,
+            "SET" => Kw::Set,
+            "FOR" => Kw::For,
+            "IN" => Kw::In,
+            "END" => Kw::End,
+            "LOOP" => Kw::Loop,
+            "PARTITION" => Kw::Partition,
+            "ORDER" => Kw::Order,
+            "DESC" => Kw::Desc,
+            "ASC" => Kw::Asc,
+            "POSEXPLODE" => Kw::PosExplode,
+            "READEXPLODE" => Kw::ReadExplode,
+            "EXEC" => Kw::Exec,
+            "AND" => Kw::And,
+            "OR" => Kw::Or,
+            "INT" => Kw::Int,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Number(n) => write!(f, "{n}"),
+            Tok::Keyword(k) => write!(f, "{k:?}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// Lexes a source string.
+///
+/// Comments run from `/*` to `*/` or from `--` to end of line.
+///
+/// # Errors
+///
+/// Returns [`SqlError::Lex`] at the first unrecognized character.
+pub fn lex(src: &str) -> Result<Vec<Tok>, SqlError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                    i += 1;
+                }
+                i = (i + 2).min(bytes.len());
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '.' => {
+                toks.push(Tok::Dot);
+                i += 1;
+            }
+            ';' => {
+                toks.push(Tok::Semi);
+                i += 1;
+            }
+            ':' => {
+                toks.push(Tok::Colon);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                toks.push(Tok::Minus);
+                i += 1;
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::EqEq);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Assign);
+                    i += 1;
+                }
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                toks.push(Tok::Ne);
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Le);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    toks.push(Tok::Ne);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: u64 = src[start..i]
+                    .parse()
+                    .map_err(|_| SqlError::Lex { offset: start, found: c })?;
+                toks.push(Tok::Number(n));
+            }
+            '_' if !bytes
+                .get(i + 1)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_') =>
+            {
+                toks.push(Tok::Underscore);
+                i += 1;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '#' || c == '@' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                match Kw::from_upper(&word.to_ascii_uppercase()) {
+                    Some(kw) => toks.push(Tok::Keyword(kw)),
+                    None => toks.push(Tok::Ident(word.to_owned())),
+                }
+            }
+            other => return Err(SqlError::Lex { offset: i, found: other }),
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let toks = lex("select Select SELECT").unwrap();
+        assert_eq!(toks, vec![Tok::Keyword(Kw::Select); 3]);
+    }
+
+    #[test]
+    fn identifiers_with_prefixes() {
+        let toks = lex("#AlignedRead @rlen READS_2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("#AlignedRead".into()),
+                Tok::Ident("@rlen".into()),
+                Tok::Ident("READS_2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("/* I1: extract */ SELECT -- trailing\n 5").unwrap();
+        assert_eq!(toks, vec![Tok::Keyword(Kw::Select), Tok::Number(5)]);
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("== = != <> < <= > >= + - * . , ; : ( ) _").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::EqEq,
+                Tok::Assign,
+                Tok::Ne,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Dot,
+                Tok::Comma,
+                Tok::Semi,
+                Tok::Colon,
+                Tok::LParen,
+                Tok::RParen,
+                Tok::Underscore,
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_char_errors() {
+        assert!(matches!(lex("SELECT $"), Err(SqlError::Lex { found: '$', .. })));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(lex("1000000").unwrap(), vec![Tok::Number(1_000_000)]);
+    }
+}

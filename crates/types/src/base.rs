@@ -1,0 +1,213 @@
+//! DNA nucleotide bases.
+
+use crate::error::TypeError;
+use std::fmt;
+
+/// A single DNA nucleotide base.
+///
+/// The paper represents each base pair as one of the characters `A`, `C`,
+/// `G`, `T` (§II). `N` represents an ambiguous call produced by the
+/// sequencing instrument and is carried through the pipeline unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use genesis_types::Base;
+///
+/// let b = Base::try_from('g')?;
+/// assert_eq!(b, Base::G);
+/// assert_eq!(b.complement(), Base::C);
+/// # Ok::<(), genesis_types::TypeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(u8)]
+pub enum Base {
+    /// Adenine.
+    #[default]
+    A = 0,
+    /// Cytosine.
+    C = 1,
+    /// Guanine.
+    G = 2,
+    /// Thymine.
+    T = 3,
+    /// Ambiguous / no-call.
+    N = 4,
+}
+
+impl Base {
+    /// The four unambiguous bases, in code order.
+    pub const ACGT: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+    /// Returns the Watson–Crick complement (`N` maps to `N`).
+    #[must_use]
+    pub fn complement(self) -> Base {
+        match self {
+            Base::A => Base::T,
+            Base::C => Base::G,
+            Base::G => Base::C,
+            Base::T => Base::A,
+            Base::N => Base::N,
+        }
+    }
+
+    /// Returns the 3-bit code used in table columns and hardware flits.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Converts a code produced by [`Base::code`] back to a base.
+    ///
+    /// Codes 5..=255 are treated as `N`, matching the hardware modules'
+    /// tolerance for uninitialized scratchpad contents.
+    #[must_use]
+    pub fn from_code(code: u8) -> Base {
+        match code {
+            0 => Base::A,
+            1 => Base::C,
+            2 => Base::G,
+            3 => Base::T,
+            _ => Base::N,
+        }
+    }
+
+    /// Returns the upper-case ASCII character for this base.
+    #[must_use]
+    pub fn to_char(self) -> char {
+        match self {
+            Base::A => 'A',
+            Base::C => 'C',
+            Base::G => 'G',
+            Base::T => 'T',
+            Base::N => 'N',
+        }
+    }
+
+    /// Parses an ASCII byte (case-insensitive) into a base.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::InvalidBase`] for bytes other than
+    /// `AaCcGgTtNn`.
+    pub fn from_ascii(byte: u8) -> Result<Base, TypeError> {
+        match byte {
+            b'A' | b'a' => Ok(Base::A),
+            b'C' | b'c' => Ok(Base::C),
+            b'G' | b'g' => Ok(Base::G),
+            b'T' | b't' => Ok(Base::T),
+            b'N' | b'n' => Ok(Base::N),
+            other => Err(TypeError::InvalidBase(other as char)),
+        }
+    }
+
+    /// Parses a whole sequence string such as `"ACGTAAC"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::InvalidBase`] on the first invalid character.
+    pub fn seq_from_str(s: &str) -> Result<Vec<Base>, TypeError> {
+        s.bytes().map(Base::from_ascii).collect()
+    }
+
+    /// Formats a sequence of bases as a `String` (e.g. for SAM output).
+    #[must_use]
+    pub fn seq_to_string(seq: &[Base]) -> String {
+        seq.iter().map(|b| b.to_char()).collect()
+    }
+}
+
+impl TryFrom<char> for Base {
+    type Error = TypeError;
+
+    fn try_from(c: char) -> Result<Base, TypeError> {
+        if c.is_ascii() {
+            Base::from_ascii(c as u8)
+        } else {
+            Err(TypeError::InvalidBase(c))
+        }
+    }
+}
+
+impl From<Base> for char {
+    fn from(b: Base) -> char {
+        b.to_char()
+    }
+}
+
+impl fmt::Display for Base {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// Returns the dinucleotide *context ID* used by BQSR binning (paper §IV-D):
+/// `AA = 0, AC = 1, AG = 2, AT = 3, CA = 4, ..., TT = 15`.
+///
+/// Returns `None` when either base is `N` (no defined context).
+#[must_use]
+pub fn context_id(prev: Base, cur: Base) -> Option<u8> {
+    if prev == Base::N || cur == Base::N {
+        None
+    } else {
+        Some(prev.code() * 4 + cur.code())
+    }
+}
+
+/// Number of dinucleotide context types (paper §IV-D: 16).
+pub const NUM_CONTEXT_TYPES: u8 = 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_char() {
+        for b in [Base::A, Base::C, Base::G, Base::T, Base::N] {
+            assert_eq!(Base::try_from(b.to_char()).unwrap(), b);
+            assert_eq!(Base::from_code(b.code()), b);
+        }
+    }
+
+    #[test]
+    fn lowercase_accepted() {
+        assert_eq!(Base::try_from('t').unwrap(), Base::T);
+    }
+
+    #[test]
+    fn invalid_base_rejected() {
+        assert_eq!(Base::try_from('Z'), Err(TypeError::InvalidBase('Z')));
+        assert_eq!(Base::try_from('é'), Err(TypeError::InvalidBase('é')));
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for b in [Base::A, Base::C, Base::G, Base::T, Base::N] {
+            assert_eq!(b.complement().complement(), b);
+        }
+    }
+
+    #[test]
+    fn seq_parse_and_format() {
+        let seq = Base::seq_from_str("ACGTN").unwrap();
+        assert_eq!(Base::seq_to_string(&seq), "ACGTN");
+        assert!(Base::seq_from_str("ACQT").is_err());
+    }
+
+    #[test]
+    fn context_ids_match_paper_table() {
+        // AA = 0, AC = 1, AG = 2, AT = 3, CA = 4, ..., TT = 15.
+        assert_eq!(context_id(Base::A, Base::A), Some(0));
+        assert_eq!(context_id(Base::A, Base::C), Some(1));
+        assert_eq!(context_id(Base::C, Base::A), Some(4));
+        assert_eq!(context_id(Base::T, Base::T), Some(15));
+        assert_eq!(context_id(Base::N, Base::A), None);
+        assert_eq!(context_id(Base::A, Base::N), None);
+    }
+
+    #[test]
+    fn unknown_codes_decode_to_n() {
+        assert_eq!(Base::from_code(7), Base::N);
+        assert_eq!(Base::from_code(255), Base::N);
+    }
+}

@@ -1,0 +1,188 @@
+//! A compact bit vector used for the reference `IS_SNP` column.
+
+use std::fmt;
+
+/// A growable, compact vector of bits.
+///
+/// The paper's `REF` table carries an `IS_SNP` column: "a bit indicating
+/// whether the corresponding position is a known site of variation"
+/// (Table I). A packed representation keeps whole-chromosome bitmaps small
+/// enough to model on-chip scratchpad residency faithfully.
+///
+/// # Examples
+///
+/// ```
+/// use genesis_types::BitVec;
+///
+/// let mut bv = BitVec::zeros(100);
+/// bv.set(42, true);
+/// assert!(bv.get(42));
+/// assert!(!bv.get(41));
+/// assert_eq!(bv.count_ones(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an empty bit vector.
+    #[must_use]
+    pub fn new() -> BitVec {
+        BitVec::default()
+    }
+
+    /// Creates a bit vector of `len` zero bits.
+    #[must_use]
+    pub fn zeros(len: usize) -> BitVec {
+        BitVec { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Number of bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the vector holds no bits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the bit at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    #[must_use]
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of bounds ({})", self.len);
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Sets the bit at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.len()`.
+    pub fn set(&mut self, idx: usize, value: bool) {
+        assert!(idx < self.len, "bit index {idx} out of bounds ({})", self.len);
+        let (w, b) = (idx / 64, idx % 64);
+        if value {
+            self.words[w] |= 1 << b;
+        } else {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    /// Appends a bit.
+    pub fn push(&mut self, value: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        self.len += 1;
+        let idx = self.len - 1;
+        if value {
+            self.words[idx / 64] |= 1 << (idx % 64);
+        }
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over all bits in order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Size of the packed storage in bytes (used by the SPM capacity model).
+    #[must_use]
+    pub fn byte_size(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> BitVec {
+        let mut bv = BitVec::new();
+        for b in iter {
+            bv.push(b);
+        }
+        bv
+    }
+}
+
+impl Extend<bool> for BitVec {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        for b in iter {
+            self.push(b);
+        }
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[len={}, ones={}]", self.len, self.count_ones())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut bv = BitVec::zeros(130);
+        for i in (0..130).step_by(3) {
+            bv.set(i, true);
+        }
+        for i in 0..130 {
+            assert_eq!(bv.get(i), i % 3 == 0, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn push_and_collect() {
+        let bv: BitVec = [true, false, true, true].into_iter().collect();
+        assert_eq!(bv.len(), 4);
+        assert_eq!(bv.count_ones(), 3);
+        assert_eq!(bv.iter().collect::<Vec<_>>(), vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn clear_bit() {
+        let mut bv = BitVec::zeros(10);
+        bv.set(5, true);
+        bv.set(5, false);
+        assert!(!bv.get(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_get_panics() {
+        let _ = BitVec::zeros(8).get(8);
+    }
+
+    #[test]
+    fn byte_size_is_packed() {
+        // ceil(1e6 / 64) words * 8 bytes = 125 kB.
+        assert_eq!(BitVec::zeros(1_000_000).byte_size(), 125_000);
+    }
+
+    #[test]
+    fn word_boundary_push() {
+        let mut bv = BitVec::new();
+        for i in 0..64 {
+            bv.push(i == 63);
+        }
+        bv.push(true);
+        assert!(bv.get(63));
+        assert!(bv.get(64));
+        assert_eq!(bv.count_ones(), 2);
+    }
+}

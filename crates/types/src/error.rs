@@ -1,0 +1,76 @@
+//! Error type shared by the data-model crate.
+
+use std::fmt;
+
+/// Error produced by fallible conversions and parsers in `genesis-types`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A character could not be interpreted as a DNA base.
+    InvalidBase(char),
+    /// A character could not be interpreted as a CIGAR operation.
+    InvalidCigarOp(char),
+    /// A CIGAR string was malformed (empty run length, overflow, etc.).
+    InvalidCigar(String),
+    /// An MD tag string was malformed.
+    InvalidMdTag(String),
+    /// A quality score was outside the representable Phred range.
+    InvalidQual(u32),
+    /// A table operation referenced a column that does not exist.
+    UnknownColumn(String),
+    /// A table operation used a value of the wrong type for a column.
+    ColumnTypeMismatch {
+        /// Column name involved in the operation.
+        column: String,
+        /// Human-readable description of the expected type.
+        expected: &'static str,
+    },
+    /// Row lengths or schema/column counts disagree.
+    ShapeMismatch(String),
+    /// A coordinate fell outside the addressed sequence.
+    OutOfBounds {
+        /// Offending coordinate.
+        pos: u64,
+        /// Length of the addressed sequence.
+        len: u64,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::InvalidBase(c) => write!(f, "invalid DNA base character {c:?}"),
+            TypeError::InvalidCigarOp(c) => write!(f, "invalid CIGAR operation {c:?}"),
+            TypeError::InvalidCigar(s) => write!(f, "invalid CIGAR string: {s}"),
+            TypeError::InvalidMdTag(s) => write!(f, "invalid MD tag: {s}"),
+            TypeError::InvalidQual(q) => write!(f, "quality score {q} outside Phred range"),
+            TypeError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
+            TypeError::ColumnTypeMismatch { column, expected } => {
+                write!(f, "column {column:?} expected {expected} values")
+            }
+            TypeError::ShapeMismatch(s) => write!(f, "shape mismatch: {s}"),
+            TypeError::OutOfBounds { pos, len } => {
+                write!(f, "position {pos} out of bounds for sequence of length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let msg = TypeError::InvalidBase('z').to_string();
+        assert!(msg.starts_with("invalid"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TypeError>();
+    }
+}

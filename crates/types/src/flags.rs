@@ -1,0 +1,187 @@
+//! SAM-style read flags.
+
+use std::fmt;
+
+/// Bit flags attached to an aligned read (the `flags` field the paper
+/// mentions in §II alongside mapping quality and pair information).
+///
+/// The constants follow the SAM specification's bit assignments so that
+/// records interoperate with external tooling.
+///
+/// # Examples
+///
+/// ```
+/// use genesis_types::ReadFlags;
+///
+/// let f = ReadFlags::PAIRED | ReadFlags::REVERSE;
+/// assert!(f.contains(ReadFlags::REVERSE));
+/// assert!(!f.contains(ReadFlags::DUPLICATE));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ReadFlags(u16);
+
+impl ReadFlags {
+    /// Template has multiple segments (paired-end).
+    pub const PAIRED: ReadFlags = ReadFlags(0x1);
+    /// Each segment properly aligned.
+    pub const PROPER_PAIR: ReadFlags = ReadFlags(0x2);
+    /// Segment unmapped.
+    pub const UNMAPPED: ReadFlags = ReadFlags(0x4);
+    /// Mate unmapped.
+    pub const MATE_UNMAPPED: ReadFlags = ReadFlags(0x8);
+    /// Sequence reverse-complemented relative to the reference.
+    pub const REVERSE: ReadFlags = ReadFlags(0x10);
+    /// Mate reverse-complemented.
+    pub const MATE_REVERSE: ReadFlags = ReadFlags(0x20);
+    /// First segment of the template.
+    pub const FIRST_IN_PAIR: ReadFlags = ReadFlags(0x40);
+    /// Last segment of the template.
+    pub const SECOND_IN_PAIR: ReadFlags = ReadFlags(0x80);
+    /// Secondary alignment.
+    pub const SECONDARY: ReadFlags = ReadFlags(0x100);
+    /// Fails quality checks.
+    pub const QC_FAIL: ReadFlags = ReadFlags(0x200);
+    /// PCR or optical duplicate — set by the Mark Duplicates stage.
+    pub const DUPLICATE: ReadFlags = ReadFlags(0x400);
+    /// Supplementary alignment.
+    pub const SUPPLEMENTARY: ReadFlags = ReadFlags(0x800);
+
+    /// The empty flag set.
+    #[must_use]
+    pub fn empty() -> ReadFlags {
+        ReadFlags(0)
+    }
+
+    /// Constructs from the raw SAM integer representation.
+    #[must_use]
+    pub fn from_bits(bits: u16) -> ReadFlags {
+        ReadFlags(bits)
+    }
+
+    /// Raw SAM integer representation.
+    #[must_use]
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// True when every flag in `other` is set in `self`.
+    #[must_use]
+    pub fn contains(self, other: ReadFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Sets the given flags.
+    pub fn insert(&mut self, other: ReadFlags) {
+        self.0 |= other.0;
+    }
+
+    /// Clears the given flags.
+    pub fn remove(&mut self, other: ReadFlags) {
+        self.0 &= !other.0;
+    }
+
+    /// Returns `self` with `other` set or cleared per `value`.
+    #[must_use]
+    pub fn with(mut self, other: ReadFlags, value: bool) -> ReadFlags {
+        if value {
+            self.insert(other);
+        } else {
+            self.remove(other);
+        }
+        self
+    }
+
+    /// True for reverse-strand reads (used by the markdup 5′ key rule).
+    #[must_use]
+    pub fn is_reverse(self) -> bool {
+        self.contains(ReadFlags::REVERSE)
+    }
+
+    /// True for reads marked as duplicates.
+    #[must_use]
+    pub fn is_duplicate(self) -> bool {
+        self.contains(ReadFlags::DUPLICATE)
+    }
+
+    /// True for unmapped reads.
+    #[must_use]
+    pub fn is_unmapped(self) -> bool {
+        self.contains(ReadFlags::UNMAPPED)
+    }
+}
+
+impl std::ops::BitOr for ReadFlags {
+    type Output = ReadFlags;
+
+    fn bitor(self, rhs: ReadFlags) -> ReadFlags {
+        ReadFlags(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitOrAssign for ReadFlags {
+    fn bitor_assign(&mut self, rhs: ReadFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl std::ops::BitAnd for ReadFlags {
+    type Output = ReadFlags;
+
+    fn bitand(self, rhs: ReadFlags) -> ReadFlags {
+        ReadFlags(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Display for ReadFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#06x}", self.0)
+    }
+}
+
+impl fmt::Binary for ReadFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for ReadFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut f = ReadFlags::empty();
+        f.insert(ReadFlags::PAIRED | ReadFlags::REVERSE);
+        assert!(f.contains(ReadFlags::PAIRED));
+        assert!(f.is_reverse());
+        f.remove(ReadFlags::PAIRED);
+        assert!(!f.contains(ReadFlags::PAIRED));
+        assert!(f.is_reverse());
+    }
+
+    #[test]
+    fn with_sets_and_clears() {
+        let f = ReadFlags::empty().with(ReadFlags::DUPLICATE, true);
+        assert!(f.is_duplicate());
+        assert!(!f.with(ReadFlags::DUPLICATE, false).is_duplicate());
+    }
+
+    #[test]
+    fn sam_bit_values() {
+        assert_eq!(ReadFlags::DUPLICATE.bits(), 0x400);
+        assert_eq!((ReadFlags::PAIRED | ReadFlags::UNMAPPED).bits(), 0x5);
+        assert_eq!(ReadFlags::from_bits(0x5), ReadFlags::PAIRED | ReadFlags::UNMAPPED);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format!("{:x}", ReadFlags::DUPLICATE), "400");
+        assert_eq!(format!("{:b}", ReadFlags::PAIRED), "1");
+    }
+}

@@ -1,0 +1,58 @@
+//! # genesis-types
+//!
+//! Genomic data model substrate for the Genesis reproduction.
+//!
+//! This crate provides the data types that the paper's framework treats as a
+//! "very large relational database" (paper §III-B, Table I): DNA bases,
+//! Phred quality scores, CIGAR alignment metadata, aligned read records, the
+//! reference genome with its known-SNP bitmap, a columnar [`table::Table`]
+//! representation with the paper's `READS`/`REF` schemas, the position-window
+//! partitioning scheme, and the NM/MD/UQ metadata tags computed by the
+//! GATK4 *metadata update* stage.
+//!
+//! All coordinates in this crate are **0-based, half-open** unless explicitly
+//! stated otherwise: a read at `pos` with reference length `L` covers
+//! `[pos, pos + L)`.
+//!
+//! # Examples
+//!
+//! ```
+//! use genesis_types::{Base, Cigar};
+//!
+//! // Paper Figure 2, Read 1: CIGAR (7M, 1I, 5M).
+//! let cigar: Cigar = "7M1I5M".parse()?;
+//! assert_eq!(cigar.read_len(), 13);
+//! assert_eq!(cigar.ref_len(), 12);
+//! assert_eq!(Base::A.complement(), Base::T);
+//! # Ok::<(), genesis_types::TypeError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod base;
+pub mod bitvec;
+pub mod cigar;
+pub mod error;
+pub mod flags;
+pub mod partition;
+pub mod qual;
+pub mod read;
+pub mod reference;
+pub mod sam;
+pub mod table;
+pub mod tags;
+pub mod value;
+
+pub use base::Base;
+pub use bitvec::BitVec;
+pub use cigar::{Cigar, CigarElem, CigarOp};
+pub use error::TypeError;
+pub use flags::ReadFlags;
+pub use partition::{PartitionId, PartitionScheme, ReadPartition, ReferencePartition};
+pub use qual::Qual;
+pub use read::{Chrom, ReadRecord};
+pub use reference::{Chromosome, ReferenceGenome};
+pub use table::{Column, DataType, Field, Schema, Table};
+pub use tags::MdTag;
+pub use value::Value;

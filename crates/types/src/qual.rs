@@ -1,0 +1,173 @@
+//! Phred-scaled base quality scores.
+
+use crate::error::TypeError;
+use std::fmt;
+
+/// A Phred-scaled base quality score.
+///
+/// A quality score `q` encodes the sequencing instrument's estimate that the
+/// corresponding base call is wrong with probability `10^(-q/10)` (paper
+/// §IV-D). Valid scores are `0..=93`, the range representable in SAM's
+/// ASCII-33 ("Phred+33") encoding.
+///
+/// # Examples
+///
+/// ```
+/// use genesis_types::Qual;
+///
+/// let q = Qual::new(20)?;
+/// assert!((q.error_probability() - 0.01).abs() < 1e-12);
+/// assert_eq!(Qual::from_error_probability(0.01), q);
+/// # Ok::<(), genesis_types::TypeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Qual(u8);
+
+impl Qual {
+    /// Maximum representable Phred score.
+    pub const MAX: Qual = Qual(93);
+    /// Minimum representable Phred score.
+    pub const MIN: Qual = Qual(0);
+
+    /// Creates a quality score, validating the Phred range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::InvalidQual`] when `score > 93`.
+    pub fn new(score: u8) -> Result<Qual, TypeError> {
+        if score <= Qual::MAX.0 {
+            Ok(Qual(score))
+        } else {
+            Err(TypeError::InvalidQual(u32::from(score)))
+        }
+    }
+
+    /// Creates a quality score, clamping into the Phred range.
+    #[must_use]
+    pub fn saturating(score: u32) -> Qual {
+        Qual(score.min(u32::from(Qual::MAX.0)) as u8)
+    }
+
+    /// Returns the raw Phred value.
+    #[must_use]
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Returns the probability that the base call is erroneous.
+    #[must_use]
+    pub fn error_probability(self) -> f64 {
+        10f64.powf(-f64::from(self.0) / 10.0)
+    }
+
+    /// Converts an error probability to the nearest Phred score.
+    ///
+    /// Probabilities `<= 0` saturate to [`Qual::MAX`]; probabilities
+    /// `>= 1` map to [`Qual::MIN`].
+    #[must_use]
+    pub fn from_error_probability(p: f64) -> Qual {
+        if p <= 0.0 {
+            return Qual::MAX;
+        }
+        if p >= 1.0 {
+            return Qual::MIN;
+        }
+        let q = (-10.0 * p.log10()).round();
+        Qual::saturating(q as u32)
+    }
+
+    /// Encodes as the SAM Phred+33 ASCII character.
+    #[must_use]
+    pub fn to_phred33(self) -> char {
+        (self.0 + 33) as char
+    }
+
+    /// Decodes a SAM Phred+33 ASCII byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::InvalidQual`] for bytes outside `33..=126`.
+    pub fn from_phred33(byte: u8) -> Result<Qual, TypeError> {
+        if (33..=126).contains(&byte) {
+            Ok(Qual(byte - 33))
+        } else {
+            Err(TypeError::InvalidQual(u32::from(byte)))
+        }
+    }
+
+    /// Parses a Phred+33 quality string such as `"##9>>AAB?"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::InvalidQual`] on the first invalid byte.
+    pub fn seq_from_str(s: &str) -> Result<Vec<Qual>, TypeError> {
+        s.bytes().map(Qual::from_phred33).collect()
+    }
+
+    /// Formats a quality sequence in Phred+33.
+    #[must_use]
+    pub fn seq_to_string(seq: &[Qual]) -> String {
+        seq.iter().map(|q| q.to_phred33()).collect()
+    }
+}
+
+impl fmt::Display for Qual {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}", self.0)
+    }
+}
+
+impl From<Qual> for u8 {
+    fn from(q: Qual) -> u8 {
+        q.0
+    }
+}
+
+impl TryFrom<u8> for Qual {
+    type Error = TypeError;
+
+    fn try_from(v: u8) -> Result<Qual, TypeError> {
+        Qual::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_range() {
+        assert!(Qual::new(93).is_ok());
+        assert_eq!(Qual::new(94), Err(TypeError::InvalidQual(94)));
+    }
+
+    #[test]
+    fn phred_probability_roundtrip() {
+        for q in [0u8, 2, 10, 20, 30, 40, 93] {
+            let qual = Qual::new(q).unwrap();
+            assert_eq!(Qual::from_error_probability(qual.error_probability()), qual);
+        }
+    }
+
+    #[test]
+    fn probability_edges_saturate() {
+        assert_eq!(Qual::from_error_probability(0.0), Qual::MAX);
+        assert_eq!(Qual::from_error_probability(-1.0), Qual::MAX);
+        assert_eq!(Qual::from_error_probability(1.0), Qual::MIN);
+        assert_eq!(Qual::from_error_probability(2.0), Qual::MIN);
+    }
+
+    #[test]
+    fn phred33_roundtrip() {
+        let quals = Qual::seq_from_str("##9>>AAB?").unwrap();
+        assert_eq!(quals[0], Qual::new(2).unwrap());
+        assert_eq!(Qual::seq_to_string(&quals), "##9>>AAB?");
+        assert!(Qual::from_phred33(10).is_err());
+    }
+
+    #[test]
+    fn saturating_clamps() {
+        assert_eq!(Qual::saturating(1000), Qual::MAX);
+        assert_eq!(Qual::saturating(5).value(), 5);
+    }
+}

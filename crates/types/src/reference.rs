@@ -1,0 +1,189 @@
+//! Reference genome with known-SNP annotations.
+
+use crate::base::Base;
+use crate::bitvec::BitVec;
+use crate::error::TypeError;
+use crate::read::Chrom;
+
+/// One reference chromosome: a base sequence plus the `IS_SNP` bitmap of
+/// known variation sites (paper Table I).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chromosome {
+    /// Identifier used in `CHR` columns.
+    pub chrom: Chrom,
+    /// Full base sequence.
+    pub seq: Vec<Base>,
+    /// Per-position bit: true at known SNP sites. Same length as `seq`.
+    pub is_snp: BitVec,
+}
+
+impl Chromosome {
+    /// Creates a chromosome, validating that the SNP bitmap matches the
+    /// sequence length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::ShapeMismatch`] when lengths disagree.
+    pub fn new(chrom: Chrom, seq: Vec<Base>, is_snp: BitVec) -> Result<Chromosome, TypeError> {
+        if seq.len() != is_snp.len() {
+            return Err(TypeError::ShapeMismatch(format!(
+                "{chrom}: sequence length {} != IS_SNP length {}",
+                seq.len(),
+                is_snp.len()
+            )));
+        }
+        Ok(Chromosome { chrom, seq, is_snp })
+    }
+
+    /// Creates a chromosome with no known SNP sites.
+    #[must_use]
+    pub fn without_snps(chrom: Chrom, seq: Vec<Base>) -> Chromosome {
+        let n = seq.len();
+        Chromosome { chrom, seq, is_snp: BitVec::zeros(n) }
+    }
+
+    /// Sequence length in base pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// True when the chromosome is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Returns the base at `pos`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::OutOfBounds`] past the end of the sequence.
+    pub fn base_at(&self, pos: u32) -> Result<Base, TypeError> {
+        self.seq
+            .get(pos as usize)
+            .copied()
+            .ok_or(TypeError::OutOfBounds { pos: u64::from(pos), len: self.seq.len() as u64 })
+    }
+
+    /// Returns the slice `[start, end)` of the sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::OutOfBounds`] when `end` exceeds the sequence or
+    /// `start > end`.
+    pub fn slice(&self, start: u32, end: u32) -> Result<&[Base], TypeError> {
+        let (s, e) = (start as usize, end as usize);
+        if s > e || e > self.seq.len() {
+            return Err(TypeError::OutOfBounds { pos: u64::from(end), len: self.seq.len() as u64 });
+        }
+        Ok(&self.seq[s..e])
+    }
+}
+
+/// A complete reference genome: an ordered set of chromosomes.
+///
+/// Stands in for GRCh38 + the dbSNP138 known-sites set in the paper's
+/// evaluation (§V-A); synthetic instances are produced by `genesis-datagen`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReferenceGenome {
+    chromosomes: Vec<Chromosome>,
+}
+
+impl ReferenceGenome {
+    /// Creates an empty genome.
+    #[must_use]
+    pub fn new() -> ReferenceGenome {
+        ReferenceGenome::default()
+    }
+
+    /// Adds a chromosome, keeping insertion order.
+    pub fn push(&mut self, chromosome: Chromosome) {
+        self.chromosomes.push(chromosome);
+    }
+
+    /// Looks up a chromosome by identifier.
+    #[must_use]
+    pub fn chromosome(&self, chrom: Chrom) -> Option<&Chromosome> {
+        self.chromosomes.iter().find(|c| c.chrom == chrom)
+    }
+
+    /// Iterates over chromosomes in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Chromosome> {
+        self.chromosomes.iter()
+    }
+
+    /// Number of chromosomes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chromosomes.len()
+    }
+
+    /// True when the genome has no chromosomes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.chromosomes.is_empty()
+    }
+
+    /// Total bases across all chromosomes.
+    #[must_use]
+    pub fn total_bases(&self) -> u64 {
+        self.chromosomes.iter().map(|c| c.len() as u64).sum()
+    }
+}
+
+impl FromIterator<Chromosome> for ReferenceGenome {
+    fn from_iter<I: IntoIterator<Item = Chromosome>>(iter: I) -> ReferenceGenome {
+        ReferenceGenome { chromosomes: iter.into_iter().collect() }
+    }
+}
+
+impl<'a> IntoIterator for &'a ReferenceGenome {
+    type Item = &'a Chromosome;
+    type IntoIter = std::slice::Iter<'a, Chromosome>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.chromosomes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chr(id: u8, seq: &str) -> Chromosome {
+        Chromosome::without_snps(Chrom::new(id), Base::seq_from_str(seq).unwrap())
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let genome: ReferenceGenome = [chr(1, "ACGT"), chr(2, "TTTT")].into_iter().collect();
+        assert_eq!(genome.len(), 2);
+        assert_eq!(genome.chromosome(Chrom::new(2)).unwrap().len(), 4);
+        assert!(genome.chromosome(Chrom::new(3)).is_none());
+        assert_eq!(genome.total_bases(), 8);
+    }
+
+    #[test]
+    fn snp_bitmap_must_match_length() {
+        let seq = Base::seq_from_str("ACGT").unwrap();
+        assert!(Chromosome::new(Chrom::new(1), seq.clone(), BitVec::zeros(3)).is_err());
+        assert!(Chromosome::new(Chrom::new(1), seq, BitVec::zeros(4)).is_ok());
+    }
+
+    #[test]
+    fn base_at_bounds() {
+        let c = chr(1, "ACGT");
+        assert_eq!(c.base_at(3).unwrap(), Base::T);
+        assert!(c.base_at(4).is_err());
+    }
+
+    #[test]
+    fn slice_bounds() {
+        let c = chr(1, "ACGTAC");
+        assert_eq!(c.slice(1, 4).unwrap(), Base::seq_from_str("CGT").unwrap().as_slice());
+        assert!(c.slice(4, 3).is_err());
+        assert!(c.slice(0, 7).is_err());
+        assert_eq!(c.slice(6, 6).unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! SAM-format text serialization of aligned reads.
+//!
+//! The paper's pipelines consume and produce aligned reads in the SAM/BAM
+//! family of formats; this module provides the text (SAM) side so the
+//! reproduction's inputs and outputs interoperate with standard tooling.
+//! Only the fields the pipelines use are modeled: the 11 mandatory columns
+//! plus the `RG`, `NM`, `MD` and `UQ` optional tags.
+
+use crate::base::Base;
+use crate::cigar::Cigar;
+use crate::error::TypeError;
+use crate::flags::ReadFlags;
+use crate::qual::Qual;
+use crate::read::{Chrom, ReadRecord};
+use std::fmt::Write as _;
+
+/// Serializes a read as one SAM line (no trailing newline).
+///
+/// Positions are written 1-based per the SAM specification; the record's
+/// internal representation is 0-based.
+#[must_use]
+pub fn to_sam_line(read: &ReadRecord) -> String {
+    let mut line = String::with_capacity(96 + 2 * read.seq.len());
+    let _ = write!(
+        line,
+        "{}\t{}\t{}\t{}\t{}\t{}\t*\t0\t0\t{}\t{}",
+        read.name,
+        read.flags.bits(),
+        read.chr,
+        read.pos + 1,
+        read.mapq,
+        read.cigar,
+        Base::seq_to_string(&read.seq),
+        Qual::seq_to_string(&read.qual),
+    );
+    let _ = write!(line, "\tRG:Z:rg{}", read.read_group);
+    if let Some(nm) = read.nm {
+        let _ = write!(line, "\tNM:i:{nm}");
+    }
+    if let Some(md) = &read.md {
+        let _ = write!(line, "\tMD:Z:{md}");
+    }
+    if let Some(uq) = read.uq {
+        let _ = write!(line, "\tUQ:i:{uq}");
+    }
+    line
+}
+
+/// Parses one SAM line into a read record.
+///
+/// # Errors
+///
+/// Returns [`TypeError::ShapeMismatch`] for missing mandatory columns and
+/// propagates base/quality/CIGAR parse errors. Unknown optional tags are
+/// ignored; `*` sequences produce empty records.
+pub fn from_sam_line(line: &str) -> Result<ReadRecord, TypeError> {
+    let mut cols = line.split('\t');
+    let mut next = |what: &str| {
+        cols.next()
+            .ok_or_else(|| TypeError::ShapeMismatch(format!("SAM line missing {what}")))
+    };
+    let name = next("QNAME")?;
+    let flags = ReadFlags::from_bits(
+        next("FLAG")?
+            .parse::<u16>()
+            .map_err(|_| TypeError::ShapeMismatch("FLAG not an integer".into()))?,
+    );
+    let rname = next("RNAME")?;
+    let chr = parse_chrom(rname)?;
+    let pos1: u32 = next("POS")?
+        .parse()
+        .map_err(|_| TypeError::ShapeMismatch("POS not an integer".into()))?;
+    let mapq: u8 = next("MAPQ")?
+        .parse()
+        .map_err(|_| TypeError::ShapeMismatch("MAPQ not an integer".into()))?;
+    let cigar: Cigar = next("CIGAR")?.parse()?;
+    let _rnext = next("RNEXT")?;
+    let _pnext = next("PNEXT")?;
+    let _tlen = next("TLEN")?;
+    let seq_str = next("SEQ")?;
+    let qual_str = next("QUAL")?;
+    let seq = if seq_str == "*" { Vec::new() } else { Base::seq_from_str(seq_str)? };
+    let qual = if qual_str == "*" {
+        vec![Qual::MIN; seq.len()]
+    } else {
+        Qual::seq_from_str(qual_str)?
+    };
+
+    let mut read_group = 0u8;
+    let mut nm = None;
+    let mut md = None;
+    let mut uq = None;
+    for tag in cols {
+        if let Some(rg) = tag.strip_prefix("RG:Z:rg") {
+            read_group = rg.parse().unwrap_or(0);
+        } else if let Some(v) = tag.strip_prefix("NM:i:") {
+            nm = v.parse().ok();
+        } else if let Some(v) = tag.strip_prefix("MD:Z:") {
+            md = Some(v.to_owned());
+        } else if let Some(v) = tag.strip_prefix("UQ:i:") {
+            uq = v.parse().ok();
+        }
+    }
+
+    let mut record = ReadRecord::builder(name, chr, pos1.saturating_sub(1))
+        .cigar(cigar)
+        .seq(seq)
+        .qual(qual)
+        .flags(flags)
+        .mapq(mapq)
+        .read_group(read_group)
+        .build()?;
+    record.nm = nm;
+    record.md = md;
+    record.uq = uq;
+    Ok(record)
+}
+
+fn parse_chrom(rname: &str) -> Result<Chrom, TypeError> {
+    let body = rname.strip_prefix("chr").unwrap_or(rname);
+    match body {
+        "X" => Ok(Chrom::X),
+        "Y" => Ok(Chrom::Y),
+        n => n
+            .parse::<u8>()
+            .ok()
+            .filter(|&v| v > 0)
+            .map(Chrom::new)
+            .ok_or_else(|| TypeError::ShapeMismatch(format!("unknown chromosome {rname:?}"))),
+    }
+}
+
+/// Serializes reads as a SAM document with a minimal header.
+#[must_use]
+pub fn to_sam(reads: &[ReadRecord], reference_lengths: &[(Chrom, u32)]) -> String {
+    let mut out = String::new();
+    out.push_str("@HD\tVN:1.6\tSO:coordinate\n");
+    for (chrom, len) in reference_lengths {
+        let _ = writeln!(out, "@SQ\tSN:{chrom}\tLN:{len}");
+    }
+    for read in reads {
+        out.push_str(&to_sam_line(read));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a SAM document (headers skipped).
+///
+/// # Errors
+///
+/// Propagates the first record parse error.
+pub fn from_sam(text: &str) -> Result<Vec<ReadRecord>, TypeError> {
+    text.lines()
+        .filter(|l| !l.starts_with('@') && !l.is_empty())
+        .map(from_sam_line)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ReadRecord {
+        let mut r = ReadRecord::builder("r1", Chrom::new(2), 99)
+            .cigar("3S6M1D2M".parse().unwrap())
+            .seq(Base::seq_from_str("CCCGTAACCGT").unwrap())
+            .qual(Qual::seq_from_str("IIIIIIIIIII").unwrap())
+            .flags(ReadFlags::REVERSE | ReadFlags::DUPLICATE)
+            .mapq(47)
+            .read_group(3)
+            .build()
+            .unwrap();
+        r.nm = Some(2);
+        r.md = Some("5A0^C2".to_owned());
+        r.uq = Some(40);
+        r
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let r = sample();
+        let line = to_sam_line(&r);
+        assert!(line.starts_with("r1\t1040\tchr2\t100\t47\t3S6M1D2M\t*\t0\t0\t"));
+        assert!(line.contains("NM:i:2"));
+        assert!(line.contains("MD:Z:5A0^C2"));
+        assert!(line.contains("RG:Z:rg3"));
+        let back = from_sam_line(&line).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn document_roundtrip() {
+        let reads = vec![sample(), sample()];
+        let doc = to_sam(&reads, &[(Chrom::new(2), 1000)]);
+        assert!(doc.starts_with("@HD"));
+        assert!(doc.contains("@SQ\tSN:chr2\tLN:1000"));
+        let back = from_sam(&doc).unwrap();
+        assert_eq!(back, reads);
+    }
+
+    #[test]
+    fn sex_chromosomes() {
+        assert_eq!(parse_chrom("chrX").unwrap(), Chrom::X);
+        assert_eq!(parse_chrom("Y").unwrap(), Chrom::Y);
+        assert!(parse_chrom("chrM").is_err());
+        assert!(parse_chrom("chr0").is_err());
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(from_sam_line("only\ttwo").is_err());
+        assert!(from_sam_line("r\tx\tchr1\t1\t0\t4M\t*\t0\t0\tACGT\tIIII").is_err());
+    }
+
+    #[test]
+    fn star_sequence_allowed() {
+        let line = "r\t4\tchr1\t0\t0\t*\t*\t0\t0\t*\t*";
+        let r = from_sam_line(line).unwrap();
+        assert!(r.is_empty());
+        assert!(r.cigar.is_empty());
+    }
+}

@@ -1,0 +1,606 @@
+//! Columnar tables: the "very large relational database" view of genomic
+//! data (paper §III-B, Table I).
+
+use crate::base::Base;
+use crate::error::TypeError;
+use crate::read::ReadRecord;
+use crate::value::Value;
+use std::fmt;
+
+/// Element type of a table column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// `uint8_t` (chromosome ids, packed bases, quality scores).
+    U8,
+    /// `uint16_t` (packed CIGAR elements).
+    U16,
+    /// `uint32_t` (positions).
+    U32,
+    /// `uint64_t` (aggregates).
+    U64,
+    /// Boolean (SNP bits).
+    Bool,
+    /// String (read names, MD tags).
+    Str,
+    /// Variable-length `uint8_t` array per row (`SEQ`, `QUAL`).
+    ListU8,
+    /// Variable-length `uint16_t` array per row (`CIGAR`).
+    ListU16,
+    /// Variable-length boolean array per row (`IS_SNP`).
+    ListBool,
+    /// Dynamically-typed cells (engine outputs that may carry `Ins`/`Del`).
+    Cell,
+}
+
+/// One named, typed column slot in a [`Schema`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    /// Column name as referenced from SQL.
+    pub name: String,
+    /// Element type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    #[must_use]
+    pub fn new(name: &str, dtype: DataType) -> Field {
+        Field { name: name.to_owned(), dtype }
+    }
+}
+
+/// An ordered list of fields describing a table's columns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema from fields.
+    #[must_use]
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema { fields }
+    }
+
+    /// Fields in column order.
+    #[must_use]
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Finds a column index by name (case-sensitive).
+    #[must_use]
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no columns.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+/// Typed columnar storage for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// `uint8_t` column.
+    U8(Vec<u8>),
+    /// `uint16_t` column.
+    U16(Vec<u16>),
+    /// `uint32_t` column.
+    U32(Vec<u32>),
+    /// `uint64_t` column.
+    U64(Vec<u64>),
+    /// Boolean column.
+    Bool(Vec<bool>),
+    /// String column.
+    Str(Vec<String>),
+    /// Per-row `uint8_t` arrays.
+    ListU8(Vec<Vec<u8>>),
+    /// Per-row `uint16_t` arrays.
+    ListU16(Vec<Vec<u16>>),
+    /// Per-row boolean arrays.
+    ListBool(Vec<Vec<bool>>),
+    /// Dynamically-typed cells.
+    Cell(Vec<Value>),
+}
+
+impl Column {
+    /// Creates an empty column of the given type.
+    #[must_use]
+    pub fn empty(dtype: DataType) -> Column {
+        match dtype {
+            DataType::U8 => Column::U8(Vec::new()),
+            DataType::U16 => Column::U16(Vec::new()),
+            DataType::U32 => Column::U32(Vec::new()),
+            DataType::U64 => Column::U64(Vec::new()),
+            DataType::Bool => Column::Bool(Vec::new()),
+            DataType::Str => Column::Str(Vec::new()),
+            DataType::ListU8 => Column::ListU8(Vec::new()),
+            DataType::ListU16 => Column::ListU16(Vec::new()),
+            DataType::ListBool => Column::ListBool(Vec::new()),
+            DataType::Cell => Column::Cell(Vec::new()),
+        }
+    }
+
+    /// Element type of this column.
+    #[must_use]
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Column::U8(_) => DataType::U8,
+            Column::U16(_) => DataType::U16,
+            Column::U32(_) => DataType::U32,
+            Column::U64(_) => DataType::U64,
+            Column::Bool(_) => DataType::Bool,
+            Column::Str(_) => DataType::Str,
+            Column::ListU8(_) => DataType::ListU8,
+            Column::ListU16(_) => DataType::ListU16,
+            Column::ListBool(_) => DataType::ListBool,
+            Column::Cell(_) => DataType::Cell,
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Column::U8(v) => v.len(),
+            Column::U16(v) => v.len(),
+            Column::U32(v) => v.len(),
+            Column::U64(v) => v.len(),
+            Column::Bool(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::ListU8(v) => v.len(),
+            Column::ListU16(v) => v.len(),
+            Column::ListBool(v) => v.len(),
+            Column::Cell(v) => v.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the cell at `row` as a dynamic [`Value`].
+    ///
+    /// Returns [`Value::Null`] when `row` is out of bounds.
+    #[must_use]
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            Column::U8(v) => v.get(row).map_or(Value::Null, |&x| Value::from(x)),
+            Column::U16(v) => v.get(row).map_or(Value::Null, |&x| Value::from(x)),
+            Column::U32(v) => v.get(row).map_or(Value::Null, |&x| Value::from(x)),
+            Column::U64(v) => v.get(row).map_or(Value::Null, |&x| Value::from(x)),
+            Column::Bool(v) => v.get(row).map_or(Value::Null, |&x| Value::from(x)),
+            Column::Str(v) => v.get(row).map_or(Value::Null, |x| Value::from(x.clone())),
+            Column::ListU8(v) => v
+                .get(row)
+                .map_or(Value::Null, |x| Value::List(x.iter().map(|&b| Value::from(b)).collect())),
+            Column::ListU16(v) => v
+                .get(row)
+                .map_or(Value::Null, |x| Value::List(x.iter().map(|&b| Value::from(b)).collect())),
+            Column::ListBool(v) => v
+                .get(row)
+                .map_or(Value::Null, |x| Value::List(x.iter().map(|&b| Value::from(b)).collect())),
+            Column::Cell(v) => v.get(row).cloned().unwrap_or(Value::Null),
+        }
+    }
+
+    /// Appends a dynamic value, converting to the column's storage type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::ColumnTypeMismatch`] when the value cannot be
+    /// stored in this column (sentinels and NULLs are only storable in
+    /// `Cell` columns).
+    pub fn push(&mut self, value: Value) -> Result<(), TypeError> {
+        fn fail(col: &Column, expected: &'static str) -> TypeError {
+            TypeError::ColumnTypeMismatch { column: format!("{:?}", col.dtype()), expected }
+        }
+        match self {
+            Column::U8(v) => match value.as_u64() {
+                Some(x) if x <= u64::from(u8::MAX) => v.push(x as u8),
+                _ => return Err(fail(self, "u8")),
+            },
+            Column::U16(v) => match value.as_u64() {
+                Some(x) if x <= u64::from(u16::MAX) => v.push(x as u16),
+                _ => return Err(fail(self, "u16")),
+            },
+            Column::U32(v) => match value.as_u64() {
+                Some(x) if x <= u64::from(u32::MAX) => v.push(x as u32),
+                _ => return Err(fail(self, "u32")),
+            },
+            Column::U64(v) => match value.as_u64() {
+                Some(x) => v.push(x),
+                None => return Err(fail(self, "u64")),
+            },
+            Column::Bool(v) => match value.as_bool() {
+                Some(b) => v.push(b),
+                None => return Err(fail(self, "bool")),
+            },
+            Column::Str(v) => match value {
+                Value::Str(s) => v.push(s),
+                _ => return Err(fail(self, "string")),
+            },
+            Column::ListU8(v) => match &value {
+                Value::List(items) => {
+                    let mut out = Vec::with_capacity(items.len());
+                    for item in items {
+                        match item.as_u64() {
+                            Some(x) if x <= u64::from(u8::MAX) => out.push(x as u8),
+                            _ => return Err(fail(self, "list of u8")),
+                        }
+                    }
+                    v.push(out);
+                }
+                _ => return Err(fail(self, "list of u8")),
+            },
+            Column::ListU16(v) => match &value {
+                Value::List(items) => {
+                    let mut out = Vec::with_capacity(items.len());
+                    for item in items {
+                        match item.as_u64() {
+                            Some(x) if x <= u64::from(u16::MAX) => out.push(x as u16),
+                            _ => return Err(fail(self, "list of u16")),
+                        }
+                    }
+                    v.push(out);
+                }
+                _ => return Err(fail(self, "list of u16")),
+            },
+            Column::ListBool(v) => match &value {
+                Value::List(items) => {
+                    let mut out = Vec::with_capacity(items.len());
+                    for item in items {
+                        match item.as_bool() {
+                            Some(b) => out.push(b),
+                            None => return Err(fail(self, "list of bool")),
+                        }
+                    }
+                    v.push(out);
+                }
+                _ => return Err(fail(self, "list of bool")),
+            },
+            Column::Cell(v) => v.push(value),
+        }
+        Ok(())
+    }
+
+    /// Approximate in-memory footprint in bytes (drives the DMA model).
+    #[must_use]
+    pub fn byte_size(&self) -> u64 {
+        match self {
+            Column::U8(v) => v.len() as u64,
+            Column::U16(v) => v.len() as u64 * 2,
+            Column::U32(v) => v.len() as u64 * 4,
+            Column::U64(v) => v.len() as u64 * 8,
+            Column::Bool(v) => v.len() as u64,
+            Column::Str(v) => v.iter().map(|s| s.len() as u64).sum(),
+            Column::ListU8(v) => v.iter().map(|x| x.len() as u64).sum(),
+            Column::ListU16(v) => v.iter().map(|x| x.len() as u64 * 2).sum(),
+            Column::ListBool(v) => v.iter().map(|x| x.len() as u64).sum(),
+            Column::Cell(v) => v.len() as u64 * 8,
+        }
+    }
+}
+
+/// A columnar table with a fixed [`Schema`].
+///
+/// # Examples
+///
+/// ```
+/// use genesis_types::{DataType, Field, Schema, Table, Value};
+///
+/// let schema = Schema::new(vec![
+///     Field::new("POS", DataType::U32),
+///     Field::new("SEQ", DataType::ListU8),
+/// ]);
+/// let mut t = Table::new(schema);
+/// t.push_row(vec![Value::from(5u32), Value::List(vec![Value::from(0u8)])])?;
+/// assert_eq!(t.num_rows(), 1);
+/// assert_eq!(t.get(0, "POS")?, Value::U64(5));
+/// # Ok::<(), genesis_types::TypeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    #[must_use]
+    pub fn new(schema: Schema) -> Table {
+        let columns = schema.fields().iter().map(|f| Column::empty(f.dtype)).collect();
+        Table { schema, columns }
+    }
+
+    /// Creates a table directly from columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::ShapeMismatch`] when column count or row counts
+    /// disagree, or a column's type differs from its schema field.
+    pub fn from_columns(schema: Schema, columns: Vec<Column>) -> Result<Table, TypeError> {
+        if schema.len() != columns.len() {
+            return Err(TypeError::ShapeMismatch(format!(
+                "schema has {} fields, got {} columns",
+                schema.len(),
+                columns.len()
+            )));
+        }
+        for (f, c) in schema.fields().iter().zip(&columns) {
+            if f.dtype != c.dtype() {
+                return Err(TypeError::ShapeMismatch(format!(
+                    "column {} is {:?} but schema says {:?}",
+                    f.name,
+                    c.dtype(),
+                    f.dtype
+                )));
+            }
+        }
+        let rows: Vec<usize> = columns.iter().map(Column::len).collect();
+        if rows.windows(2).any(|w| w[0] != w[1]) {
+            return Err(TypeError::ShapeMismatch(format!("ragged column lengths {rows:?}")));
+        }
+        Ok(Table { schema, columns })
+    }
+
+    /// The table's schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Looks up a column by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::UnknownColumn`] when absent.
+    pub fn column(&self, name: &str) -> Result<&Column, TypeError> {
+        let idx =
+            self.schema.index_of(name).ok_or_else(|| TypeError::UnknownColumn(name.to_owned()))?;
+        Ok(&self.columns[idx])
+    }
+
+    /// Returns the column at `idx`.
+    #[must_use]
+    pub fn column_at(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Reads the cell at (`row`, `name`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::UnknownColumn`] when the column is absent.
+    pub fn get(&self, row: usize, name: &str) -> Result<Value, TypeError> {
+        Ok(self.column(name)?.get(row))
+    }
+
+    /// Appends one row of dynamic values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::ShapeMismatch`] when the value count differs
+    /// from the column count, or a [`TypeError::ColumnTypeMismatch`] from
+    /// the failing column. A failed push may leave previously-pushed cells
+    /// of the same row in place; treat the table as poisoned on error.
+    pub fn push_row(&mut self, values: Vec<Value>) -> Result<(), TypeError> {
+        if values.len() != self.columns.len() {
+            return Err(TypeError::ShapeMismatch(format!(
+                "row has {} values for {} columns",
+                values.len(),
+                self.columns.len()
+            )));
+        }
+        for (col, value) in self.columns.iter_mut().zip(values) {
+            col.push(value)?;
+        }
+        Ok(())
+    }
+
+    /// Materializes row `row` as a vector of dynamic values.
+    #[must_use]
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(row)).collect()
+    }
+
+    /// Total payload bytes across columns (drives the DMA model).
+    #[must_use]
+    pub fn byte_size(&self) -> u64 {
+        self.columns.iter().map(Column::byte_size).sum()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.schema.fields().iter().map(|fl| fl.name.as_str()).collect();
+        writeln!(f, "{}", names.join("\t"))?;
+        let show = self.num_rows().min(20);
+        for r in 0..show {
+            let cells: Vec<String> = self.row(r).iter().map(Value::to_string).collect();
+            writeln!(f, "{}", cells.join("\t"))?;
+        }
+        if self.num_rows() > show {
+            writeln!(f, "... ({} rows total)", self.num_rows())?;
+        }
+        Ok(())
+    }
+}
+
+/// Schema of the paper's `READS` table (Table I).
+#[must_use]
+pub fn reads_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("CHR", DataType::U8),
+        Field::new("POS", DataType::U32),
+        Field::new("ENDPOS", DataType::U32),
+        Field::new("CIGAR", DataType::ListU16),
+        Field::new("SEQ", DataType::ListU8),
+        Field::new("QUAL", DataType::ListU8),
+    ])
+}
+
+/// Schema of the paper's `REF` table (Table I).
+#[must_use]
+pub fn ref_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("CHR", DataType::U8),
+        Field::new("REFPOS", DataType::U32),
+        Field::new("SEQ", DataType::ListU8),
+        Field::new("IS_SNP", DataType::ListBool),
+    ])
+}
+
+/// Converts read records into a `READS` table (Table I layout).
+///
+/// # Errors
+///
+/// Returns [`TypeError::InvalidCigar`] if a CIGAR cannot be packed into the
+/// 16-bit column encoding.
+pub fn reads_to_table(reads: &[ReadRecord]) -> Result<Table, TypeError> {
+    let mut chr = Vec::with_capacity(reads.len());
+    let mut pos = Vec::with_capacity(reads.len());
+    let mut endpos = Vec::with_capacity(reads.len());
+    let mut cigar = Vec::with_capacity(reads.len());
+    let mut seq = Vec::with_capacity(reads.len());
+    let mut qual = Vec::with_capacity(reads.len());
+    for r in reads {
+        chr.push(r.chr.id());
+        pos.push(r.pos);
+        endpos.push(r.end_pos());
+        cigar.push(r.cigar.pack()?);
+        seq.push(r.seq.iter().map(|b| b.code()).collect::<Vec<u8>>());
+        qual.push(r.qual.iter().map(|q| q.value()).collect::<Vec<u8>>());
+    }
+    Table::from_columns(
+        reads_schema(),
+        vec![
+            Column::U8(chr),
+            Column::U32(pos),
+            Column::U32(endpos),
+            Column::ListU16(cigar),
+            Column::ListU8(seq),
+            Column::ListU8(qual),
+        ],
+    )
+}
+
+/// Converts one reference segment into a single-row `REF` table.
+#[must_use]
+pub fn ref_segment_to_table(chr: u8, refpos: u32, seq: &[Base], is_snp: &[bool]) -> Table {
+    Table::from_columns(
+        ref_schema(),
+        vec![
+            Column::U8(vec![chr]),
+            Column::U32(vec![refpos]),
+            Column::ListU8(vec![seq.iter().map(|b| b.code()).collect()]),
+            Column::ListBool(vec![is_snp.to_vec()]),
+        ],
+    )
+    .expect("single-row REF table construction is shape-correct")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qual::Qual;
+    use crate::read::Chrom;
+
+    #[test]
+    fn schema_lookup() {
+        let s = reads_schema();
+        assert_eq!(s.index_of("CIGAR"), Some(3));
+        assert_eq!(s.index_of("cigar"), None);
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn push_and_get_roundtrip() {
+        let mut t = Table::new(Schema::new(vec![
+            Field::new("A", DataType::U32),
+            Field::new("B", DataType::Bool),
+            Field::new("C", DataType::Cell),
+        ]));
+        t.push_row(vec![Value::from(1u32), Value::Bool(true), Value::Ins]).unwrap();
+        t.push_row(vec![Value::from(2u32), Value::Bool(false), Value::from(9u64)]).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.get(0, "C").unwrap(), Value::Ins);
+        assert_eq!(t.get(1, "A").unwrap(), Value::U64(2));
+        assert_eq!(t.row(1), vec![Value::U64(2), Value::Bool(false), Value::U64(9)]);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut t = Table::new(Schema::new(vec![Field::new("A", DataType::U8)]));
+        assert!(t.push_row(vec![Value::from(300u32)]).is_err());
+        assert!(t.push_row(vec![Value::Bool(true)]).is_err());
+        assert!(t.push_row(vec![Value::Ins]).is_err());
+    }
+
+    #[test]
+    fn ragged_columns_rejected() {
+        let schema = Schema::new(vec![Field::new("A", DataType::U8), Field::new("B", DataType::U8)]);
+        let res = Table::from_columns(schema, vec![Column::U8(vec![1]), Column::U8(vec![1, 2])]);
+        assert!(matches!(res, Err(TypeError::ShapeMismatch(_))));
+    }
+
+    #[test]
+    fn reads_table_matches_paper_schema() {
+        let read = ReadRecord::builder("r", Chrom::new(2), 14)
+            .cigar("3M2I".parse().unwrap())
+            .seq(Base::seq_from_str("TACTG").unwrap())
+            .qual(vec![Qual::new(30).unwrap(); 5])
+            .build()
+            .unwrap();
+        let t = reads_to_table(&[read]).unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.get(0, "CHR").unwrap(), Value::U64(2));
+        assert_eq!(t.get(0, "POS").unwrap(), Value::U64(14));
+        assert_eq!(t.get(0, "ENDPOS").unwrap(), Value::U64(17));
+        let seq = t.get(0, "SEQ").unwrap();
+        assert_eq!(seq.as_list().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn byte_size_counts_payload() {
+        let mut t = Table::new(Schema::new(vec![Field::new("A", DataType::U32)]));
+        t.push_row(vec![Value::from(1u32)]).unwrap();
+        t.push_row(vec![Value::from(2u32)]).unwrap();
+        assert_eq!(t.byte_size(), 8);
+    }
+
+    #[test]
+    fn wrong_row_width_rejected() {
+        let mut t = Table::new(reads_schema());
+        assert!(matches!(t.push_row(vec![Value::from(1u8)]), Err(TypeError::ShapeMismatch(_))));
+    }
+
+    #[test]
+    fn unknown_column_error() {
+        let t = Table::new(reads_schema());
+        assert!(matches!(t.column("NOPE"), Err(TypeError::UnknownColumn(_))));
+    }
+}

@@ -1,0 +1,455 @@
+//! NM / MD / UQ metadata tags (paper §IV-C).
+//!
+//! * **NM** — the number of mismatching bases plus inserted and deleted
+//!   bases relative to the reference.
+//! * **MD** — a string encoding match-run lengths, mismatched reference
+//!   bases, and deleted reference bases (prefixed `^`) that, together with
+//!   the read sequence, allows recovery of the reference sequence.
+//! * **UQ** — the sum of quality scores at mismatching base positions,
+//!   "the likelihood that the read is erroneous".
+
+use crate::base::Base;
+use crate::cigar::{Cigar, CigarOp};
+use crate::error::TypeError;
+use crate::qual::Qual;
+use std::fmt;
+use std::str::FromStr;
+
+/// One event in an MD tag.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MdEvent {
+    /// A run of `n` bases matching the reference.
+    Matches(u32),
+    /// A single mismatching position; payload is the *reference* base.
+    Mismatch(Base),
+    /// A deletion; payload is the deleted reference bases.
+    Deletion(Vec<Base>),
+}
+
+/// A parsed MD tag.
+///
+/// # Examples
+///
+/// Paper §IV-C: Figure 2's Read 1 has MD `1C6A3` (mismatches at its second
+/// and ninth aligned base pairs):
+///
+/// ```
+/// use genesis_types::MdTag;
+///
+/// let md: MdTag = "1C6A3".parse()?;
+/// assert_eq!(md.to_string(), "1C6A3");
+/// assert_eq!(md.mismatch_count(), 2);
+/// # Ok::<(), genesis_types::TypeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct MdTag(Vec<MdEvent>);
+
+impl MdTag {
+    /// Creates an MD tag from events (normalizing empty match runs away,
+    /// except where required as separators on output).
+    #[must_use]
+    pub fn new(events: Vec<MdEvent>) -> MdTag {
+        MdTag(events)
+    }
+
+    /// The events in order.
+    #[must_use]
+    pub fn events(&self) -> &[MdEvent] {
+        &self.0
+    }
+
+    /// Number of mismatch events.
+    #[must_use]
+    pub fn mismatch_count(&self) -> u32 {
+        self.0.iter().filter(|e| matches!(e, MdEvent::Mismatch(_))).count() as u32
+    }
+
+    /// Number of deleted reference bases.
+    #[must_use]
+    pub fn deleted_bases(&self) -> u32 {
+        self.0
+            .iter()
+            .map(|e| match e {
+                MdEvent::Deletion(bases) => bases.len() as u32,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+impl FromStr for MdTag {
+    type Err = TypeError;
+
+    fn from_str(s: &str) -> Result<MdTag, TypeError> {
+        let mut events = Vec::new();
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i];
+            if c.is_ascii_digit() {
+                let mut run: u64 = 0;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    run = run * 10 + u64::from(bytes[i] - b'0');
+                    if run > u64::from(u32::MAX) {
+                        return Err(TypeError::InvalidMdTag(format!("run overflow in {s:?}")));
+                    }
+                    i += 1;
+                }
+                if run > 0 {
+                    events.push(MdEvent::Matches(run as u32));
+                }
+            } else if c == b'^' {
+                i += 1;
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_alphabetic() {
+                    i += 1;
+                }
+                if i == start {
+                    return Err(TypeError::InvalidMdTag(format!("empty deletion in {s:?}")));
+                }
+                let bases = bytes[start..i]
+                    .iter()
+                    .map(|&b| Base::from_ascii(b))
+                    .collect::<Result<Vec<_>, _>>()?;
+                events.push(MdEvent::Deletion(bases));
+            } else if c.is_ascii_alphabetic() {
+                events.push(MdEvent::Mismatch(Base::from_ascii(c)?));
+                i += 1;
+            } else {
+                return Err(TypeError::InvalidMdTag(format!(
+                    "unexpected character {:?} in {s:?}",
+                    c as char
+                )));
+            }
+        }
+        Ok(MdTag(events))
+    }
+}
+
+impl fmt::Display for MdTag {
+    /// Formats per the SAM convention: match-run numbers separate
+    /// non-match events; a `0` is inserted between adjacent non-match
+    /// events and at the boundaries, matching GATK's output (`1C6A3`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut pending_number = false; // true after a non-match event
+        let mut wrote_any_match = false;
+        for e in &self.0 {
+            match e {
+                MdEvent::Matches(n) => {
+                    write!(f, "{n}")?;
+                    pending_number = false;
+                    wrote_any_match = true;
+                }
+                MdEvent::Mismatch(b) => {
+                    if pending_number || !wrote_any_match {
+                        write!(f, "0")?;
+                        wrote_any_match = true;
+                    }
+                    write!(f, "{b}")?;
+                    pending_number = true;
+                }
+                MdEvent::Deletion(bases) => {
+                    if pending_number || !wrote_any_match {
+                        write!(f, "0")?;
+                        wrote_any_match = true;
+                    }
+                    write!(f, "^")?;
+                    for b in bases {
+                        write!(f, "{b}")?;
+                    }
+                    pending_number = true;
+                }
+            }
+        }
+        if pending_number || self.0.is_empty() {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+/// The computed metadata triple for one read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadTags {
+    /// NM: mismatches + inserted bases + deleted bases.
+    pub nm: u32,
+    /// MD tag.
+    pub md: MdTag,
+    /// UQ: sum of quality scores at mismatching bases.
+    pub uq: u32,
+}
+
+/// Computes the NM/MD/UQ tags for an aligned read (paper §IV-C).
+///
+/// `ref_window` must cover the reference positions the alignment spans:
+/// `ref_window[i]` is the reference base at `pos + i` for
+/// `i < cigar.ref_len()`.
+///
+/// # Errors
+///
+/// Returns [`TypeError::ShapeMismatch`] when the CIGAR's read length
+/// disagrees with `seq`/`qual`, or [`TypeError::OutOfBounds`] when
+/// `ref_window` is shorter than the alignment's reference span.
+pub fn compute_tags(
+    seq: &[Base],
+    qual: &[Qual],
+    cigar: &Cigar,
+    ref_window: &[Base],
+) -> Result<ReadTags, TypeError> {
+    if cigar.read_len() as usize != seq.len() || seq.len() != qual.len() {
+        return Err(TypeError::ShapeMismatch(format!(
+            "CIGAR consumes {} bases; seq has {}, qual has {}",
+            cigar.read_len(),
+            seq.len(),
+            qual.len()
+        )));
+    }
+    if (cigar.ref_len() as usize) > ref_window.len() {
+        return Err(TypeError::OutOfBounds {
+            pos: u64::from(cigar.ref_len()),
+            len: ref_window.len() as u64,
+        });
+    }
+
+    let mut nm = 0u32;
+    let mut uq = 0u32;
+    let mut events: Vec<MdEvent> = Vec::new();
+    let mut match_run = 0u32;
+    let mut read_i = 0usize;
+    let mut ref_i = 0usize;
+
+    let flush = |run: &mut u32, events: &mut Vec<MdEvent>| {
+        if *run > 0 {
+            events.push(MdEvent::Matches(*run));
+            *run = 0;
+        }
+    };
+
+    for elem in cigar.iter() {
+        let n = elem.len as usize;
+        match elem.op {
+            CigarOp::Match | CigarOp::SeqMatch | CigarOp::SeqMismatch => {
+                for _ in 0..n {
+                    let rb = ref_window[ref_i];
+                    let qb = seq[read_i];
+                    if qb == rb {
+                        match_run += 1;
+                    } else {
+                        nm += 1;
+                        uq += u32::from(qual[read_i].value());
+                        flush(&mut match_run, &mut events);
+                        events.push(MdEvent::Mismatch(rb));
+                    }
+                    read_i += 1;
+                    ref_i += 1;
+                }
+            }
+            CigarOp::Ins => {
+                // Inserted bases count toward NM but do not appear in MD.
+                nm += elem.len;
+                read_i += n;
+            }
+            CigarOp::Del | CigarOp::RefSkip => {
+                nm += elem.len;
+                flush(&mut match_run, &mut events);
+                events.push(MdEvent::Deletion(ref_window[ref_i..ref_i + n].to_vec()));
+                ref_i += n;
+            }
+            CigarOp::SoftClip => {
+                read_i += n;
+            }
+            CigarOp::HardClip => {}
+        }
+    }
+    flush(&mut match_run, &mut events);
+    Ok(ReadTags { nm, md: MdTag(events), uq })
+}
+
+/// Recovers the aligned portion of the reference from a read's sequence,
+/// CIGAR, and MD tag — the defining property of the MD tag (paper §IV-C:
+/// "enables the recovery of the reference base pair sequence").
+///
+/// Returns the reference bases covered by the alignment, i.e. a vector of
+/// length `cigar.ref_len()`.
+///
+/// # Errors
+///
+/// Returns [`TypeError::InvalidMdTag`] when the MD tag is inconsistent with
+/// the CIGAR (wrong run lengths), or [`TypeError::ShapeMismatch`] when the
+/// CIGAR disagrees with `seq`.
+pub fn reconstruct_reference(
+    seq: &[Base],
+    cigar: &Cigar,
+    md: &MdTag,
+) -> Result<Vec<Base>, TypeError> {
+    if cigar.read_len() as usize != seq.len() {
+        return Err(TypeError::ShapeMismatch(format!(
+            "CIGAR consumes {} bases but seq has {}",
+            cigar.read_len(),
+            seq.len()
+        )));
+    }
+    // Aligned read bases in reference order, None at deletions.
+    let mut aligned: Vec<Option<Base>> = Vec::with_capacity(cigar.ref_len() as usize);
+    let mut read_i = 0usize;
+    for elem in cigar.iter() {
+        let n = elem.len as usize;
+        match elem.op {
+            CigarOp::Match | CigarOp::SeqMatch | CigarOp::SeqMismatch => {
+                for _ in 0..n {
+                    aligned.push(Some(seq[read_i]));
+                    read_i += 1;
+                }
+            }
+            CigarOp::Ins | CigarOp::SoftClip => read_i += n,
+            CigarOp::Del | CigarOp::RefSkip => {
+                for _ in 0..n {
+                    aligned.push(None);
+                }
+            }
+            CigarOp::HardClip => {}
+        }
+    }
+
+    let mut out = Vec::with_capacity(aligned.len());
+    let mut pos = 0usize;
+    let err = |msg: &str| TypeError::InvalidMdTag(format!("{msg} (at reference offset)"));
+    for event in md.events() {
+        match event {
+            MdEvent::Matches(n) => {
+                for _ in 0..*n {
+                    let b = aligned
+                        .get(pos)
+                        .copied()
+                        .flatten()
+                        .ok_or_else(|| err("match run exceeds alignment"))?;
+                    out.push(b);
+                    pos += 1;
+                }
+            }
+            MdEvent::Mismatch(rb) => {
+                if aligned.get(pos).copied().flatten().is_none() {
+                    return Err(err("mismatch event at deleted position"));
+                }
+                out.push(*rb);
+                pos += 1;
+            }
+            MdEvent::Deletion(bases) => {
+                for rb in bases {
+                    if aligned.get(pos).copied().flatten().is_some() {
+                        return Err(err("deletion event at aligned position"));
+                    }
+                    out.push(*rb);
+                    pos += 1;
+                }
+            }
+        }
+    }
+    if pos != aligned.len() {
+        return Err(err("MD tag shorter than alignment"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bases(s: &str) -> Vec<Base> {
+        Base::seq_from_str(s).unwrap()
+    }
+
+    fn quals(n: usize, q: u8) -> Vec<Qual> {
+        vec![Qual::new(q).unwrap(); n]
+    }
+
+    #[test]
+    fn paper_read1_md_is_1c6a3() {
+        // Figure 2: reference ACGTAAC CAGTA (positions 1..12, 0-based 0..11);
+        // Read 1 = AGGTAACACGGTA with CIGAR 7M1I5M aligned at reference pos 0.
+        // Ref window covering [0, 12): A C G T A A C C A G T A.
+        let ref_window = bases("ACGTAACCAGTA");
+        let seq = bases("AGGTAACACGGTA");
+        let cigar: Cigar = "7M1I5M".parse().unwrap();
+        let tags = compute_tags(&seq, &quals(13, 20), &cigar, &ref_window).unwrap();
+        assert_eq!(tags.md.to_string(), "1C6A3");
+        // NM = 2 mismatches + 1 insertion.
+        assert_eq!(tags.nm, 3);
+        // UQ = qualities of the two mismatching bases.
+        assert_eq!(tags.uq, 40);
+    }
+
+    #[test]
+    fn md_parse_display_roundtrip() {
+        for s in ["1C6A3", "11", "0A0C5^ACG3", "5^AC0T1"] {
+            let md: MdTag = s.parse().unwrap();
+            assert_eq!(md.to_string(), s, "roundtrip of {s}");
+        }
+    }
+
+    #[test]
+    fn md_rejects_garbage() {
+        assert!("1C6?3".parse::<MdTag>().is_err());
+        assert!("3^".parse::<MdTag>().is_err());
+    }
+
+    #[test]
+    fn deletion_in_md() {
+        // Figure 2's Read 2 shape: 3S6M1D2M. The alignment covers 9
+        // reference positions (6 M + 1 D + 2 M) and consumes 11 read bases
+        // (3 S + 6 M + 2 M).
+        let ref_window = bases("GTAACCAGT");
+        let seq = bases("CCCGTAACCGT"); // 3 clipped, then 6 aligned, then 2 aligned
+        let cigar: Cigar = "3S6M1D2M".parse().unwrap();
+        let tags = compute_tags(&seq, &quals(11, 15), &cigar, &ref_window).unwrap();
+        assert_eq!(tags.md.deleted_bases(), 1);
+        // NM counts the deletion.
+        assert!(tags.nm >= 1);
+        let rec = reconstruct_reference(&seq, &cigar, &tags.md).unwrap();
+        assert_eq!(rec, ref_window[..9].to_vec());
+    }
+
+    #[test]
+    fn reconstruction_matches_reference() {
+        let ref_window = bases("ACGTAACCAGTA");
+        let seq = bases("AGGTAACACGGTA");
+        let cigar: Cigar = "7M1I5M".parse().unwrap();
+        let tags = compute_tags(&seq, &quals(13, 20), &cigar, &ref_window).unwrap();
+        let rec = reconstruct_reference(&seq, &cigar, &tags.md).unwrap();
+        assert_eq!(rec, ref_window.to_vec());
+    }
+
+    #[test]
+    fn perfect_match_md() {
+        let ref_window = bases("ACGT");
+        let seq = bases("ACGT");
+        let cigar: Cigar = "4M".parse().unwrap();
+        let tags = compute_tags(&seq, &quals(4, 30), &cigar, &ref_window).unwrap();
+        assert_eq!(tags.nm, 0);
+        assert_eq!(tags.uq, 0);
+        assert_eq!(tags.md.to_string(), "4");
+    }
+
+    #[test]
+    fn short_ref_window_rejected() {
+        let seq = bases("ACGT");
+        let cigar: Cigar = "4M".parse().unwrap();
+        let res = compute_tags(&seq, &quals(4, 30), &cigar, &bases("ACG"));
+        assert!(matches!(res, Err(TypeError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn inconsistent_md_rejected() {
+        let seq = bases("ACGT");
+        let cigar: Cigar = "4M".parse().unwrap();
+        let md: MdTag = "9".parse().unwrap();
+        assert!(reconstruct_reference(&seq, &cigar, &md).is_err());
+        let md_short: MdTag = "2".parse().unwrap();
+        assert!(reconstruct_reference(&seq, &cigar, &md_short).is_err());
+    }
+
+    #[test]
+    fn empty_md_displays_zero() {
+        assert_eq!(MdTag::default().to_string(), "0");
+    }
+}

@@ -1,0 +1,189 @@
+//! Dynamic cell values shared by the SQL engine and the table model.
+
+use std::fmt;
+
+/// A dynamically-typed table cell.
+///
+/// The extended-SQL operations of the paper produce cells that can carry the
+/// genomics-specific sentinels `Ins` and `Del`: after `ReadExplode`, an
+/// inserted base has no reference position (its `POS` cell is `Ins`) and a
+/// deleted position has no read base or quality (those cells are `Del`) —
+/// see paper Figure 3.
+///
+/// # Examples
+///
+/// ```
+/// use genesis_types::Value;
+///
+/// let v = Value::U64(42);
+/// assert_eq!(v.as_u64(), Some(42));
+/// assert!(Value::Ins.is_marker());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Value {
+    /// Absent / SQL NULL.
+    #[default]
+    Null,
+    /// Unsigned integer (covers all the paper's numeric column types).
+    U64(u64),
+    /// Boolean.
+    Bool(bool),
+    /// String (read names, MD tags, …).
+    Str(String),
+    /// A list cell (CIGAR arrays, SEQ arrays, …).
+    List(Vec<Value>),
+    /// `Ins` sentinel: an inserted base with no reference position.
+    Ins,
+    /// `Del` sentinel: a deleted position with no read base/quality.
+    Del,
+}
+
+impl Value {
+    /// Returns the integer payload if this is a `U64` cell.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload if this is a `Bool` cell.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload if this is a `Str` cell.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the list payload if this is a `List` cell.
+    #[must_use]
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True for the `Ins`/`Del` genomics sentinels.
+    #[must_use]
+    pub fn is_marker(&self) -> bool {
+        matches!(self, Value::Ins | Value::Del)
+    }
+
+    /// True for SQL NULL.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<u16> for Value {
+    fn from(v: u16) -> Value {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<u8> for Value {
+    fn from(v: u8) -> Value {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Ins => write!(f, "Ins"),
+            Value::Del => write!(f, "Del"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::U64(7).as_u64(), Some(7));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::U64(7).as_bool(), None);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn markers() {
+        assert!(Value::Ins.is_marker());
+        assert!(Value::Del.is_marker());
+        assert!(!Value::U64(0).is_marker());
+        assert_eq!(Value::Ins.as_u64(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::List(vec![Value::U64(1), Value::Ins]).to_string(), "[1, Ins]");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3u8), Value::U64(3));
+        assert_eq!(Value::from(3u32), Value::U64(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+}

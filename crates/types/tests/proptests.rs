@@ -1,0 +1,146 @@
+//! Property-based tests for the genomic data model.
+
+use genesis_types::tags::{compute_tags, reconstruct_reference};
+use genesis_types::{Base, Cigar, CigarElem, CigarOp, MdTag, Qual};
+use proptest::prelude::*;
+
+fn arb_base() -> impl Strategy<Value = Base> {
+    prop_oneof![
+        Just(Base::A),
+        Just(Base::C),
+        Just(Base::G),
+        Just(Base::T),
+        Just(Base::N),
+    ]
+}
+
+fn arb_acgt() -> impl Strategy<Value = Base> {
+    (0u8..4).prop_map(Base::from_code)
+}
+
+/// A structurally valid CIGAR: optional leading clip, alternating
+/// M/I/D runs, optional trailing clip.
+fn arb_cigar() -> impl Strategy<Value = Cigar> {
+    let mid = prop::collection::vec((1u32..8, 0u8..3), 1..6);
+    (0u32..4, mid, 0u32..4).prop_map(|(lead, mid, trail)| {
+        let mut elems = Vec::new();
+        if lead > 0 {
+            elems.push(CigarElem::new(lead, CigarOp::SoftClip));
+        }
+        // Alternate ops so adjacent elements differ; always start/end with M
+        // so the alignment anchors at both edges (as real aligners emit).
+        elems.push(CigarElem::new(1, CigarOp::Match));
+        for (len, code) in mid {
+            let op = match code {
+                0 => CigarOp::Match,
+                1 => CigarOp::Ins,
+                _ => CigarOp::Del,
+            };
+            elems.push(CigarElem::new(len, op));
+        }
+        elems.push(CigarElem::new(1, CigarOp::Match));
+        if trail > 0 {
+            elems.push(CigarElem::new(trail, CigarOp::SoftClip));
+        }
+        elems.into_iter().collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn cigar_string_roundtrip(cigar in arb_cigar()) {
+        let s = cigar.to_string();
+        let parsed: Cigar = s.parse().unwrap();
+        prop_assert_eq!(parsed.to_string(), s);
+        prop_assert_eq!(parsed.read_len(), cigar.read_len());
+        prop_assert_eq!(parsed.ref_len(), cigar.ref_len());
+    }
+
+    #[test]
+    fn cigar_pack_roundtrip(cigar in arb_cigar()) {
+        let packed = cigar.pack().unwrap();
+        let unpacked = Cigar::unpack(&packed).unwrap();
+        prop_assert_eq!(unpacked, cigar);
+    }
+
+    #[test]
+    fn read_len_plus_clips_consistency(cigar in arb_cigar()) {
+        // The unclipped span relations from §IV-B hold for any pos far
+        // enough from the chromosome start.
+        let pos = 10_000u32;
+        prop_assert_eq!(cigar.unclipped_start(pos), pos - cigar.leading_clip());
+        prop_assert_eq!(cigar.unclipped_end(pos), pos + cigar.ref_len() + cigar.trailing_clip());
+    }
+
+    /// The paper's MD property (§IV-C): MD + read SEQ recovers the
+    /// reference sequence.
+    #[test]
+    fn md_tag_recovers_reference(
+        cigar in arb_cigar(),
+        seed_seq in prop::collection::vec(arb_acgt(), 0..64),
+        seed_ref in prop::collection::vec(arb_acgt(), 0..64),
+    ) {
+        let read_len = cigar.read_len() as usize;
+        let ref_len = cigar.ref_len() as usize;
+        let seq: Vec<Base> = (0..read_len)
+            .map(|i| seed_seq.get(i % seed_seq.len().max(1)).copied().unwrap_or(Base::A))
+            .collect();
+        let ref_window: Vec<Base> = (0..ref_len)
+            .map(|i| seed_ref.get(i % seed_ref.len().max(1)).copied().unwrap_or(Base::C))
+            .collect();
+        let qual = vec![Qual::new(30).unwrap(); read_len];
+        let tags = compute_tags(&seq, &qual, &cigar, &ref_window).unwrap();
+        let recovered = reconstruct_reference(&seq, &cigar, &tags.md).unwrap();
+        prop_assert_eq!(recovered, ref_window);
+    }
+
+    /// NM is bounded by read length + deleted bases and counts every
+    /// non-reference base.
+    #[test]
+    fn nm_bounds(
+        cigar in arb_cigar(),
+        seed in prop::collection::vec(arb_base(), 1..64),
+    ) {
+        let read_len = cigar.read_len() as usize;
+        let ref_len = cigar.ref_len() as usize;
+        let seq: Vec<Base> = (0..read_len).map(|i| seed[i % seed.len()]).collect();
+        let ref_window: Vec<Base> = (0..ref_len).map(|i| seed[(i * 7 + 3) % seed.len()]).collect();
+        let qual = vec![Qual::new(25).unwrap(); read_len];
+        let tags = compute_tags(&seq, &qual, &cigar, &ref_window).unwrap();
+        let ins: u32 = cigar.iter().filter(|e| e.op == CigarOp::Ins).map(|e| e.len).sum();
+        let del: u32 = cigar.iter().filter(|e| e.op == CigarOp::Del).map(|e| e.len).sum();
+        prop_assert!(tags.nm >= ins + del);
+        prop_assert!(tags.nm <= cigar.read_len() + del);
+        // UQ only accrues on mismatches: zero mismatches implies zero UQ.
+        if tags.nm == ins + del {
+            prop_assert_eq!(tags.uq, 0);
+        }
+    }
+
+    #[test]
+    fn md_string_roundtrip(
+        cigar in arb_cigar(),
+        seed in prop::collection::vec(arb_acgt(), 1..32),
+    ) {
+        let read_len = cigar.read_len() as usize;
+        let ref_len = cigar.ref_len() as usize;
+        let seq: Vec<Base> = (0..read_len).map(|i| seed[i % seed.len()]).collect();
+        let ref_window: Vec<Base> = (0..ref_len).map(|i| seed[(i * 5 + 1) % seed.len()]).collect();
+        let qual = vec![Qual::new(25).unwrap(); read_len];
+        let tags = compute_tags(&seq, &qual, &cigar, &ref_window).unwrap();
+        let s = tags.md.to_string();
+        let parsed: MdTag = s.parse().unwrap();
+        prop_assert_eq!(parsed.to_string(), s);
+        // Reparsed tag still reconstructs the same reference.
+        let rec = reconstruct_reference(&seq, &cigar, &parsed).unwrap();
+        prop_assert_eq!(rec, ref_window);
+    }
+
+    #[test]
+    fn qual_phred_monotone(a in 0u8..=93, b in 0u8..=93) {
+        let (qa, qb) = (Qual::new(a).unwrap(), Qual::new(b).unwrap());
+        if a < b {
+            prop_assert!(qa.error_probability() > qb.error_probability());
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # genesis
+//!
+//! Facade crate for the Genesis reproduction (*Genesis: A Hardware
+//! Acceleration Framework for Genomic Data Analysis*, ISCA 2020).
+//!
+//! Re-exports every member crate under a short module name:
+//!
+//! * [`types`] — genomic data model (reads, CIGAR, reference, tables).
+//! * [`datagen`] — synthetic workload generation (reference, SNPs, reads).
+//! * [`sql`] — extended-SQL parser, logical plans, and software engine.
+//! * [`hw`] — hardware module library and cycle-level dataflow simulator.
+//! * [`gatk`] — GATK4-analog software baseline pipeline.
+//! * [`core`] — the Genesis framework: compiler, host API, accelerators,
+//!   performance and cost models.
+//!
+//! # Examples
+//!
+//! See `examples/quickstart.rs` for the paper's Figure 4/7 walk-through.
+
+pub use genesis_core as core;
+pub use genesis_datagen as datagen;
+pub use genesis_gatk as gatk;
+pub use genesis_hw as hw;
+pub use genesis_sql as sql;
+pub use genesis_types as types;

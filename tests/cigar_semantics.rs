@@ -1,0 +1,54 @@
+//! Integration check of paper Figure 2's two example reads, end to end
+//! through the data model.
+
+use genesis::types::{Base, Chrom, Cigar, Qual, ReadRecord};
+
+/// Figure 2's reference fragment: `ACGTAAC CAGTA` at positions 1..12
+/// (we use 0-based 0..11).
+fn reference() -> Vec<Base> {
+    Base::seq_from_str("ACGTAACCAGTA").unwrap()
+}
+
+#[test]
+fn figure2_read1_semantics() {
+    // Read 1: AGGTAACACGGTA, CIGAR (7M, 1I, 5M), aligned at position 0.
+    let cigar: Cigar = "7M1I5M".parse().unwrap();
+    assert_eq!(cigar.read_len(), 13);
+    assert_eq!(cigar.ref_len(), 12);
+    let read = ReadRecord::builder("read1", Chrom::new(1), 0)
+        .cigar(cigar)
+        .seq(Base::seq_from_str("AGGTAACACGGTA").unwrap())
+        .qual(vec![Qual::new(30).unwrap(); 13])
+        .build()
+        .unwrap();
+    assert_eq!(read.end_pos(), 12);
+
+    // §IV-C: "Read 1 in Figure 2 has a MD of 1C6A3 because it has a
+    // mismatch at the second base pair and the ninth base pair."
+    let tags = genesis::types::tags::compute_tags(
+        &read.seq,
+        &read.qual,
+        &read.cigar,
+        &reference(),
+    )
+    .unwrap();
+    assert_eq!(tags.md.to_string(), "1C6A3");
+    // NM = 2 mismatches + 1 inserted base.
+    assert_eq!(tags.nm, 3);
+    // The recovery property: MD + SEQ reproduces the reference.
+    let recovered =
+        genesis::types::tags::reconstruct_reference(&read.seq, &read.cigar, &tags.md).unwrap();
+    assert_eq!(recovered, reference());
+}
+
+#[test]
+fn figure2_read2_semantics() {
+    // Read 2: CIGAR (3S, 6M, 1D, 2M): soft-clipped prefix, deletion at
+    // reference position 8 (0-based), aligned portion covering [2, 11).
+    let cigar: Cigar = "3S6M1D2M".parse().unwrap();
+    assert_eq!(cigar.read_len(), 11);
+    assert_eq!(cigar.ref_len(), 9);
+    assert_eq!(cigar.leading_clip(), 3);
+    // The unclipped 5' start used by Mark Duplicates (§IV-B).
+    assert_eq!(cigar.unclipped_start(2), 0);
+}

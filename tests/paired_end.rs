@@ -1,0 +1,108 @@
+//! Paired-end data through the accelerated pipeline (paper footnote 1:
+//! the duplicate key concatenates both mates' unclipped 5′ positions).
+
+use genesis::core::accel::markdup::accelerated_mark_duplicates;
+use genesis::core::accel::metadata::accelerated_metadata_update;
+use genesis::core::device::DeviceConfig;
+use genesis::datagen::{DatagenConfig, Dataset};
+use genesis::gatk::markdup::mark_duplicates;
+use genesis::gatk::metadata::set_nm_md_uq_tags;
+use genesis::types::ReadFlags;
+
+fn paired_dataset() -> Dataset {
+    Dataset::generate(&DatagenConfig::tiny().with_paired())
+}
+
+#[test]
+fn paired_markdup_accelerated_equals_software() {
+    let dataset = paired_dataset();
+    let mut sw = dataset.reads.clone();
+    let sw_report = mark_duplicates(&mut sw);
+    let mut hw = dataset.reads.clone();
+    let result = accelerated_mark_duplicates(&mut hw, &DeviceConfig::small()).unwrap();
+    assert_eq!(result.report, sw_report);
+    assert_eq!(sw, hw);
+    assert!(sw_report.duplicates > 0, "PCR copies of pairs must be flagged");
+}
+
+#[test]
+fn pcr_pair_copies_are_flagged_originals_survive() {
+    let dataset = paired_dataset();
+    let mut reads = dataset.reads.clone();
+    mark_duplicates(&mut reads);
+    // Every duplicate-flagged read shares its template with a surviving
+    // read of the same pair role (first/second).
+    let mut survivors = std::collections::HashSet::new();
+    for (r, t) in dataset.reads.iter().zip(&dataset.truth) {
+        let role = r.flags.contains(ReadFlags::FIRST_IN_PAIR);
+        survivors.insert((t.template_id, role, r.name.clone()));
+    }
+    for r in reads.iter().filter(|r| r.flags.is_duplicate()) {
+        let t = dataset
+            .truth
+            .iter()
+            .zip(&dataset.reads)
+            .find(|(_, orig)| orig.name == r.name && orig.flags.contains(ReadFlags::FIRST_IN_PAIR) == r.flags.contains(ReadFlags::FIRST_IN_PAIR))
+            .map(|(t, _)| t)
+            .expect("duplicate read exists in truth");
+        let role = r.flags.contains(ReadFlags::FIRST_IN_PAIR);
+        let peer_survives = reads.iter().zip(0..).any(|(other, _)| {
+            !other.flags.is_duplicate()
+                && other.flags.contains(ReadFlags::FIRST_IN_PAIR) == role
+                && other.pos == r.pos
+                && other.chr == r.chr
+                && other.name != r.name
+        });
+        assert!(
+            peer_survives,
+            "duplicate {} (template {}) has no surviving peer",
+            r.name, t.template_id
+        );
+    }
+}
+
+#[test]
+fn mate_position_separates_duplicate_sets() {
+    // Two pairs whose first mates align identically but whose second mates
+    // differ are NOT duplicates of each other — the pair key includes the
+    // mate half (footnote 1).
+    use genesis::types::read::MateInfo;
+    use genesis::types::{Base, Chrom, Qual, ReadRecord};
+    let mk = |name: &str, mate_pos: u32| {
+        let mut r = ReadRecord::builder(name, Chrom::new(1), 100)
+            .cigar("4M".parse().unwrap())
+            .seq(Base::seq_from_str("ACGT").unwrap())
+            .qual(vec![Qual::new(30).unwrap(); 4])
+            .build()
+            .unwrap();
+        r.flags.insert(ReadFlags::PAIRED | ReadFlags::FIRST_IN_PAIR);
+        r.mate = Some(MateInfo {
+            chr: Chrom::new(1),
+            pos: mate_pos,
+            unclipped_five_prime: mate_pos + 4,
+            reverse: true,
+        });
+        r
+    };
+    let mut reads = vec![mk("a", 400), mk("b", 500)];
+    let report = mark_duplicates(&mut reads);
+    assert_eq!(report.duplicates, 0, "different mate positions are different fragments");
+
+    let mut dups = vec![mk("a", 400), mk("b", 400)];
+    let report = mark_duplicates(&mut dups);
+    assert_eq!(report.duplicates, 1, "same mate positions are PCR copies");
+}
+
+#[test]
+fn paired_metadata_accelerated_equals_software() {
+    let dataset = paired_dataset();
+    let mut sw = dataset.reads.clone();
+    set_nm_md_uq_tags(&mut sw, &dataset.genome).unwrap();
+    let mut hw = dataset.reads.clone();
+    accelerated_metadata_update(&mut hw, &dataset.genome, &DeviceConfig::small()).unwrap();
+    for (s, h) in sw.iter().zip(&hw) {
+        assert_eq!(s.nm, h.nm);
+        assert_eq!(s.md, h.md);
+        assert_eq!(s.uq, h.uq);
+    }
+}

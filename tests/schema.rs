@@ -1,0 +1,46 @@
+//! Paper Table I: the READS/REF table schemas.
+
+use genesis::types::table::{reads_schema, ref_schema};
+use genesis::types::DataType;
+
+#[test]
+fn reads_table_matches_table1() {
+    let s = reads_schema();
+    let fields: Vec<(&str, DataType)> =
+        s.fields().iter().map(|f| (f.name.as_str(), f.dtype)).collect();
+    assert_eq!(
+        fields,
+        vec![
+            ("CHR", DataType::U8),        // uint8_t chromosome identifier
+            ("POS", DataType::U32),       // uint32_t leftmost position
+            ("ENDPOS", DataType::U32),    // uint32_t rightmost position
+            ("CIGAR", DataType::ListU16), // uint16_t[CLEN]
+            ("SEQ", DataType::ListU8),    // uint8_t[LEN]
+            ("QUAL", DataType::ListU8),   // uint8_t[LEN]
+        ]
+    );
+}
+
+#[test]
+fn ref_table_matches_table1() {
+    let s = ref_schema();
+    let fields: Vec<(&str, DataType)> =
+        s.fields().iter().map(|f| (f.name.as_str(), f.dtype)).collect();
+    assert_eq!(
+        fields,
+        vec![
+            ("CHR", DataType::U8),
+            ("REFPOS", DataType::U32),
+            ("SEQ", DataType::ListU8),       // uint8_t[PSIZE+LEN]
+            ("IS_SNP", DataType::ListBool),  // bool[PSIZE+LEN]
+        ]
+    );
+}
+
+#[test]
+fn partition_scheme_defaults_match_paper() {
+    // §III-B: PSIZE ≈ 1M base pairs, LEN = 151.
+    let scheme = genesis::types::PartitionScheme::default();
+    assert_eq!(scheme.psize, 1_000_000);
+    assert_eq!(scheme.read_len, 151);
+}
