@@ -5,6 +5,7 @@ use crate::device::DeviceConfig;
 use crate::error::CoreError;
 use crate::perf::AccelStats;
 use genesis_hw::System;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod bqsr;
 pub mod coverage;
@@ -24,32 +25,89 @@ pub(crate) const CYCLE_BUDGET: u64 = 2_000_000_000;
 /// `cfg.pipelines` pipeline instances sharing the memory system and
 /// arbiter tree, simulates it to completion, and extracts per-job results.
 ///
-/// Returns the per-job results (input order) and aggregate statistics.
+/// Batches are independent simulations, so they are distributed over up
+/// to [`DeviceConfig::resolved_host_threads`] host worker threads (the
+/// modeled device still runs its batches back to back — host parallelism
+/// shortens simulation wall-clock, not modeled device time). Results and
+/// statistics are merged in batch order, so the outcome is bit-identical
+/// regardless of thread count: per-job results stay in input order, stats
+/// accumulate batch by batch, and on failure the error from the
+/// lowest-numbered failing batch is returned.
 pub(crate) fn run_batches<J, H, R>(
     cfg: &DeviceConfig,
     jobs: &[J],
-    build: impl Fn(&mut System, u32, &J) -> Result<H, CoreError>,
-    extract: impl Fn(&System, &H, &J) -> Result<R, CoreError>,
-) -> Result<(Vec<R>, AccelStats), CoreError> {
-    let mut results = Vec::with_capacity(jobs.len());
-    let mut stats = AccelStats::default();
-    for chunk in jobs.chunks(cfg.pipelines.max(1)) {
+    build: impl Fn(&mut System, u32, &J) -> Result<H, CoreError> + Sync,
+    extract: impl Fn(&System, &H, &J) -> Result<R, CoreError> + Sync,
+) -> Result<(Vec<R>, AccelStats), CoreError>
+where
+    J: Sync,
+    R: Send,
+{
+    let chunks: Vec<&[J]> = jobs.chunks(cfg.pipelines.max(1)).collect();
+    let run_chunk = |chunk: &[J]| -> Result<(Vec<R>, AccelStats), CoreError> {
         let mut sys = System::with_memory(cfg.mem.clone());
         let mut handles = Vec::with_capacity(chunk.len());
         for (i, job) in chunk.iter().enumerate() {
             handles.push(build(&mut sys, i as u32, job)?);
         }
         let run = sys.run(CYCLE_BUDGET)?;
-        stats.absorb(AccelStats {
+        let stats = AccelStats {
             cycles: run.cycles,
             device_mem_bytes: run.mem.read_bytes() + run.mem.write_bytes(),
             invocations: 1,
             backpressure_stalls: run.backpressure_stalls,
+            total_flits: run.total_flits,
             ..AccelStats::default()
-        });
+        };
+        let mut results = Vec::with_capacity(chunk.len());
         for (handle, job) in handles.iter().zip(chunk) {
             results.push(extract(&sys, handle, job)?);
         }
+        Ok((results, stats))
+    };
+    let threads = cfg.resolved_host_threads().min(chunks.len()).max(1);
+    let mut results = Vec::with_capacity(jobs.len());
+    let mut stats = AccelStats::default();
+    if threads <= 1 {
+        for chunk in &chunks {
+            let (r, s) = run_chunk(chunk)?;
+            results.extend(r);
+            stats.absorb(s);
+        }
+        return Ok((results, stats));
+    }
+    let next = AtomicUsize::new(0);
+    let collected = crossbeam::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|_| {
+                    // Work stealing over the shared batch index keeps
+                    // threads busy when batch runtimes are skewed.
+                    let mut mine = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(chunk) = chunks.get(idx) else { break };
+                        mine.push((idx, run_chunk(chunk)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("batch worker thread panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("batch worker scope");
+    type BatchOutcome<R> = Result<(Vec<R>, AccelStats), CoreError>;
+    let mut slots: Vec<Option<BatchOutcome<R>>> = (0..chunks.len()).map(|_| None).collect();
+    for (idx, outcome) in collected {
+        slots[idx] = Some(outcome);
+    }
+    for outcome in &mut slots {
+        let (r, s) = outcome.take().expect("every batch ran exactly once")?;
+        results.extend(r);
+        stats.absorb(s);
     }
     Ok((results, stats))
 }

@@ -56,6 +56,11 @@ pub struct DeviceConfig {
     pub mem: MemoryConfig,
     /// Partition window size in base pairs (paper: ~1 Mbp).
     pub psize: u32,
+    /// Host worker threads simulating independent batches concurrently
+    /// (`0` = auto-detect, one per available host core). The
+    /// `GENESIS_HOST_THREADS` environment variable overrides this at run
+    /// time; see [`DeviceConfig::resolved_host_threads`].
+    pub host_threads: usize,
 }
 
 impl Default for DeviceConfig {
@@ -67,6 +72,7 @@ impl Default for DeviceConfig {
             dma: DmaModel::pcie3(),
             mem: MemoryConfig::default(),
             psize: 1_000_000,
+            host_threads: 0,
         }
     }
 }
@@ -103,6 +109,32 @@ impl DeviceConfig {
     pub fn with_psize(mut self, psize: u32) -> DeviceConfig {
         self.psize = psize;
         self
+    }
+
+    /// Sets the host worker-thread count (`0` = auto-detect).
+    #[must_use]
+    pub fn with_host_threads(mut self, n: usize) -> DeviceConfig {
+        self.host_threads = n;
+        self
+    }
+
+    /// Effective host worker-thread count: the `GENESIS_HOST_THREADS`
+    /// environment variable when set to a positive integer, otherwise
+    /// [`DeviceConfig::host_threads`] when non-zero, otherwise the number
+    /// of available host cores.
+    #[must_use]
+    pub fn resolved_host_threads(&self) -> usize {
+        if let Some(n) = std::env::var("GENESIS_HOST_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        if self.host_threads > 0 {
+            return self.host_threads;
+        }
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     }
 
     /// Converts simulated cycles to device wall-clock time.

@@ -21,6 +21,9 @@ pub struct AccelStats {
     pub invocations: u64,
     /// Backpressure stall events observed in the dataflow.
     pub backpressure_stalls: u64,
+    /// Total flits moved through all hardware queues (simulated work — the
+    /// numerator of the simulator's flits/sec throughput metric).
+    pub total_flits: u64,
 }
 
 impl AccelStats {
@@ -33,6 +36,7 @@ impl AccelStats {
         self.device_mem_bytes += other.device_mem_bytes;
         self.invocations += other.invocations;
         self.backpressure_stalls += other.backpressure_stalls;
+        self.total_flits += other.total_flits;
     }
 }
 

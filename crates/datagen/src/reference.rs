@@ -34,7 +34,7 @@ fn generate_sequence(len: usize, rng: &mut StdRng) -> Vec<Base> {
     let mut seq = Vec::with_capacity(len);
     let mut gc: f64 = 0.5;
     while seq.len() < len {
-        let run = rng.gen_range(50..500).min(len - seq.len());
+        let run = rng.gen_range(50..500usize).min(len - seq.len());
         gc = (gc + rng.gen_range(-0.15..0.15)).clamp(0.2, 0.8);
         for _ in 0..run {
             let b = if rng.gen_bool(gc) {

@@ -67,5 +67,5 @@ pub use memory::{MemoryConfig, MemorySystem};
 pub use queue::{QueueId, QueuePool};
 pub use resource::{ResourceReport, ResourceUsage};
 pub use spm::{SpmId, SpmPool};
-pub use system::{SimError, SimStats, System};
+pub use system::{EngineMode, SimError, SimStats, System};
 pub use word::{Flit, HwWord};

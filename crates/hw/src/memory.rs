@@ -204,6 +204,23 @@ impl MemorySystem {
         true
     }
 
+    /// True when `port` is at its outstanding-request limit, so the next
+    /// [`MemorySystem::try_read`] would be refused *without* counting an
+    /// arbitration stall. The event-driven engine uses this to tell silent
+    /// refusals apart from stall-counting ones.
+    #[must_use]
+    pub fn inflight_full(&self, port: PortId) -> bool {
+        self.ports[port.0 as usize].inflight >= self.cfg.max_inflight_per_port
+    }
+
+    /// Cycle at which the oldest outstanding response for `port` becomes
+    /// deliverable, when one exists (the event-driven engine's timed
+    /// wake-up for a reader blocked on memory latency).
+    #[must_use]
+    pub fn next_response_ready(&self, port: PortId) -> Option<u64> {
+        self.ports[port.0 as usize].responses.front().map(|&(ready, _)| ready)
+    }
+
     /// Delivers the oldest completed read response for `port`, copying the
     /// line out of the backing store.
     pub fn poll_response(&mut self, port: PortId) -> Option<(u64, Line)> {

@@ -1,6 +1,6 @@
 //! Stream ALU: element-wise unary/binary operations (paper §III-C).
 
-use super::{try_push, Ctx, Module, ModuleKind};
+use super::{try_push, Ctx, Module, ModuleKind, Tick};
 use crate::queue::QueueId;
 use crate::word::{Flit, HwWord, MAX_FIELDS};
 use std::any::Any;
@@ -92,9 +92,9 @@ impl Module for StreamAlu {
         ModuleKind::Alu
     }
 
-    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+    fn tick(&mut self, ctx: &mut Ctx<'_>) -> Tick {
         if self.done {
-            return;
+            return Tick::Active;
         }
         match self.rhs {
             AluRhs::Const(c) => {
@@ -102,8 +102,9 @@ impl Module for StreamAlu {
                     if ctx.queues.get(self.lhs).is_finished() {
                         ctx.queues.get_mut(self.out).close();
                         self.done = true;
+                        return Tick::Active;
                     }
-                    return;
+                    return Tick::PARK;
                 };
                 let out = if flit.is_end_item() {
                     flit
@@ -116,6 +117,7 @@ impl Module for StreamAlu {
                 if try_push(ctx.queues, self.out, out) {
                     ctx.queues.get_mut(self.lhs).pop();
                 }
+                Tick::Active
             }
             AluRhs::Queue(rq) => {
                 let lfin = ctx.queues.get(self.lhs).is_finished();
@@ -123,12 +125,13 @@ impl Module for StreamAlu {
                 if lfin && rfin {
                     ctx.queues.get_mut(self.out).close();
                     self.done = true;
-                    return;
+                    return Tick::Active;
                 }
                 let (Some(&l), Some(&r)) =
                     (ctx.queues.get(self.lhs).peek(), ctx.queues.get(rq).peek())
                 else {
-                    return;
+                    // At least one input is empty but not both finished.
+                    return Tick::PARK;
                 };
                 let out = match (l.is_end_item(), r.is_end_item()) {
                     (true, true) => Flit::end_item(),
@@ -142,17 +145,18 @@ impl Module for StreamAlu {
                     // delimiter side alone.
                     (true, false) => {
                         ctx.queues.get_mut(rq).pop();
-                        return;
+                        return Tick::Active;
                     }
                     (false, true) => {
                         ctx.queues.get_mut(self.lhs).pop();
-                        return;
+                        return Tick::Active;
                     }
                 };
                 if try_push(ctx.queues, self.out, out) {
                     ctx.queues.get_mut(self.lhs).pop();
                     ctx.queues.get_mut(rq).pop();
                 }
+                Tick::Active
             }
         }
     }

@@ -6,7 +6,7 @@
 //! ranges for forward and reverse reads (footnote 3) and the context ID is
 //! the dinucleotide code of footnote: `AA = 0, AC = 1, ..., TT = 15`.
 
-use super::{try_push, Ctx, Module, ModuleKind};
+use super::{try_push, Ctx, Module, ModuleKind, Tick};
 use crate::queue::QueueId;
 use crate::word::{Flit, HwWord};
 use genesis_types::base::context_id;
@@ -85,16 +85,16 @@ impl Module for BinIdGen {
         ModuleKind::BinIdGen
     }
 
-    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+    fn tick(&mut self, ctx: &mut Ctx<'_>) -> Tick {
         if self.done {
-            return;
+            return Tick::Active;
         }
         // Acquire the current read's flags first.
         if self.reverse.is_none() {
             match ctx.queues.get(self.flags).peek() {
                 Some(f) if f.is_end_item() => {
                     ctx.queues.get_mut(self.flags).pop();
-                    return;
+                    return Tick::Active;
                 }
                 Some(f) => {
                     self.reverse = Some(f.field(0).val_or_zero() != 0);
@@ -106,8 +106,11 @@ impl Module for BinIdGen {
                     {
                         ctx.queues.get_mut(self.out).close();
                         self.done = true;
+                        return Tick::Active;
                     }
-                    return;
+                    // Waiting for flags (or, with flags finished, for the
+                    // base stream to finish too); both queues are watched.
+                    return Tick::PARK;
                 }
             }
         }
@@ -115,8 +118,9 @@ impl Module for BinIdGen {
             if ctx.queues.get(self.input).is_finished() {
                 ctx.queues.get_mut(self.out).close();
                 self.done = true;
+                return Tick::Active;
             }
-            return;
+            return Tick::PARK;
         };
         if flit.is_end_item() {
             if try_push(ctx.queues, self.out, flit) {
@@ -124,7 +128,7 @@ impl Module for BinIdGen {
                 self.reverse = None;
                 self.prev_base = None;
             }
-            return;
+            return Tick::Active;
         }
         let pos = flit.field(0);
         let base = flit.field(1);
@@ -139,7 +143,7 @@ impl Module for BinIdGen {
             } else {
                 self.prev_base = None;
             }
-            return;
+            return Tick::Active;
         }
         let q = qual.val_or_zero();
         let cur = Base::from_code(base.val_or_zero() as u8);
@@ -158,6 +162,7 @@ impl Module for BinIdGen {
             ctx.queues.get_mut(self.input).pop();
             self.prev_base = Some(cur);
         }
+        Tick::Active
     }
 
     fn is_done(&self) -> bool {

@@ -6,7 +6,7 @@
 //! the simulator it is an explicit module that copies each flit to every
 //! output, stalling until all outputs have space.
 
-use super::{all_can_push, Ctx, Module, ModuleKind};
+use super::{all_can_push, Ctx, Module, ModuleKind, Tick, Watch};
 use crate::queue::QueueId;
 use std::any::Any;
 
@@ -41,22 +41,33 @@ impl Module for Fanout {
         ModuleKind::Fanout
     }
 
-    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+    fn tick(&mut self, ctx: &mut Ctx<'_>) -> Tick {
         if self.done {
-            return;
+            return Tick::Active;
         }
         if ctx.queues.get(self.input).is_finished() {
             for &q in &self.outputs {
                 ctx.queues.get_mut(q).close();
             }
             self.done = true;
-            return;
+            return Tick::Active;
         }
         if ctx.queues.get(self.input).peek().is_some() && all_can_push(ctx.queues, &self.outputs) {
             let flit = ctx.queues.get_mut(self.input).pop().expect("peeked");
             for &q in &self.outputs {
                 ctx.queues.get_mut(q).push(flit);
             }
+            return Tick::Active;
+        }
+        // Waiting for input data or for every output to have space; the
+        // `all_can_push` check counts no stall, so this is a pure no-op.
+        // Watch whichever side is actually blocking: the empty input, or
+        // (input ready, some output full) the outputs a consumer pop
+        // would free up.
+        if ctx.queues.get(self.input).peek().is_none() {
+            Tick::PARK
+        } else {
+            Tick::Park { wake_at: None, watch: Watch::Outputs }
         }
     }
 

@@ -1,6 +1,6 @@
 //! Filter: predicate selection on a stream (paper §III-C, Figure 6).
 
-use super::{try_push, Ctx, Module, ModuleKind};
+use super::{try_push, Ctx, Module, ModuleKind, Tick};
 use crate::queue::QueueId;
 use crate::word::HwWord;
 use std::any::Any;
@@ -144,22 +144,23 @@ impl Module for Filter {
         ModuleKind::Filter
     }
 
-    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+    fn tick(&mut self, ctx: &mut Ctx<'_>) -> Tick {
         if self.done {
-            return;
+            return Tick::Active;
         }
         let Some(&flit) = ctx.queues.get(self.input).peek() else {
             if ctx.queues.get(self.input).is_finished() {
                 ctx.queues.get_mut(self.out).close();
                 self.done = true;
+                return Tick::Active;
             }
-            return;
+            return Tick::PARK;
         };
         if flit.is_end_item() {
             if try_push(ctx.queues, self.out, flit) {
                 ctx.queues.get_mut(self.input).pop();
             }
-            return;
+            return Tick::Active;
         }
         if self.pred.eval(&|i| flit.field(i)) {
             if try_push(ctx.queues, self.out, flit) {
@@ -170,6 +171,7 @@ impl Module for Filter {
             ctx.queues.get_mut(self.input).pop();
             self.dropped += 1;
         }
+        Tick::Active
     }
 
     fn is_done(&self) -> bool {

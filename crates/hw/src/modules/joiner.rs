@@ -1,6 +1,6 @@
 //! Joiner: key-merge of two sorted streams (paper §III-C, Figure 6).
 
-use super::{try_push, Ctx, Module, ModuleKind};
+use super::{try_push, Ctx, Module, ModuleKind, Tick};
 use crate::queue::QueueId;
 use crate::word::{Flit, HwWord};
 use std::any::Any;
@@ -119,21 +119,25 @@ impl Module for Joiner {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+    fn tick(&mut self, ctx: &mut Ctx<'_>) -> Tick {
         if self.done {
-            return;
+            return Tick::Active;
         }
         let lq = ctx.queues.get(self.left);
         let rq = ctx.queues.get(self.right);
         if lq.is_finished() && rq.is_finished() {
             ctx.queues.get_mut(self.out).close();
             self.done = true;
-            return;
+            return Tick::Active;
         }
         let lh = Self::head(ctx, self.left);
         let rh = Self::head(ctx, self.right);
         match (lh, rh) {
-            (Head::Stall, _) | (_, Head::Stall) => {}
+            // An open-but-empty side: wait for data or a close, watching
+            // precisely the starved queue (a push to — or close of — it is
+            // the only event that changes this head).
+            (Head::Stall, _) => return Tick::park_on(self.left),
+            (_, Head::Stall) => return Tick::park_on(self.right),
             // Both items complete: forward one delimiter.
             (Head::End | Head::Finished, Head::End | Head::Finished) => {
                 if try_push(ctx.queues, self.out, Flit::end_item()) {
@@ -187,12 +191,12 @@ impl Module for Joiner {
                             }
                         }
                     }
-                    return;
+                    return Tick::Active;
                 }
                 if rk.is_marker() {
                     // Malformed right keys are discarded.
                     ctx.queues.get_mut(self.right).pop();
-                    return;
+                    return Tick::Active;
                 }
                 let (lv, rv) = (lk.val_or_zero(), rk.val_or_zero());
                 if lv == rv {
@@ -228,6 +232,8 @@ impl Module for Joiner {
                 }
             }
         }
+        // Every non-stall arm pops, pushes, or counts a refused push.
+        Tick::Active
     }
 
     fn is_done(&self) -> bool {

@@ -5,7 +5,7 @@
 //! cycle: match-run lengths as decimal digits, the reference base at each
 //! mismatch, and `^` + reference bases at deletions (footnote 2).
 
-use super::{try_push, Ctx, Module, ModuleKind};
+use super::{try_push, Ctx, Module, ModuleKind, Tick};
 use crate::queue::QueueId;
 use crate::word::{Flit, HwWord};
 use std::any::Any;
@@ -107,30 +107,31 @@ impl Module for MdGen {
         ModuleKind::MdGen
     }
 
-    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+    fn tick(&mut self, ctx: &mut Ctx<'_>) -> Tick {
         if self.done {
-            return;
+            return Tick::Active;
         }
         // Drain one buffered output flit per cycle.
         if let Some(&f) = self.outbuf.front() {
             if try_push(ctx.queues, self.out, f) {
                 self.outbuf.pop_front();
             }
-            return;
+            return Tick::Active;
         }
         let Some(&flit) = ctx.queues.get(self.input).peek() else {
             if ctx.queues.get(self.input).is_finished() {
                 ctx.queues.get_mut(self.out).close();
                 self.done = true;
+                return Tick::Active;
             }
-            return;
+            return Tick::PARK;
         };
         if flit.is_end_item() {
             // The trailing number flushes, then the delimiter follows.
             self.end_of_item();
             self.outbuf.push_back(Flit::end_item());
             ctx.queues.get_mut(self.input).pop();
-            return;
+            return Tick::Active;
         }
         let read_b = flit.field(self.cfg.read_field);
         let ref_b = flit.field(self.cfg.ref_field);
@@ -170,6 +171,7 @@ impl Module for MdGen {
             _ => {}
         }
         ctx.queues.get_mut(self.input).pop();
+        Tick::Active
     }
 
     fn is_done(&self) -> bool {

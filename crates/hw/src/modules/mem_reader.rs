@@ -1,6 +1,6 @@
 //! Memory Reader: streams a column out of device memory (paper §III-C).
 
-use super::{try_push, Ctx, Module, ModuleKind};
+use super::{try_push, Ctx, Module, ModuleKind, Tick, Watch};
 use crate::memory::{PortId, LINE_BYTES};
 use crate::queue::QueueId;
 use crate::word::Flit;
@@ -127,18 +127,28 @@ impl Module for MemReader {
         ModuleKind::MemoryReader
     }
 
-    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+    fn tick(&mut self, ctx: &mut Ctx<'_>) -> Tick {
         if self.done {
-            return;
+            return Tick::Active;
         }
+        let mut active = false;
         // Issue the next prefetch request.
-        if self.next_line < self.end_addr && ctx.mem.try_read(self.port, self.next_line) {
-            self.next_line += LINE_BYTES as u64;
+        if self.next_line < self.end_addr {
+            if ctx.mem.try_read(self.port, self.next_line) {
+                self.next_line += LINE_BYTES as u64;
+                active = true;
+            } else if !ctx.mem.inflight_full(self.port) {
+                // Arbitration refusal: a stall was counted, so the naive
+                // engine observes this tick. Inflight-limit refusals are
+                // silent and may park.
+                active = true;
+            }
         }
         // Accept one response per cycle while buffer space remains.
         if self.buf.len() < Self::BUF_LIMIT {
             if let Some((_, line)) = ctx.mem.poll_response(self.port) {
                 self.buf.extend(line.iter());
+                active = true;
             }
         }
         // Emit one flit per cycle.
@@ -146,7 +156,9 @@ impl Module for MemReader {
             if try_push(ctx.queues, self.out, Flit::end_item()) {
                 self.pending_ends -= 1;
             }
+            active = true;
         } else if self.emitted < self.cfg.total_elems && self.buf.len() >= self.cfg.elem_bytes {
+            active = true;
             if ctx.queues.get(self.out).can_push() {
                 let mut v: u64 = 0;
                 for i in 0..self.cfg.elem_bytes {
@@ -175,6 +187,22 @@ impl Module for MemReader {
         if self.emitted == self.cfg.total_elems && self.pending_ends == 0 {
             ctx.queues.get_mut(self.out).close();
             self.done = true;
+            active = true;
+        }
+        if active {
+            Tick::Active
+        } else {
+            // Blocked on memory latency: whenever the reader holds
+            // emittable data or a pending delimiter the emit branch
+            // reports Active regardless of output-queue space, so no
+            // queue event can unblock a parked reader — only a response
+            // becoming deliverable. Watching the timer alone keeps
+            // downstream pops from re-ticking the reader during the
+            // whole latency window.
+            Tick::Park {
+                wake_at: ctx.mem.next_response_ready(self.port),
+                watch: Watch::Timer,
+            }
         }
     }
 

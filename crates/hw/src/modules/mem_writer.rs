@@ -1,6 +1,6 @@
 //! Memory Writer: stores a stream into device memory (paper §III-C).
 
-use super::{Ctx, Module, ModuleKind};
+use super::{Ctx, Module, ModuleKind, Tick};
 use crate::memory::{PortId, LINE_BYTES};
 use crate::queue::QueueId;
 use crate::word::HwWord;
@@ -123,20 +123,21 @@ impl Module for MemWriter {
         ModuleKind::MemoryWriter
     }
 
-    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+    fn tick(&mut self, ctx: &mut Ctx<'_>) -> Tick {
         if self.done {
-            return;
+            return Tick::Active;
         }
         if self.flushing {
             if self.try_flush(ctx) {
                 self.flushing = false;
                 self.done = true;
             }
-            return;
+            // A refused write counted an arbitration stall.
+            return Tick::Active;
         }
         // A full line must drain before more elements are accepted.
         if self.line.len() >= LINE_BYTES && !self.try_flush(ctx) {
-            return;
+            return Tick::Active;
         }
         let q = ctx.queues.get_mut(self.input);
         if let Some(flit) = q.pop() {
@@ -156,7 +157,11 @@ impl Module for MemWriter {
             } else {
                 self.flushing = true;
             }
+        } else {
+            // Input empty and still open.
+            return Tick::PARK;
         }
+        Tick::Active
     }
 
     fn is_done(&self) -> bool {

@@ -60,6 +60,75 @@ pub enum ModuleKind {
     Sink,
 }
 
+/// Outcome of one [`Module::tick`], consumed by the event-driven engine
+/// (see `System::run`).
+///
+/// The contract behind [`Tick::Park`] is strict: a module may report it
+/// only when the tick that just ran was a **pure no-op** — no flits moved,
+/// no queues closed, no memory or scratchpad traffic, no stall counters
+/// incremented, no internal state changed — *and* every future tick would
+/// also be a no-op until either a watched queue (one listed in
+/// [`Module::input_queues`]/[`Module::output_queues`]) is mutated by
+/// another module or the `wake_at` cycle arrives. Under that invariant the
+/// scheduler can skip the module's ticks without observable effect, which
+/// is what keeps the event-driven engine bit-identical to the
+/// tick-everything reference engine. Ticks that count a stall (a refused
+/// push, an arbitration loss, a RAW hazard) must report [`Tick::Active`]:
+/// the naive engine re-counts those stalls every cycle, so the module must
+/// keep ticking to match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tick {
+    /// The module did (or may have done) observable work this cycle.
+    Active,
+    /// The tick was a pure no-op; skip this module until the watched state
+    /// changes.
+    Park {
+        /// Earliest cycle at which a time-based event (a pending memory
+        /// response) can unblock the module, when one exists. Watched
+        /// queue activity still wakes the module earlier.
+        wake_at: Option<u64>,
+        /// Which queue events can make a future tick do work again. The
+        /// narrower the watch, the fewer spurious wake-ups: a module
+        /// starved on one specific input should name it, so unrelated
+        /// traffic (e.g. a consumer draining the module's output queue)
+        /// does not re-tick it for nothing.
+        watch: Watch,
+    },
+}
+
+/// Wake condition of a parked module (see [`Tick::Park`]).
+///
+/// A module must choose a watch that covers *every* queue event able to
+/// change its next tick from a no-op into work — over-watching merely
+/// costs spurious wake-ups, but under-watching stalls the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Watch {
+    /// Any mutation of any queue in [`Module::input_queues`] (the common
+    /// input-starved park).
+    Inputs,
+    /// Any mutation of any queue in [`Module::output_queues`] (the
+    /// output-full park of modules that do not count a backpressure stall,
+    /// e.g. `Fanout`).
+    Outputs,
+    /// Mutation of exactly this queue (which must be one of the module's
+    /// declared input or output queues).
+    Queue(QueueId),
+    /// No queue event can help; only the timed `wake_at` (a pending memory
+    /// response) unblocks the module.
+    Timer,
+}
+
+impl Tick {
+    /// Shorthand for an input-starved park with no timed wake-up.
+    pub const PARK: Tick = Tick::Park { wake_at: None, watch: Watch::Inputs };
+
+    /// Park until precisely `q` is mutated.
+    #[must_use]
+    pub fn park_on(q: QueueId) -> Tick {
+        Tick::Park { wake_at: None, watch: Watch::Queue(q) }
+    }
+}
+
 /// Everything a module can touch during a cycle.
 #[derive(Debug)]
 pub struct Ctx<'a> {
@@ -84,8 +153,9 @@ pub trait Module: fmt::Debug + Send {
     /// Kind tag for the resource model.
     fn kind(&self) -> ModuleKind;
 
-    /// Advances one clock cycle.
-    fn tick(&mut self, ctx: &mut Ctx<'_>);
+    /// Advances one clock cycle and reports whether the module is still
+    /// doing observable work (see [`Tick`] for the park contract).
+    fn tick(&mut self, ctx: &mut Ctx<'_>) -> Tick;
 
     /// True once the module has finished all work and flushed all outputs.
     fn is_done(&self) -> bool;

@@ -1,7 +1,7 @@
 //! ReadToBases: the hardware implementation of the `ReadExplode`
 //! operation (paper §III-B/III-C, Figure 3).
 
-use super::{try_push, Ctx, Module, ModuleKind};
+use super::{try_push, Ctx, Module, ModuleKind, Tick};
 use crate::queue::QueueId;
 use crate::word::{Flit, HwWord};
 use std::any::Any;
@@ -101,9 +101,9 @@ impl Module for ReadToBases {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+    fn tick(&mut self, ctx: &mut Ctx<'_>) -> Tick {
         if self.done {
-            return;
+            return Tick::Active;
         }
         match &mut self.state {
             State::NeedPos => {
@@ -116,6 +116,9 @@ impl Module for ReadToBases {
                 } else if ctx.queues.get(self.inputs.pos).is_finished() {
                     ctx.queues.get_mut(self.out).close();
                     self.done = true;
+                } else {
+                    // Waiting for the next read's POS flit.
+                    return Tick::park_on(self.inputs.pos);
                 }
             }
             State::Body { ref_pos, seq_idx, elem } => {
@@ -131,7 +134,7 @@ impl Module for ReadToBases {
                                 qual_done: self.inputs.qual.is_none(),
                                 out_done: false,
                             };
-                            return;
+                            return Tick::Active;
                         }
                         Some(f) => {
                             let packed = f.field(0).val_or_zero() as u16;
@@ -143,11 +146,11 @@ impl Module for ReadToBases {
                                 _ => {
                                     // Malformed or empty element: skip it.
                                     ctx.queues.get_mut(self.inputs.cigar).pop();
-                                    return;
+                                    return Tick::Active;
                                 }
                             }
                         }
-                        None => return, // stall for CIGAR data
+                        None => return Tick::park_on(self.inputs.cigar), // stall for CIGAR data
                     }
                 }
                 let (op, remaining) = elem.expect("element loaded above");
@@ -162,12 +165,12 @@ impl Module for ReadToBases {
                     None
                 };
                 if needs_seq && seq_head.is_none() {
-                    return; // stall for SEQ data
+                    return Tick::park_on(self.inputs.seq); // stall for SEQ data
                 }
                 let qual_head = match self.inputs.qual {
                     Some(q) if needs_seq => match ctx.queues.get(q).peek() {
                         Some(f) if !f.is_end_item() => Some(f.field(0)),
-                        _ => return, // stall for QUAL data
+                        _ => return Tick::park_on(q), // stall for QUAL data
                     },
                     _ => None,
                 };
@@ -196,7 +199,8 @@ impl Module for ReadToBases {
                 // Backpressure: the output must accept before we consume.
                 if let Some(f) = out_flit {
                     if !try_push(ctx.queues, self.out, f) {
-                        return;
+                        // The refused push counted a stall.
+                        return Tick::Active;
                     }
                 }
                 // Commit: consume inputs and advance counters.
@@ -217,29 +221,38 @@ impl Module for ReadToBases {
                     if try_push(ctx.queues, self.out, Flit::end_item()) {
                         *out_done = true;
                     }
-                    return;
+                    return Tick::Active;
                 }
+                let mut popped = false;
                 if !*pos_done && Self::pop_end(ctx, self.inputs.pos) {
                     *pos_done = true;
+                    popped = true;
                 }
                 if !*cigar_done && Self::pop_end(ctx, self.inputs.cigar) {
                     *cigar_done = true;
+                    popped = true;
                 }
                 if !*seq_done && Self::pop_end(ctx, self.inputs.seq) {
                     *seq_done = true;
+                    popped = true;
                 }
                 if !*qual_done {
                     if let Some(q) = self.inputs.qual {
                         if Self::pop_end(ctx, q) {
                             *qual_done = true;
+                            popped = true;
                         }
                     }
                 }
                 if *pos_done && *cigar_done && *seq_done && *qual_done {
                     self.state = State::NeedPos;
+                } else if !popped {
+                    // Waiting for delimiters still in flight upstream.
+                    return Tick::PARK;
                 }
             }
         }
+        Tick::Active
     }
 
     fn is_done(&self) -> bool {

@@ -1,6 +1,6 @@
 //! Reducer: reduction-tree aggregation (paper §III-C, Figure 6).
 
-use super::{try_push, Ctx, Module, ModuleKind};
+use super::{try_push, Ctx, Module, ModuleKind, Tick};
 use crate::queue::QueueId;
 use crate::word::{Flit, HwWord};
 use std::any::Any;
@@ -104,9 +104,9 @@ impl Module for Reducer {
         ModuleKind::Reducer
     }
 
-    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+    fn tick(&mut self, ctx: &mut Ctx<'_>) -> Tick {
         if self.done {
-            return;
+            return Tick::Active;
         }
         // Drain pending outputs first (aggregate, then delimiter).
         if let Some(v) = self.pending_value {
@@ -114,13 +114,13 @@ impl Module for Reducer {
                 self.pending_value = None;
                 self.pending_end = true;
             }
-            return;
+            return Tick::Active;
         }
         if self.pending_end {
             if try_push(ctx.queues, self.out, Flit::end_item()) {
                 self.pending_end = false;
             }
-            return;
+            return Tick::Active;
         }
         let q = ctx.queues.get_mut(self.input);
         if let Some(flit) = q.pop() {
@@ -147,7 +147,11 @@ impl Module for Reducer {
                 ctx.queues.get_mut(self.out).close();
                 self.done = true;
             }
+        } else {
+            // Input empty and still open.
+            return Tick::PARK;
         }
+        Tick::Active
     }
 
     fn is_done(&self) -> bool {

@@ -1,6 +1,6 @@
 //! Host-side stream collector (testing and host-interface helper).
 
-use super::{Ctx, Module, ModuleKind};
+use super::{Ctx, Module, ModuleKind, Tick};
 use crate::queue::QueueId;
 use crate::word::{Flit, HwWord};
 use std::any::Any;
@@ -62,16 +62,21 @@ impl Module for StreamSink {
         ModuleKind::Sink
     }
 
-    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+    fn tick(&mut self, ctx: &mut Ctx<'_>) -> Tick {
         if self.done {
-            return;
+            return Tick::Active;
         }
         let q = ctx.queues.get_mut(self.input);
         if let Some(flit) = q.pop() {
             self.collected.push(flit);
         } else if q.is_finished() {
             self.done = true;
+        } else {
+            // Empty and still open: nothing to do until the producer
+            // pushes or closes.
+            return Tick::PARK;
         }
+        Tick::Active
     }
 
     fn is_done(&self) -> bool {

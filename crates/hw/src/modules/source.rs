@@ -1,6 +1,6 @@
 //! Host-side stream injector (testing and host-interface helper).
 
-use super::{try_push, Ctx, Module, ModuleKind};
+use super::{try_push, Ctx, Module, ModuleKind, Tick};
 use crate::queue::QueueId;
 use crate::word::{Flit, HwWord};
 use std::any::Any;
@@ -60,9 +60,9 @@ impl Module for StreamSource {
         ModuleKind::Source
     }
 
-    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+    fn tick(&mut self, ctx: &mut Ctx<'_>) -> Tick {
         if self.done {
-            return;
+            return Tick::Active;
         }
         if let Some(&flit) = self.pending.front() {
             if try_push(ctx.queues, self.out, flit) {
@@ -73,6 +73,9 @@ impl Module for StreamSource {
             ctx.queues.get_mut(self.out).close();
             self.done = true;
         }
+        // Either a flit moved, a refused push counted a stall, or the
+        // queue closed: always observable work.
+        Tick::Active
     }
 
     fn is_done(&self) -> bool {

@@ -1,7 +1,7 @@
 //! SPM Reader: address, range, and drain reads from scratchpads
 //! (paper §III-C).
 
-use super::{try_push, Ctx, Module, ModuleKind};
+use super::{try_push, Ctx, Module, ModuleKind, Tick};
 use crate::queue::QueueId;
 use crate::spm::SpmId;
 use crate::word::{Flit, HwWord};
@@ -91,16 +91,22 @@ impl SpmReader {
         self
     }
 
-    /// Consumes gate traffic; true once every gate has finished.
-    fn gates_open(&self, ctx: &mut Ctx<'_>) -> bool {
+    /// Consumes gate traffic. Returns `(open, popped_any)`: `open` once
+    /// every gate has finished, `popped_any` when this call consumed gate
+    /// flits (observable work, so the caller must not park).
+    fn gates_open(&self, ctx: &mut Ctx<'_>) -> (bool, bool) {
         let mut open = true;
+        let mut popped_any = false;
         for &g in &self.gates {
             let q = ctx.queues.get_mut(g);
-            if q.pop().is_some() || !q.is_finished() {
+            if q.pop().is_some() {
+                popped_any = true;
+                open = false;
+            } else if !q.is_finished() {
                 open = false;
             }
         }
-        open
+        (open, popped_any)
     }
 
     fn read_flit(&self, ctx: &mut Ctx<'_>, pos: u64) -> Flit {
@@ -123,12 +129,15 @@ impl Module for SpmReader {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+    fn tick(&mut self, ctx: &mut Ctx<'_>) -> Tick {
         if self.done {
-            return;
+            return Tick::Active;
         }
-        if !self.gates_open(ctx) {
-            return;
+        let (open, gate_popped) = self.gates_open(ctx);
+        if !open {
+            // Gate flits consumed: active. Gates drained but not all
+            // finished: a pure wait on the gate queues.
+            return if gate_popped { Tick::Active } else { Tick::PARK };
         }
         match self.mode {
             SpmReadMode::Range { start, end } => {
@@ -136,13 +145,13 @@ impl Module for SpmReader {
                     if try_push(ctx.queues, self.out, Flit::end_item()) {
                         self.pending_end = false;
                     }
-                    return;
+                    return Tick::Active;
                 }
                 if let Some((pos, stop)) = self.cur {
                     if pos >= stop {
                         self.cur = None;
                         self.pending_end = true;
-                        return;
+                        return Tick::Active;
                     }
                     if ctx.queues.get(self.out).can_push() {
                         let flit = self.read_flit(ctx, pos);
@@ -151,14 +160,16 @@ impl Module for SpmReader {
                     } else {
                         ctx.queues.get_mut(self.out).note_full_stall();
                     }
-                    return;
+                    return Tick::Active;
                 }
                 // Acquire the next [start, end) pair, skipping delimiters.
+                let mut popped_delim = false;
                 loop {
                     let sflit = ctx.queues.get(start).peek().copied();
                     match sflit {
                         Some(f) if f.is_end_item() => {
                             ctx.queues.get_mut(start).pop();
+                            popped_delim = true;
                         }
                         _ => break,
                     }
@@ -168,6 +179,7 @@ impl Module for SpmReader {
                     match eflit {
                         Some(f) if f.is_end_item() => {
                             ctx.queues.get_mut(end).pop();
+                            popped_delim = true;
                         }
                         _ => break,
                     }
@@ -178,12 +190,19 @@ impl Module for SpmReader {
                         ctx.queues.get_mut(start).pop();
                         ctx.queues.get_mut(end).pop();
                         self.cur = Some((sf.field(0).val_or_zero(), ef.field(0).val_or_zero()));
+                        Tick::Active
                     }
                     _ => {
                         if ctx.queues.get(start).is_finished() && ctx.queues.get(end).is_finished()
                         {
                             ctx.queues.get_mut(self.out).close();
                             self.done = true;
+                            Tick::Active
+                        } else if popped_delim {
+                            Tick::Active
+                        } else {
+                            // Waiting for the next interval pair.
+                            Tick::PARK
                         }
                     }
                 }
@@ -192,19 +211,20 @@ impl Module for SpmReader {
                 if !self.draining {
                     // Discard trigger traffic until the stream finishes.
                     if ctx.queues.get_mut(trigger).pop().is_some() {
-                        return;
+                        return Tick::Active;
                     }
                     if ctx.queues.get(trigger).is_finished() {
                         self.draining = true;
+                        return Tick::Active;
                     }
-                    return;
+                    return Tick::PARK;
                 }
                 if self.drain_cursor >= len {
                     if try_push(ctx.queues, self.out, Flit::end_item()) {
                         ctx.queues.get_mut(self.out).close();
                         self.done = true;
                     }
-                    return;
+                    return Tick::Active;
                 }
                 if ctx.queues.get(self.out).can_push() {
                     let pos = self.drain_cursor + self.addr_offset;
@@ -214,6 +234,7 @@ impl Module for SpmReader {
                 } else {
                     ctx.queues.get_mut(self.out).note_full_stall();
                 }
+                Tick::Active
             }
         }
     }
@@ -279,16 +300,17 @@ impl Module for SpmAddrReader {
         ModuleKind::SpmReader
     }
 
-    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+    fn tick(&mut self, ctx: &mut Ctx<'_>) -> Tick {
         if self.done {
-            return;
+            return Tick::Active;
         }
         let Some(&flit) = ctx.queues.get(self.input).peek() else {
             if ctx.queues.get(self.input).is_finished() {
                 ctx.queues.get_mut(self.out).close();
                 self.done = true;
+                return Tick::Active;
             }
-            return;
+            return Tick::PARK;
         };
         let out = if flit.is_end_item() {
             flit
@@ -303,6 +325,7 @@ impl Module for SpmAddrReader {
         if try_push(ctx.queues, self.out, out) {
             ctx.queues.get_mut(self.input).pop();
         }
+        Tick::Active
     }
 
     fn is_done(&self) -> bool {

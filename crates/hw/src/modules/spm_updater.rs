@@ -1,7 +1,7 @@
 //! SPM Updater: sequential / random / read-modify-write scratchpad writes
 //! with the RAW hazard interlock (paper §III-C).
 
-use super::{try_push, Ctx, Module, ModuleKind};
+use super::{try_push, Ctx, Module, ModuleKind, Tick};
 use crate::queue::QueueId;
 use crate::spm::SpmId;
 use std::any::Any;
@@ -126,11 +126,14 @@ impl Module for SpmUpdater {
         ModuleKind::SpmUpdater
     }
 
-    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+    fn tick(&mut self, ctx: &mut Ctx<'_>) -> Tick {
         if self.done {
-            return;
+            return Tick::Active;
         }
         // Retire RMW stages that have aged out of the 3-stage pipeline.
+        // Retirement is a pure function of (entry cycle, current cycle), so
+        // deferring it across parked cycles cannot change hazard outcomes:
+        // the next data flit sees the same post-retire pipeline either way.
         while let Some(&(entered, _)) = self.inflight.front() {
             if ctx.cycle.saturating_sub(entered) >= RMW_PIPELINE_DEPTH as u64 {
                 self.inflight.pop_front();
@@ -145,14 +148,15 @@ impl Module for SpmUpdater {
                     ctx.queues.get_mut(fq).close();
                 }
                 self.done = true;
+                return Tick::Active;
             }
-            return;
+            return Tick::PARK;
         };
         // The cascade must accept the flit in the same cycle we consume it.
         if let Some(fq) = self.forward {
             if !ctx.queues.get(fq).can_push() {
                 ctx.queues.get_mut(fq).note_full_stall();
-                return;
+                return Tick::Active;
             }
         }
         if flit.is_end_item() {
@@ -161,7 +165,7 @@ impl Module for SpmUpdater {
                 let pushed = try_push(ctx.queues, fq, flit);
                 debug_assert!(pushed, "forward space was checked");
             }
-            return;
+            return Tick::Active;
         }
         match self.mode {
             SpmUpdateMode::Sequential { .. } => {
@@ -185,8 +189,10 @@ impl Module for SpmUpdater {
                     // RAW interlock: an address already in the 3-stage
                     // pipeline blocks the incoming flit.
                     if self.inflight.iter().any(|&(_, addr)| addr == a) {
+                        // Hazard stalls are counted per blocked cycle, so
+                        // the module must keep ticking.
                         self.hazard_stalls += 1;
-                        return;
+                        return Tick::Active;
                     }
                     let spm = ctx.spms.get_mut(self.spm);
                     let old = spm.read(a);
@@ -207,6 +213,7 @@ impl Module for SpmUpdater {
             let pushed = try_push(ctx.queues, fq, flit);
             debug_assert!(pushed, "forward space was checked");
         }
+        Tick::Active
     }
 
     fn is_done(&self) -> bool {

@@ -52,6 +52,12 @@ impl Queue {
         &self.name
     }
 
+    /// Configured capacity in flits.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// True when a flit can be pushed this cycle.
     #[must_use]
     pub fn can_push(&self) -> bool {
@@ -138,9 +144,30 @@ impl Queue {
 }
 
 /// All queues of a simulated system, addressed by [`QueueId`].
+///
+/// When touch tracking is enabled (see [`QueuePool::set_touch_tracking`]),
+/// the pool records which queues have been handed out mutably since the
+/// last [`QueuePool::take_touched`] call. The event-driven engine uses
+/// this as a conservative change signal: any `get_mut` (a push, pop,
+/// close, or even a refused push) marks the queue touched, and parked
+/// modules watching a touched queue are re-ticked. Spurious wakes are
+/// harmless; missed wakes would break the engine, so the tracking errs on
+/// the side of touching. Tracking is off by default so the reference
+/// engine — and the event engine whenever nothing is parked — pays nothing
+/// on the queue-access hot path.
 #[derive(Debug, Default)]
 pub struct QueuePool {
     queues: Vec<Queue>,
+    /// Queue indices touched since the last drain (each at most once).
+    touched: Vec<u32>,
+    /// Dedup flags parallel to `queues`.
+    touch_flag: Vec<bool>,
+    /// Number of currently-parked modules watching each queue. Touches are
+    /// only recorded for queues someone is actually waiting on, so active
+    /// modules' routine queue traffic costs one predictable branch.
+    watch_count: Vec<u16>,
+    /// Whether `get_mut` records touches at all.
+    tracking: bool,
 }
 
 impl QueuePool {
@@ -163,6 +190,8 @@ impl QueuePool {
     pub fn add_with_capacity(&mut self, name: &str, capacity: usize) -> QueueId {
         assert!(capacity > 0, "queue capacity must be positive");
         self.queues.push(Queue::new(name, capacity));
+        self.touch_flag.push(false);
+        self.watch_count.push(0);
         QueueId(self.queues.len() as u32 - 1)
     }
 
@@ -172,10 +201,63 @@ impl QueuePool {
         &self.queues[id.index()]
     }
 
-    /// Mutably borrows a queue.
+    /// Mutably borrows a queue, marking it touched for the event-driven
+    /// engine's wake tracking when tracking is enabled.
     #[must_use]
     pub fn get_mut(&mut self, id: QueueId) -> &mut Queue {
-        &mut self.queues[id.index()]
+        let i = id.index();
+        if self.tracking && self.watch_count[i] != 0 && !self.touch_flag[i] {
+            self.touch_flag[i] = true;
+            self.touched.push(id.0);
+        }
+        &mut self.queues[i]
+    }
+
+    /// Registers a parked watcher on `q`: `get_mut` touches of `q` will be
+    /// recorded until the matching [`QueuePool::remove_watch`].
+    pub(crate) fn add_watch(&mut self, q: QueueId) {
+        self.watch_count[q.index()] += 1;
+    }
+
+    /// Unregisters one parked watcher of `q`.
+    pub(crate) fn remove_watch(&mut self, q: QueueId) {
+        self.watch_count[q.index()] -= 1;
+    }
+
+    /// True when any touches are pending — a cheap pre-check so the engine
+    /// can skip the drain on the (overwhelmingly common) quiet ticks.
+    #[inline]
+    pub(crate) fn has_touched(&self) -> bool {
+        !self.touched.is_empty()
+    }
+
+    /// Clears all watch registrations (engine run boundaries and error
+    /// exits, where parked bookkeeping is abandoned wholesale).
+    pub(crate) fn clear_watches(&mut self) {
+        self.watch_count.fill(0);
+    }
+
+    /// Turns touch recording on or off, discarding any pending touches.
+    /// The event engine enables tracking only while at least one module is
+    /// parked — with nothing parked there is nobody to wake, so the
+    /// hot-path bookkeeping can be skipped entirely.
+    pub(crate) fn set_touch_tracking(&mut self, on: bool) {
+        if self.tracking != on {
+            for &i in &self.touched {
+                self.touch_flag[i as usize] = false;
+            }
+            self.touched.clear();
+            self.tracking = on;
+        }
+    }
+
+    /// Drains the indices of queues touched since the last call into
+    /// `out`, clearing the tracking state.
+    pub(crate) fn take_touched(&mut self, out: &mut Vec<u32>) {
+        for &i in &self.touched {
+            self.touch_flag[i as usize] = false;
+        }
+        out.append(&mut self.touched);
     }
 
     /// Number of queues.

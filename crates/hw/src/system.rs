@@ -1,14 +1,34 @@
 //! Pipeline wiring and the per-cycle simulation engine.
 
 use crate::memory::{MemStats, MemoryConfig, MemorySystem, PortId};
-use crate::modules::{Ctx, Module, ModuleKind};
+use crate::modules::{Ctx, Module, ModuleKind, Tick, Watch};
 use crate::queue::{QueueId, QueuePool};
 use crate::resource::{
     module_cost, pipeline_overhead, queue_bram, ResourceReport, ResourceUsage,
 };
 use crate::spm::{SpmId, SpmPool};
 use crate::word::HwWord;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
+
+/// Which simulation engine [`System::run`] uses.
+///
+/// Both engines produce bit-identical results — cycle counts, stall
+/// counters, memory traffic, and module outputs all match. The
+/// event-driven engine is the default; the reference engine exists as the
+/// semantic baseline for differential testing and debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Quiescence-aware engine: modules whose [`Tick`] reports that no
+    /// progress is possible are parked and re-ticked only when a watched
+    /// queue changes or a timed wake (memory latency) arrives. Cycles on
+    /// which every live module is parked are skipped in closed form.
+    #[default]
+    EventDriven,
+    /// The naive engine: every unfinished module ticks every cycle.
+    Reference,
+}
 
 /// Handle for a module registered in a [`System`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,6 +95,7 @@ pub struct System {
     cycle: u64,
     /// Module-id ranges per pipeline (for resource accounting).
     pipeline_count: u32,
+    engine: EngineMode,
 }
 
 impl Default for System {
@@ -91,8 +112,17 @@ impl System {
     }
 
     /// Creates a system with an explicit memory configuration.
+    ///
+    /// The engine defaults to [`EngineMode::EventDriven`]; setting the
+    /// environment variable `GENESIS_ENGINE=reference` selects the naive
+    /// reference engine instead (handy for differential debugging without
+    /// code changes).
     #[must_use]
     pub fn with_memory(cfg: MemoryConfig) -> System {
+        let engine = match std::env::var("GENESIS_ENGINE") {
+            Ok(v) if v.eq_ignore_ascii_case("reference") => EngineMode::Reference,
+            _ => EngineMode::EventDriven,
+        };
         System {
             queues: QueuePool::new(),
             spms: SpmPool::new(),
@@ -100,7 +130,19 @@ impl System {
             modules: Vec::new(),
             cycle: 0,
             pipeline_count: 1,
+            engine,
         }
+    }
+
+    /// Selects the simulation engine for subsequent [`System::run`] calls.
+    pub fn set_engine(&mut self, engine: EngineMode) {
+        self.engine = engine;
+    }
+
+    /// The currently selected simulation engine.
+    #[must_use]
+    pub fn engine(&self) -> EngineMode {
+        self.engine
     }
 
     /// Adds a queue.
@@ -201,7 +243,7 @@ impl System {
         };
         for m in &mut self.modules {
             if !m.is_done() {
-                m.tick(&mut ctx);
+                let _ = m.tick(&mut ctx);
             }
         }
         self.cycle += 1;
@@ -213,13 +255,24 @@ impl System {
         self.modules.iter().all(|m| m.is_done())
     }
 
-    /// Runs until every module finishes or `max_cycles` elapse.
+    /// Runs until every module finishes or `max_cycles` elapse, using the
+    /// engine selected by [`System::set_engine`].
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Deadlock`] when no observable progress happens
     /// for a long window, or [`SimError::CycleLimit`] at the budget.
     pub fn run(&mut self, max_cycles: u64) -> Result<SimStats, SimError> {
+        match self.engine {
+            EngineMode::Reference => self.run_reference(max_cycles),
+            EngineMode::EventDriven => self.run_event(max_cycles),
+        }
+    }
+
+    /// The naive engine: tick every unfinished module every cycle. This is
+    /// the semantic baseline the event-driven engine must match bit for
+    /// bit; keep its behavior frozen.
+    fn run_reference(&mut self, max_cycles: u64) -> Result<SimStats, SimError> {
         let deadlock_window = 4 * self.mem.config().latency_cycles + 10_000;
         let mut last_progress_cycle = self.cycle;
         let mut last_signature = self.progress_signature();
@@ -235,17 +288,285 @@ impl System {
                     last_signature = sig;
                     last_progress_cycle = self.cycle;
                 } else if self.cycle - last_progress_cycle > deadlock_window {
-                    let stuck = self
-                        .modules
-                        .iter()
-                        .filter(|m| !m.is_done())
-                        .map(|m| m.label().to_owned())
-                        .collect();
-                    return Err(SimError::Deadlock { cycle: self.cycle, stuck });
+                    return Err(SimError::Deadlock {
+                        cycle: self.cycle,
+                        stuck: self.stuck_labels(),
+                    });
                 }
             }
         }
         Ok(self.stats())
+    }
+
+    /// The quiescence-aware engine.
+    ///
+    /// Modules whose tick returns [`Tick::Park`] are skipped until the
+    /// state they declared themselves blocked on changes: a mutation (any
+    /// `get_mut` counts — a push, pop, close, or refused push) of a queue
+    /// selected by their [`Watch`], or their requested wake cycle
+    /// arriving. Because the park contract requires a parked module's
+    /// ticks to be pure no-ops, skipping them is unobservable: cycle
+    /// counts, stall counters, memory traffic and outputs match the
+    /// reference engine exactly.
+    ///
+    /// Queue touch tracking is enabled only while at least one module is
+    /// parked — with nothing parked there is nobody to wake, so the
+    /// all-active steady state pays no tracking overhead at all.
+    ///
+    /// Wake ordering preserves reference-tick order: touches are drained
+    /// and watchers unparked *after each module's tick*, before the tick's
+    /// own park result is applied. A module later in registration order
+    /// woken mid-scan is therefore ticked in the same cycle (as the
+    /// reference engine would), an earlier one on the next cycle — also
+    /// matching, since its no-op tick this cycle preceded the wake-causing
+    /// mutation.
+    ///
+    /// When every live module is parked, the engine advances the clock in
+    /// closed form to the next timed wake, replaying the reference
+    /// engine's 512-cycle deadlock sampling arithmetic so `Deadlock` and
+    /// `CycleLimit` errors fire at identical cycles.
+    #[allow(clippy::too_many_lines)]
+    fn run_event(&mut self, max_cycles: u64) -> Result<SimStats, SimError> {
+        /// Watcher-role bits: how a module relates to a watched queue.
+        const ROLE_INPUT: u8 = 1;
+        const ROLE_OUTPUT: u8 = 2;
+        fn watch_matches(watch: Watch, role: u8, qi: u32) -> bool {
+            match watch {
+                Watch::Inputs => role & ROLE_INPUT != 0,
+                Watch::Outputs => role & ROLE_OUTPUT != 0,
+                Watch::Queue(id) => id.index() == qi as usize,
+                Watch::Timer => false,
+            }
+        }
+        /// Registers (or unregisters) the concrete queues a module's park
+        /// watches, so `get_mut` records touches only for queues some
+        /// parked module actually waits on.
+        fn adjust_watches(
+            queues: &mut QueuePool,
+            ins: &[QueueId],
+            outs: &[QueueId],
+            watch: Watch,
+            add: bool,
+        ) {
+            let qs: &[QueueId] = match watch {
+                Watch::Inputs => ins,
+                Watch::Outputs => outs,
+                Watch::Queue(q) => {
+                    if add {
+                        queues.add_watch(q);
+                    } else {
+                        queues.remove_watch(q);
+                    }
+                    return;
+                }
+                Watch::Timer => return,
+            };
+            for &q in qs {
+                if add {
+                    queues.add_watch(q);
+                } else {
+                    queues.remove_watch(q);
+                }
+            }
+        }
+        let n = self.modules.len();
+        let deadlock_window = 4 * self.mem.config().latency_cycles + 10_000;
+        // Queue index -> modules watching it, tagged with their role so a
+        // parked module's `Watch` can filter wake-ups; plus each module's
+        // own queue lists for park-time watch registration.
+        let mut watchers: Vec<Vec<(usize, u8)>> = vec![Vec::new(); self.queues.len()];
+        let mut in_qs: Vec<Vec<QueueId>> = Vec::with_capacity(n);
+        let mut out_qs: Vec<Vec<QueueId>> = Vec::with_capacity(n);
+        for (i, m) in self.modules.iter().enumerate() {
+            let ins = m.input_queues();
+            let outs = m.output_queues();
+            for &q in &ins {
+                match watchers[q.index()].iter_mut().find(|(w, _)| *w == i) {
+                    Some(entry) => entry.1 |= ROLE_INPUT,
+                    None => watchers[q.index()].push((i, ROLE_INPUT)),
+                }
+            }
+            for &q in &outs {
+                match watchers[q.index()].iter_mut().find(|(w, _)| *w == i) {
+                    Some(entry) => entry.1 |= ROLE_OUTPUT,
+                    None => watchers[q.index()].push((i, ROLE_OUTPUT)),
+                }
+            }
+            in_qs.push(ins);
+            out_qs.push(outs);
+        }
+        let mut done: Vec<bool> = self.modules.iter().map(|m| m.is_done()).collect();
+        let mut done_count = done.iter().filter(|&&d| d).count();
+        let mut parked = vec![false; n];
+        let mut parked_watch = vec![Watch::Inputs; n];
+        let mut parked_count = 0usize;
+        // Bumped on every unpark so stale timed-heap entries are ignored.
+        let mut gen = vec![0u32; n];
+        let mut timed: BinaryHeap<Reverse<(u64, usize, u32)>> = BinaryHeap::new();
+        let mut touched: Vec<u32> = Vec::new();
+        // Local mirror of the pool's tracking flag. Tracking turns on when
+        // the first module parks and off once nothing is parked at a cycle
+        // boundary, so the all-active steady state runs with zero
+        // bookkeeping on `get_mut`.
+        let mut tracking = false;
+        self.queues.set_touch_tracking(false);
+        self.queues.clear_watches();
+        let mut last_progress_cycle = self.cycle;
+        let mut last_signature = self.progress_signature();
+        while done_count < n {
+            if self.cycle >= max_cycles {
+                self.queues.set_touch_tracking(false);
+                return Err(SimError::CycleLimit { limit: max_cycles });
+            }
+            // Timed wakes due this cycle.
+            while let Some(&Reverse((at, i, g))) = timed.peek() {
+                if at > self.cycle {
+                    break;
+                }
+                timed.pop();
+                if g == gen[i] && parked[i] && !done[i] {
+                    parked[i] = false;
+                    parked_count -= 1;
+                    gen[i] = gen[i].wrapping_add(1);
+                    adjust_watches(&mut self.queues, &in_qs[i], &out_qs[i], parked_watch[i], false);
+                }
+            }
+            if tracking && parked_count == 0 {
+                tracking = false;
+                self.queues.set_touch_tracking(false);
+            }
+            if parked_count + done_count == n {
+                // Every live module is parked: all cycles until the next
+                // timed wake are no-ops. Replay the reference engine's
+                // bookkeeping in closed form.
+                let sig_now = self.progress_signature();
+                // The sample at which the reference loop would record any
+                // progress made since the last 512-cycle sample.
+                let next_sample = (self.cycle / 512 + 1) * 512;
+                let lp = if sig_now == last_signature { last_progress_cycle } else { next_sample };
+                // First sample where `cycle - lp > deadlock_window` holds.
+                let c_dl = ((lp + deadlock_window) / 512 + 1) * 512;
+                // Earliest still-valid timed wake.
+                let wake = loop {
+                    match timed.peek() {
+                        Some(&Reverse((at, i, g))) => {
+                            if g == gen[i] && parked[i] && !done[i] {
+                                break at;
+                            }
+                            timed.pop();
+                        }
+                        None => break u64::MAX,
+                    }
+                };
+                if c_dl <= wake && c_dl <= max_cycles {
+                    self.cycle = c_dl;
+                    self.queues.set_touch_tracking(false);
+                    return Err(SimError::Deadlock { cycle: c_dl, stuck: self.stuck_labels() });
+                }
+                if wake < max_cycles {
+                    if sig_now != last_signature && next_sample <= wake {
+                        last_signature = sig_now;
+                        last_progress_cycle = next_sample;
+                    }
+                    self.cycle = wake;
+                    continue;
+                }
+                // The reference engine ticks all the way to the budget
+                // before giving up; land the cycle counter on the same
+                // value so post-error `cycle()`/`stats()` agree.
+                self.cycle = max_cycles;
+                self.queues.set_touch_tracking(false);
+                return Err(SimError::CycleLimit { limit: max_cycles });
+            }
+            self.mem.begin_cycle(self.cycle);
+            for i in 0..n {
+                if done[i] || parked[i] {
+                    continue;
+                }
+                let mut ctx = Ctx {
+                    queues: &mut self.queues,
+                    spms: &mut self.spms,
+                    mem: &mut self.mem,
+                    cycle: self.cycle,
+                };
+                let t = self.modules[i].tick(&mut ctx);
+                // Unpark watchers of queues this tick mutated, *before*
+                // applying the tick's own result — a module that parks
+                // after touching its queues (a refused push marks a touch)
+                // must not immediately wake itself. A parked module is
+                // woken only when the touch matches its declared `Watch`.
+                if tracking && self.queues.has_touched() {
+                    self.queues.take_touched(&mut touched);
+                    for &qi in &touched {
+                        for &(w, role) in &watchers[qi as usize] {
+                            if parked[w] && !done[w] && watch_matches(parked_watch[w], role, qi)
+                            {
+                                parked[w] = false;
+                                parked_count -= 1;
+                                gen[w] = gen[w].wrapping_add(1);
+                                adjust_watches(
+                                    &mut self.queues,
+                                    &in_qs[w],
+                                    &out_qs[w],
+                                    parked_watch[w],
+                                    false,
+                                );
+                            }
+                        }
+                    }
+                    touched.clear();
+                }
+                match t {
+                    Tick::Active => {
+                        if self.modules[i].is_done() {
+                            done[i] = true;
+                            done_count += 1;
+                        }
+                    }
+                    Tick::Park { wake_at, watch } => {
+                        parked[i] = true;
+                        parked_watch[i] = watch;
+                        parked_count += 1;
+                        adjust_watches(&mut self.queues, &in_qs[i], &out_qs[i], watch, true);
+                        if let Some(at) = wake_at {
+                            timed.push(Reverse((at, i, gen[i])));
+                        }
+                        if !tracking {
+                            // First park: start recording touches. Enabled
+                            // after this tick's (untracked) mutations, which
+                            // is safe — state the parking module saw already
+                            // reflects everything earlier this cycle.
+                            tracking = true;
+                            self.queues.set_touch_tracking(true);
+                        }
+                    }
+                }
+            }
+            self.cycle += 1;
+            if self.cycle.is_multiple_of(512) {
+                let sig = self.progress_signature();
+                if sig != last_signature {
+                    last_signature = sig;
+                    last_progress_cycle = self.cycle;
+                } else if self.cycle - last_progress_cycle > deadlock_window {
+                    self.queues.set_touch_tracking(false);
+                    return Err(SimError::Deadlock {
+                        cycle: self.cycle,
+                        stuck: self.stuck_labels(),
+                    });
+                }
+            }
+        }
+        self.queues.set_touch_tracking(false);
+        Ok(self.stats())
+    }
+
+    fn stuck_labels(&self) -> Vec<String> {
+        self.modules
+            .iter()
+            .filter(|m| !m.is_done())
+            .map(|m| m.label().to_owned())
+            .collect()
     }
 
     fn progress_signature(&self) -> (u64, u64, usize) {
@@ -275,7 +596,7 @@ impl System {
         for m in &self.modules {
             fabric = fabric + module_cost(m.kind());
         }
-        let queue_bytes: u64 = self.queues.iter().map(|_| queue_bram(16)).sum();
+        let queue_bytes: u64 = self.queues.iter().map(|q| queue_bram(q.capacity())).sum();
         fabric.bram_bytes += queue_bytes + self.spms.total_bytes() as u64;
         fabric = fabric + pipeline_overhead().times(u64::from(self.pipeline_count));
         ResourceReport::from_fabric(fabric)
@@ -313,14 +634,22 @@ impl System {
             );
         }
         // Queue edges: producer module -> consumer module, labeled by the
-        // queue name.
+        // queue name. The queue -> consumers index is built once up front
+        // instead of rescanning every module per producer queue.
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); self.queues.len()];
+        for (ci, m) in self.modules.iter().enumerate() {
+            let mut qs = m.input_queues();
+            qs.sort_unstable_by_key(|q| q.index());
+            qs.dedup();
+            for q in qs {
+                consumers[q.index()].push(ci);
+            }
+        }
         for (pi, producer) in self.modules.iter().enumerate() {
             for q in producer.output_queues() {
                 let name = self.queues.get(q).name();
-                for (ci, consumer) in self.modules.iter().enumerate() {
-                    if consumer.input_queues().contains(&q) {
-                        let _ = writeln!(out, "  m{pi} -> m{ci} [label=\"{name}\"];");
-                    }
+                for &ci in &consumers[q.index()] {
+                    let _ = writeln!(out, "  m{pi} -> m{ci} [label=\"{name}\"];");
                 }
             }
         }

@@ -1,0 +1,242 @@
+//! Offline stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! The build environment has no crate registry access, so the workspace
+//! vendors the slice of criterion it uses: `criterion_group!` /
+//! `criterion_main!`, benchmark groups with `throughput` /
+//! `sample_size` / `bench_function`, `Bencher::iter`, `BenchmarkId` and
+//! `black_box`. Measurement is a simple calibrated wall-clock loop
+//! (median of `sample_size` samples) printed in criterion's familiar
+//! one-line-per-benchmark format; there is no statistical analysis,
+//! HTML report, or baseline comparison.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting
+/// benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/param`.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{param}", name.into()) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing driver handed to `bench_function` closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Measured per-iteration time of the routine, filled by `iter`.
+    per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`: calibrates an iteration count of roughly 10 ms
+    /// per sample, then records the median of `samples` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: find iters such that one sample takes
+        // ~10 ms (at least 1 iteration for slow routines).
+        let t = Instant::now();
+        black_box(routine());
+        let one = t.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(10).as_nanos() / one.as_nanos()).clamp(1, 1_000_000)
+            as u64;
+        let mut samples: Vec<Duration> = (0..self.samples.max(1))
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                t.elapsed() / iters as u32
+            })
+            .collect();
+        samples.sort_unstable();
+        self.per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn fmt_time(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: self.sample_size, per_iter: Duration::ZERO };
+        f(&mut b);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if b.per_iter > Duration::ZERO => {
+                let per_sec = n as f64 / b.per_iter.as_secs_f64();
+                format!("  thrpt: {:.4} Melem/s", per_sec / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if b.per_iter > Duration::ZERO => {
+                let per_sec = n as f64 / b.per_iter.as_secs_f64();
+                format!("  thrpt: {:.4} MiB/s", per_sec / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!("{}/{}  time: {}{}", self.name, id.id, fmt_time(b.per_iter), rate);
+        let _ = &self.criterion;
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark manager.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Sets the default number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.sample_size == 0 { 10 } else { self.sample_size };
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size }
+    }
+
+    /// Runs one benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function (criterion 0.5 `name =` form and
+/// plain form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(100));
+        g.sample_size(3);
+        g.bench_function(BenchmarkId::new("sum", 100), |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        g.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_function(format!("owned{}", 1), |b| b.iter(|| black_box(2)));
+        g.finish();
+    }
+
+    criterion_group!(
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = trivial
+    );
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("sum", 42).id, "sum/42");
+    }
+}

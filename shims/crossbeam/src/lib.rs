@@ -1,0 +1,95 @@
+//! Offline stand-in for the `crossbeam` crate (0.8 API subset).
+//!
+//! The build environment has no crate registry access, so the workspace
+//! vendors the only crossbeam feature it uses: `crossbeam::thread::scope`
+//! with `Scope::spawn` / `ScopedJoinHandle::join`, implemented over
+//! `std::thread::scope` (std has had scoped threads since 1.63).
+//! Differences from upstream: a panicking child aborts the scope via
+//! std's propagation rather than being collected into the scope result,
+//! so `scope(...)` only returns `Ok` here — the `Result` wrapper is kept
+//! for call-site compatibility.
+
+/// Scoped threads (subset of `crossbeam::thread`).
+pub mod thread {
+    use std::marker::PhantomData;
+
+    /// A scope handle passed to `scope`'s closure and to each spawned
+    /// thread's closure.
+    #[derive(Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped thread.
+    #[derive(Debug)]
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+        _marker: PhantomData<&'scope ()>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result (`Err` when the
+        /// thread panicked).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it
+        /// can spawn further threads (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner: inner_scope })),
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; returns once all of them finished.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = crate::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                handles.push(scope.spawn(move |_| chunk.iter().sum::<u64>()));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .sum::<u64>()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = crate::thread::scope(|scope| {
+            let h = scope.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21u32);
+                h2.join().expect("inner") * 2
+            });
+            h.join().expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+}
