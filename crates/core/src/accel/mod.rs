@@ -5,6 +5,7 @@ use crate::device::DeviceConfig;
 use crate::error::CoreError;
 use crate::perf::AccelStats;
 use genesis_hw::System;
+use genesis_obs::{ChromeTrace, StallReport, TraceBuffer};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod bqsr;
@@ -44,36 +45,52 @@ where
     R: Send,
 {
     let chunks: Vec<&[J]> = jobs.chunks(cfg.pipelines.max(1)).collect();
-    let run_chunk = |chunk: &[J]| -> Result<(Vec<R>, AccelStats), CoreError> {
+    type ChunkOut<R> = (Vec<R>, AccelStats, Option<(TraceBuffer, StallReport)>);
+    let run_chunk = |chunk: &[J]| -> Result<ChunkOut<R>, CoreError> {
         let mut sys = System::with_memory(cfg.mem.clone());
+        if cfg.trace.enabled {
+            sys.set_trace(cfg.trace.clone());
+        }
         let mut handles = Vec::with_capacity(chunk.len());
         for (i, job) in chunk.iter().enumerate() {
             handles.push(build(&mut sys, i as u32, job)?);
         }
         let run = sys.run(CYCLE_BUDGET)?;
+        let report = sys.stall_report();
+        let totals = report.totals();
         let stats = AccelStats {
             cycles: run.cycles,
             device_mem_bytes: run.mem.read_bytes() + run.mem.write_bytes(),
             invocations: 1,
             backpressure_stalls: run.backpressure_stalls,
             total_flits: run.total_flits,
+            active_cycles: totals.active,
+            input_starved_cycles: totals.input_starved,
+            backpressured_cycles: totals.backpressured,
+            memory_wait_cycles: totals.memory_wait,
             ..AccelStats::default()
         };
         let mut results = Vec::with_capacity(chunk.len());
         for (handle, job) in handles.iter().zip(chunk) {
             results.push(extract(&sys, handle, job)?);
         }
-        Ok((results, stats))
+        let obs = sys.take_trace().map(|buf| (buf, report));
+        Ok((results, stats, obs))
     };
     let threads = cfg.resolved_host_threads().min(chunks.len()).max(1);
     let mut results = Vec::with_capacity(jobs.len());
     let mut stats = AccelStats::default();
+    let mut traces = Vec::new();
     if threads <= 1 {
         for chunk in &chunks {
-            let (r, s) = run_chunk(chunk)?;
+            let (r, s, obs) = run_chunk(chunk)?;
             results.extend(r);
             stats.absorb(s);
+            if let Some(t) = obs {
+                traces.push(t);
+            }
         }
+        export_trace(cfg, &traces)?;
         return Ok((results, stats));
     }
     let next = AtomicUsize::new(0);
@@ -99,17 +116,47 @@ where
             .collect::<Vec<_>>()
     })
     .expect("batch worker scope");
-    type BatchOutcome<R> = Result<(Vec<R>, AccelStats), CoreError>;
+    type BatchOutcome<R> = Result<(Vec<R>, AccelStats, Option<(TraceBuffer, StallReport)>), CoreError>;
     let mut slots: Vec<Option<BatchOutcome<R>>> = (0..chunks.len()).map(|_| None).collect();
     for (idx, outcome) in collected {
         slots[idx] = Some(outcome);
     }
     for outcome in &mut slots {
-        let (r, s) = outcome.take().expect("every batch ran exactly once")?;
+        let (r, s, obs) = outcome.take().expect("every batch ran exactly once")?;
         results.extend(r);
         stats.absorb(s);
+        if let Some(t) = obs {
+            traces.push(t);
+        }
     }
+    export_trace(cfg, &traces)?;
     Ok((results, stats))
+}
+
+/// Writes the merged per-batch Chrome trace and its sibling flame table
+/// when the device config names an export path. Batch `i` becomes process
+/// `i` in the trace; stall reports merge by module label.
+fn export_trace(
+    cfg: &DeviceConfig,
+    traces: &[(TraceBuffer, StallReport)],
+) -> Result<(), CoreError> {
+    let Some(path) = cfg.trace.path.as_ref().filter(|_| !traces.is_empty()) else {
+        return Ok(());
+    };
+    let mut chrome = ChromeTrace::new();
+    let mut merged = StallReport::default();
+    for (idx, (buf, report)) in traces.iter().enumerate() {
+        buf.append_chrome(&mut chrome, idx as u32, &format!("batch {idx}"));
+        merged.absorb(report);
+    }
+    chrome
+        .write_to(path)
+        .map_err(|e| CoreError::Host(format!("trace export to {}: {e}", path.display())))?;
+    let mut stalls_path = path.as_os_str().to_owned();
+    stalls_path.push(".stalls.txt");
+    std::fs::write(&stalls_path, merged.flame_table(32))
+        .map_err(|e| CoreError::Host(format!("stall report export: {e}")))?;
+    Ok(())
 }
 
 /// Splits `n` items into at most `parts` contiguous, near-equal ranges.

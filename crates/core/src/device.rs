@@ -1,6 +1,7 @@
 //! The modeled accelerator device: clock, replication, DMA link.
 
 use genesis_hw::MemoryConfig;
+use genesis_obs::TraceConfig;
 use std::time::Duration;
 
 /// The host↔FPGA DMA link model (paper §V-B: "the host communicates to and
@@ -61,6 +62,13 @@ pub struct DeviceConfig {
     /// `GENESIS_HOST_THREADS` environment variable overrides this at run
     /// time; see [`DeviceConfig::resolved_host_threads`].
     pub host_threads: usize,
+    /// Opt-in engine tracing for every batch system the accelerators
+    /// spawn. Defaults from the `GENESIS_TRACE` environment variable
+    /// (unset/empty/`0`/`off` = disabled; anything else = the Chrome-trace
+    /// output path). When enabled with a path, each accelerator run writes
+    /// the merged Chrome trace there plus a `<path>.stalls.txt` flame
+    /// table (a later run overwrites an earlier one).
+    pub trace: TraceConfig,
 }
 
 impl Default for DeviceConfig {
@@ -73,6 +81,7 @@ impl Default for DeviceConfig {
             mem: MemoryConfig::default(),
             psize: 1_000_000,
             host_threads: 0,
+            trace: TraceConfig::from_env(),
         }
     }
 }
@@ -115,6 +124,14 @@ impl DeviceConfig {
     #[must_use]
     pub fn with_host_threads(mut self, n: usize) -> DeviceConfig {
         self.host_threads = n;
+        self
+    }
+
+    /// Sets the tracing configuration (overriding the `GENESIS_TRACE`
+    /// default).
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceConfig) -> DeviceConfig {
+        self.trace = trace;
         self
     }
 

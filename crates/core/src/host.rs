@@ -10,11 +10,13 @@
 
 use crate::error::CoreError;
 use crate::perf::AccelStats;
+use genesis_obs::{MetricsRegistry, MetricsSnapshot};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Inputs staged by `configure_mem` for one pipeline, keyed by column name.
 #[derive(Debug, Default, Clone)]
@@ -77,6 +79,9 @@ enum Slot {
         done: Arc<AtomicBool>,
         handle: JoinHandle<Result<JobOutput, CoreError>>,
     },
+    /// A waiter took the join handle out and is blocked on it; other
+    /// waiters spin-wait for the `Finished` slot it will install.
+    Joining,
     Finished(Result<JobOutput, CoreError>),
 }
 
@@ -87,15 +92,29 @@ impl std::fmt::Debug for Slot {
             Slot::Running { done, .. } => {
                 write!(f, "Running(done={})", done.load(Ordering::SeqCst))
             }
+            Slot::Joining => write!(f, "Joining"),
             Slot::Finished(r) => write!(f, "Finished(ok={})", r.is_ok()),
         }
     }
+}
+
+/// Coarse lifecycle state of one pipeline slot, as reported by
+/// [`GenesisHost::status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineStatus {
+    /// `configure_mem` has staged inputs; `run_genesis` not yet called.
+    Configuring,
+    /// The job is in flight (or a waiter is joining it).
+    Running,
+    /// The job completed; results (or its error) await `genesis_flush`.
+    Finished,
 }
 
 /// The host-side controller of the Genesis accelerators.
 #[derive(Debug, Default)]
 pub struct GenesisHost {
     slots: Mutex<HashMap<u32, Slot>>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl GenesisHost {
@@ -112,6 +131,7 @@ impl GenesisHost {
     /// This is a blocking call (the DMA copy happens here on the real
     /// system).
     pub fn configure_mem(&self, pipeline_id: u32, colname: &str, bytes: Vec<u8>, elem_size: usize) {
+        let start = Instant::now();
         let mut slots = self.slots.lock();
         let slot = slots
             .entry(pipeline_id)
@@ -122,6 +142,8 @@ impl GenesisHost {
         if let Slot::Configuring(inputs) = slot {
             inputs.columns.insert(colname.to_owned(), ColumnBuf { bytes, elem_size });
         }
+        drop(slots);
+        self.span(pipeline_id, "configure_mem", start);
     }
 
     /// The paper's non-blocking `run_genesis(pipelineID)`: launches `job`
@@ -134,16 +156,20 @@ impl GenesisHost {
         let mut slots = self.slots.lock();
         let inputs = match slots.remove(&pipeline_id) {
             Some(Slot::Configuring(inputs)) => inputs,
-            Some(running @ Slot::Running { .. }) => {
-                slots.insert(pipeline_id, running);
+            Some(busy @ (Slot::Running { .. } | Slot::Joining)) => {
+                slots.insert(pipeline_id, busy);
                 return Err(CoreError::Host(format!("pipeline {pipeline_id} already running")));
             }
             Some(Slot::Finished(_)) | None => ConfiguredInputs::default(),
         };
         let done = Arc::new(AtomicBool::new(false));
         let done2 = Arc::clone(&done);
+        let metrics = Arc::clone(&self.metrics);
         let handle = std::thread::spawn(move || {
+            let start = Instant::now();
             let out = job(inputs);
+            metrics
+                .observe_duration(&format!("pipeline.{pipeline_id}.run_ns"), start.elapsed());
             done2.store(true, Ordering::SeqCst);
             out
         });
@@ -163,57 +189,121 @@ impl GenesisHost {
         }
     }
 
+    /// Coarse state of a pipeline slot: `None` when the id is unknown (or
+    /// already flushed), otherwise whether it is configuring, running, or
+    /// finished. Never blocks.
+    #[must_use]
+    pub fn status(&self, pipeline_id: u32) -> Option<PipelineStatus> {
+        let slots = self.slots.lock();
+        slots.get(&pipeline_id).map(|slot| match slot {
+            Slot::Configuring(_) => PipelineStatus::Configuring,
+            Slot::Running { .. } | Slot::Joining => PipelineStatus::Running,
+            Slot::Finished(_) => PipelineStatus::Finished,
+        })
+    }
+
+    /// Blocks until the pipeline's job has completed and its `Finished`
+    /// slot is installed. Safe to race from multiple threads: the first
+    /// caller joins the worker, later callers wait for the result it
+    /// publishes.
+    fn join_pipeline(&self, pipeline_id: u32) -> Result<(), CoreError> {
+        loop {
+            let taken = {
+                let mut slots = self.slots.lock();
+                match slots.get(&pipeline_id) {
+                    None | Some(Slot::Configuring(_)) => {
+                        return Err(CoreError::Host(format!(
+                            "pipeline {pipeline_id} was not started"
+                        )));
+                    }
+                    Some(Slot::Finished(_)) => return Ok(()),
+                    Some(Slot::Joining) => None,
+                    Some(Slot::Running { .. }) => slots.insert(pipeline_id, Slot::Joining),
+                }
+            };
+            match taken {
+                Some(Slot::Running { handle, .. }) => {
+                    let result = handle.join().unwrap_or_else(|_| {
+                        Err(CoreError::Host("accelerator thread panicked".into()))
+                    });
+                    self.slots.lock().insert(pipeline_id, Slot::Finished(result));
+                    return Ok(());
+                }
+                _ => std::thread::sleep(std::time::Duration::from_micros(50)),
+            }
+        }
+    }
+
     /// The paper's blocking `wait_genesis(pipelineID)`.
+    ///
+    /// On job failure the error is returned here *and* stays retrievable:
+    /// the slot remains `Finished` so `genesis_flush` reports the same
+    /// error (and consumes the slot). Concurrent waiters on the same
+    /// pipeline all block and all observe the same outcome.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::Host`] when the pipeline was never started, or
     /// the job's own error.
     pub fn wait_genesis(&self, pipeline_id: u32) -> Result<(), CoreError> {
-        let slot = {
-            let mut slots = self.slots.lock();
-            slots.remove(&pipeline_id)
-        };
-        match slot {
-            Some(Slot::Running { handle, .. }) => {
-                let result = handle
-                    .join()
-                    .unwrap_or_else(|_| Err(CoreError::Host("accelerator thread panicked".into())));
-                let ok = result.is_ok();
-                self.slots.lock().insert(pipeline_id, Slot::Finished(result));
-                if ok {
-                    Ok(())
-                } else {
-                    // Leave the error retrievable via genesis_flush.
-                    Ok(())
-                }
-            }
-            Some(finished @ Slot::Finished(_)) => {
-                self.slots.lock().insert(pipeline_id, finished);
-                Ok(())
-            }
-            Some(other) => {
-                self.slots.lock().insert(pipeline_id, other);
-                Err(CoreError::Host(format!("pipeline {pipeline_id} was not started")))
-            }
-            None => Err(CoreError::Host(format!("pipeline {pipeline_id} was not started"))),
+        let start = Instant::now();
+        let joined = self.join_pipeline(pipeline_id);
+        self.span(pipeline_id, "wait", start);
+        joined?;
+        let slots = self.slots.lock();
+        match slots.get(&pipeline_id) {
+            Some(Slot::Finished(Err(e))) => Err(e.clone()),
+            _ => Ok(()),
         }
     }
 
     /// The paper's `genesis_flush(pipelineID)`: returns the output buffers
-    /// (the device→host copy). Blocks until completion if still running.
+    /// (the device→host copy), consuming the slot. Blocks until completion
+    /// if still running.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::Host`] when the pipeline was never run, or the
     /// job's own error.
     pub fn genesis_flush(&self, pipeline_id: u32) -> Result<JobOutput, CoreError> {
-        self.wait_genesis(pipeline_id)?;
+        let start = Instant::now();
+        let result = self.flush_inner(pipeline_id);
+        self.span(pipeline_id, "flush", start);
+        result
+    }
+
+    fn flush_inner(&self, pipeline_id: u32) -> Result<JobOutput, CoreError> {
+        self.join_pipeline(pipeline_id)?;
         let mut slots = self.slots.lock();
         match slots.remove(&pipeline_id) {
             Some(Slot::Finished(result)) => result,
-            _ => Err(CoreError::Host(format!("pipeline {pipeline_id} has no results"))),
+            Some(other) => {
+                // Lost a race with another flush between join and remove;
+                // put whatever state appeared back.
+                slots.insert(pipeline_id, other);
+                Err(CoreError::Host(format!("pipeline {pipeline_id} has no results")))
+            }
+            None => Err(CoreError::Host(format!("pipeline {pipeline_id} has no results"))),
         }
+    }
+
+    /// The host-side metrics registry: per-pipeline wall-clock histograms
+    /// (`pipeline.<id>.configure_mem_ns` / `run_ns` / `wait_ns` /
+    /// `flush_ns`). Handles obtained from it are lock-free to update.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// A point-in-time snapshot of every host metric.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    fn span(&self, pipeline_id: u32, op: &str, start: Instant) {
+        self.metrics
+            .observe_duration(&format!("pipeline.{pipeline_id}.{op}_ns"), start.elapsed());
     }
 }
 
@@ -275,10 +365,95 @@ mod tests {
     }
 
     #[test]
-    fn job_error_surfaces_at_flush() {
+    fn job_error_surfaces_at_wait_and_flush() {
         let host = GenesisHost::new();
         host.run_genesis(2, Box::new(|_| Err(CoreError::Host("boom".into()))))
             .unwrap();
-        assert!(matches!(host.genesis_flush(2), Err(CoreError::Host(_))));
+        // wait_genesis reports the job's own error...
+        let err = host.wait_genesis(2).unwrap_err();
+        assert!(err.to_string().contains("boom"));
+        // ...and the slot stays retrievable: flush reports it again, then
+        // consumes the slot.
+        assert_eq!(host.status(2), Some(PipelineStatus::Finished));
+        let err = host.genesis_flush(2).unwrap_err();
+        assert!(err.to_string().contains("boom"));
+        assert_eq!(host.status(2), None);
+    }
+
+    #[test]
+    fn status_tracks_lifecycle() {
+        let host = GenesisHost::new();
+        assert_eq!(host.status(0), None);
+        host.configure_mem(0, "a", vec![1], 1);
+        assert_eq!(host.status(0), Some(PipelineStatus::Configuring));
+        assert!(!host.check_genesis(0)); // indistinguishable without status()
+        host.run_genesis(0, slow_job(30)).unwrap();
+        assert_eq!(host.status(0), Some(PipelineStatus::Running));
+        host.wait_genesis(0).unwrap();
+        assert_eq!(host.status(0), Some(PipelineStatus::Finished));
+        host.genesis_flush(0).unwrap();
+        assert_eq!(host.status(0), None);
+    }
+
+    #[test]
+    fn flush_while_running_blocks_until_done() {
+        let host = GenesisHost::new();
+        host.configure_mem(0, "col", vec![9], 1);
+        host.run_genesis(0, slow_job(40)).unwrap();
+        assert!(!host.check_genesis(0));
+        // Flush without waiting first: must block for the in-flight job
+        // and return its complete output.
+        let out = host.genesis_flush(0).unwrap();
+        assert_eq!(out.outputs["echo"], vec![1]);
+        assert_eq!(host.status(0), None);
+    }
+
+    #[test]
+    fn racing_waiters_both_succeed() {
+        let host = Arc::new(GenesisHost::new());
+        host.run_genesis(3, slow_job(40)).unwrap();
+        let waiters: Vec<_> = (0..2)
+            .map(|_| {
+                let host = Arc::clone(&host);
+                std::thread::spawn(move || host.wait_genesis(3))
+            })
+            .collect();
+        for w in waiters {
+            w.join().unwrap().unwrap();
+        }
+        assert_eq!(host.status(3), Some(PipelineStatus::Finished));
+        let out = host.genesis_flush(3).unwrap();
+        assert_eq!(out.outputs["echo"], vec![0]);
+    }
+
+    #[test]
+    fn configure_after_finished_restarts_clean() {
+        let host = GenesisHost::new();
+        host.configure_mem(0, "a", vec![1], 1);
+        host.configure_mem(0, "b", vec![2], 1);
+        host.run_genesis(0, slow_job(1)).unwrap();
+        host.wait_genesis(0).unwrap();
+        // Reconfiguring a finished pipeline discards the stale result and
+        // starts a fresh input set (1 column, not 2, and no old output).
+        host.configure_mem(0, "c", vec![3], 1);
+        assert_eq!(host.status(0), Some(PipelineStatus::Configuring));
+        host.run_genesis(0, slow_job(1)).unwrap();
+        let out = host.genesis_flush(0).unwrap();
+        assert_eq!(out.outputs["echo"], vec![1]);
+    }
+
+    #[test]
+    fn metrics_record_host_spans() {
+        let host = GenesisHost::new();
+        host.configure_mem(5, "a", vec![0], 1);
+        host.run_genesis(5, slow_job(1)).unwrap();
+        host.wait_genesis(5).unwrap();
+        host.genesis_flush(5).unwrap();
+        let snap = host.metrics_snapshot();
+        for op in ["configure_mem", "run", "wait", "flush"] {
+            let h = &snap.histograms[&format!("pipeline.5.{op}_ns")];
+            assert!(h.count >= 1, "missing span for {op}");
+        }
+        assert!(snap.to_string().contains("pipeline.5.run_ns"));
     }
 }

@@ -54,4 +54,5 @@ pub mod perf;
 
 pub use device::DeviceConfig;
 pub use error::CoreError;
+pub use host::{GenesisHost, PipelineStatus};
 pub use perf::{AccelStats, Breakdown};

@@ -24,6 +24,15 @@ pub struct AccelStats {
     /// Total flits moved through all hardware queues (simulated work — the
     /// numerator of the simulator's flits/sec throughput metric).
     pub total_flits: u64,
+    /// Module-cycles spent doing observable work (summed over every module
+    /// of every batch system; see `genesis_obs::StallCounters`).
+    pub active_cycles: u64,
+    /// Module-cycles parked waiting for input data.
+    pub input_starved_cycles: u64,
+    /// Module-cycles parked waiting for output space.
+    pub backpressured_cycles: u64,
+    /// Module-cycles parked inside a device-memory latency window.
+    pub memory_wait_cycles: u64,
 }
 
 impl AccelStats {
@@ -37,6 +46,55 @@ impl AccelStats {
         self.invocations += other.invocations;
         self.backpressure_stalls += other.backpressure_stalls;
         self.total_flits += other.total_flits;
+        self.active_cycles += other.active_cycles;
+        self.input_starved_cycles += other.input_starved_cycles;
+        self.backpressured_cycles += other.backpressured_cycles;
+        self.memory_wait_cycles += other.memory_wait_cycles;
+    }
+
+    /// Fraction of module-cycles spent in each stall class, as
+    /// `(active, input-starved, backpressured, memory-wait)`; all zeros
+    /// before any run.
+    #[must_use]
+    pub fn stall_fractions(&self) -> [f64; 4] {
+        let t = self.active_cycles
+            + self.input_starved_cycles
+            + self.backpressured_cycles
+            + self.memory_wait_cycles;
+        if t == 0 {
+            return [0.0; 4];
+        }
+        let t = t as f64;
+        [
+            self.active_cycles as f64 / t,
+            self.input_starved_cycles as f64 / t,
+            self.backpressured_cycles as f64 / t,
+            self.memory_wait_cycles as f64 / t,
+        ]
+    }
+}
+
+impl fmt::Display for AccelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, i, b, m] = self.stall_fractions();
+        write!(
+            f,
+            "cycles {} | dma {} B in / {} B out ({} transfers) | device mem {} B | \
+             invocations {} | flits {} | backpressure stalls {} | \
+             module-cycles: active {:.1}% input {:.1}% backpr {:.1}% mem {:.1}%",
+            self.cycles,
+            self.dma_in_bytes,
+            self.dma_out_bytes,
+            self.dma_transfers,
+            self.device_mem_bytes,
+            self.invocations,
+            self.total_flits,
+            self.backpressure_stalls,
+            a * 100.0,
+            i * 100.0,
+            b * 100.0,
+            m * 100.0,
+        )
     }
 }
 
@@ -106,6 +164,28 @@ mod tests {
         assert_eq!(a.dma_in_bytes, 100);
         assert_eq!(a.dma_out_bytes, 7);
         assert_eq!(a.invocations, 1);
+    }
+
+    #[test]
+    fn display_is_one_line_and_mentions_stalls() {
+        let s = AccelStats {
+            cycles: 42,
+            total_flits: 7,
+            active_cycles: 30,
+            input_starved_cycles: 10,
+            backpressured_cycles: 0,
+            memory_wait_cycles: 0,
+            ..AccelStats::default()
+        };
+        let text = s.to_string();
+        assert!(!text.contains('\n'));
+        assert!(text.contains("cycles 42"));
+        assert!(text.contains("flits 7"));
+        assert!(text.contains("active 75.0%"));
+        assert!(text.contains("input 25.0%"));
+        let f = s.stall_fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(AccelStats::default().stall_fractions(), [0.0; 4]);
     }
 
     #[test]

@@ -69,3 +69,8 @@ pub use resource::{ResourceReport, ResourceUsage};
 pub use spm::{SpmId, SpmPool};
 pub use system::{EngineMode, SimError, SimStats, System};
 pub use word::{Flit, HwWord};
+
+// Observability vocabulary used by `System::set_trace` / `stall_report`,
+// re-exported so simulator users don't need a direct genesis-obs
+// dependency.
+pub use genesis_obs::{StallClass, StallCounters, StallReport, TraceBuffer, TraceConfig};

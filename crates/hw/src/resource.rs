@@ -109,13 +109,18 @@ pub fn queue_bram(capacity: usize) -> u64 {
 pub struct ResourceReport {
     /// Total usage including shell overhead.
     pub total: ResourceUsage,
+    /// Backpressure stall events observed so far on this system's queues
+    /// (zero for a design that has not been simulated yet).
+    pub backpressure_stalls: u64,
+    /// Total flits moved through this system's queues so far.
+    pub total_flits: u64,
 }
 
 impl ResourceReport {
     /// Builds a report from raw fabric usage (shell added here).
     #[must_use]
     pub fn from_fabric(fabric: ResourceUsage) -> ResourceReport {
-        ResourceReport { total: fabric + shell_overhead() }
+        ResourceReport { total: fabric + shell_overhead(), ..ResourceReport::default() }
     }
 
     /// LUT utilization fraction of the VU9P.
@@ -159,12 +164,17 @@ impl fmt::Display for ResourceReport {
             VU9P_REGISTERS,
             self.register_util() * 100.0
         )?;
-        write!(
+        writeln!(
             f,
             "BRAMs              {:>7.2}MB / {:>5.2}MB  ({:.1}%)",
             self.total.bram_bytes as f64 / 1e6,
             VU9P_BRAM_BYTES as f64 / 1e6,
             self.bram_util() * 100.0
+        )?;
+        write!(
+            f,
+            "Activity           {:>8} flits moved, {} backpressure stalls",
+            self.total_flits, self.backpressure_stalls
         )
     }
 }
@@ -214,6 +224,7 @@ mod tests {
         assert!(r.lut_util() > 0.1 && r.lut_util() < 0.3);
         let s = r.to_string();
         assert!(s.contains("CLB Lookup Tables"));
+        assert!(s.contains("backpressure stalls"));
     }
 
     #[test]

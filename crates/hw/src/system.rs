@@ -8,6 +8,9 @@ use crate::resource::{
 };
 use crate::spm::{SpmId, SpmPool};
 use crate::word::HwWord;
+use genesis_obs::{
+    ModuleStall, SpanKind, StallClass, StallCounters, StallReport, TraceBuffer, TraceConfig,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -96,6 +99,56 @@ pub struct System {
     /// Module-id ranges per pipeline (for resource accounting).
     pipeline_count: u32,
     engine: EngineMode,
+    /// Per-module cumulative stall attribution (always on; updated only at
+    /// park/unpark events, so it costs nothing per cycle).
+    stall: Vec<StallCounters>,
+    /// Opt-in span/counter tracing (None = disabled, the default).
+    trace: Option<TraceState>,
+}
+
+/// Tracing state while enabled: the recording buffer plus the sampling
+/// cursor for queue-depth counter tracks.
+#[derive(Debug)]
+struct TraceState {
+    buf: TraceBuffer,
+    /// Last sampled depth per queue (`u64::MAX` = never sampled), so only
+    /// changes are recorded.
+    last_depth: Vec<u64>,
+    /// Next cycle at which queue depths are due for a sample.
+    next_sample: u64,
+    /// Sampling stride in cycles (cached from the config).
+    stride: u64,
+}
+
+/// Per-run span/stall bookkeeping for one `System::run` invocation. Kept
+/// outside the engine loop so every exit path (drain, deadlock, cycle
+/// limit) finalizes identically.
+struct RunObs {
+    /// Cycle at which this run started.
+    base: u64,
+    /// Whether each module is currently parked.
+    parked: Vec<bool>,
+    /// Cycle at which the current park began.
+    park_at: Vec<u64>,
+    /// Classification of the current park.
+    park_class: Vec<StallClass>,
+    /// Start cycle of the current active span (tracing only).
+    span_start: Vec<u64>,
+    /// Stalled cycles accumulated by each module during this run.
+    stalled: Vec<u64>,
+}
+
+impl RunObs {
+    fn new(n: usize, base: u64) -> RunObs {
+        RunObs {
+            base,
+            parked: vec![false; n],
+            park_at: vec![0; n],
+            park_class: vec![StallClass::InputStarved; n],
+            span_start: vec![base; n],
+            stalled: vec![0; n],
+        }
+    }
 }
 
 impl Default for System {
@@ -131,6 +184,59 @@ impl System {
             cycle: 0,
             pipeline_count: 1,
             engine,
+            stall: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// Enables (or disables, with a config whose `enabled` is false) span
+    /// and queue-depth tracing for subsequent [`System::run`] calls.
+    /// Replaces any previously recorded trace.
+    pub fn set_trace(&mut self, cfg: TraceConfig) {
+        self.trace = cfg.enabled.then(|| TraceState {
+            stride: cfg.sample_stride.max(1),
+            buf: TraceBuffer::new(cfg),
+            last_depth: Vec::new(),
+            next_sample: 0,
+        });
+    }
+
+    /// The recorded trace, when tracing is enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.trace.as_ref().map(|t| &t.buf)
+    }
+
+    /// Takes the recorded trace out of the system (disabling further
+    /// recording).
+    pub fn take_trace(&mut self) -> Option<TraceBuffer> {
+        self.trace.take().map(|t| t.buf)
+    }
+
+    /// Per-module stall attribution accumulated by [`System::run`]: each
+    /// module's simulated cycles split into active / input-starved /
+    /// output-backpressured / memory-wait, where the parked classes come
+    /// from the [`Watch`] each park declared. The four buckets sum to
+    /// [`StallReport::total_cycles`] for every module (`active` includes
+    /// the tail where a finished module sits retired while the rest of the
+    /// pipeline drains).
+    ///
+    /// Attribution is event-based (updated at park/unpark, not per cycle),
+    /// so it is always on. Under [`EngineMode::Reference`] modules never
+    /// park and every cycle is accounted as active.
+    #[must_use]
+    pub fn stall_report(&self) -> StallReport {
+        StallReport {
+            total_cycles: self.cycle,
+            modules: self
+                .modules
+                .iter()
+                .enumerate()
+                .map(|(i, m)| ModuleStall {
+                    label: m.label().to_owned(),
+                    counters: self.stall.get(i).copied().unwrap_or_default(),
+                })
+                .collect(),
         }
     }
 
@@ -263,15 +369,122 @@ impl System {
     /// Returns [`SimError::Deadlock`] when no observable progress happens
     /// for a long window, or [`SimError::CycleLimit`] at the budget.
     pub fn run(&mut self, max_cycles: u64) -> Result<SimStats, SimError> {
-        match self.engine {
+        let n = self.modules.len();
+        if self.stall.len() < n {
+            self.stall.resize(n, StallCounters::default());
+        }
+        self.init_trace_run();
+        let mut obs = RunObs::new(n, self.cycle);
+        let result = match self.engine {
             EngineMode::Reference => self.run_reference(max_cycles),
-            EngineMode::EventDriven => self.run_event(max_cycles),
+            EngineMode::EventDriven => self.run_event(max_cycles, &mut obs),
+        };
+        self.finalize_obs(&obs);
+        result
+    }
+
+    /// Prepares the trace buffer for a run: installs the module/queue name
+    /// tables and resets the sampling cursor.
+    fn init_trace_run(&mut self) {
+        let Some(ts) = &mut self.trace else { return };
+        if ts.buf.tracks().len() != self.modules.len() {
+            ts.buf.set_tracks(self.modules.iter().map(|m| m.label().to_owned()).collect());
+        }
+        if ts.buf.counters().len() != self.queues.len() {
+            ts.buf.set_counters(self.queues.iter().map(|q| q.name().to_owned()).collect());
+        }
+        ts.last_depth.resize(self.queues.len(), u64::MAX);
+        ts.next_sample = self.cycle;
+    }
+
+    /// Samples every queue's depth when the sampling stride is due,
+    /// recording only depths that changed since their last sample. Inlined
+    /// so the tracing-disabled early-return folds into one predictable
+    /// branch in the engines' per-cycle loops.
+    #[inline]
+    fn sample_queues_if_due(&mut self) {
+        let Some(ts) = &mut self.trace else { return };
+        if self.cycle < ts.next_sample {
+            return;
+        }
+        for (qi, q) in self.queues.iter().enumerate() {
+            let d = q.len() as u64;
+            if ts.last_depth[qi] != d {
+                ts.last_depth[qi] = d;
+                ts.buf.record_sample(qi as u32, self.cycle, d);
+            }
+        }
+        ts.next_sample = self.cycle + ts.stride;
+    }
+
+    /// Classifies a park by the `Watch` it declared: what the module said
+    /// it was waiting on is what the stall is attributed to.
+    fn classify_stall(watch: Watch, ins: &[QueueId], outs: &[QueueId]) -> StallClass {
+        match watch {
+            Watch::Timer => StallClass::MemoryWait,
+            Watch::Inputs => StallClass::InputStarved,
+            Watch::Outputs => StallClass::Backpressured,
+            Watch::Queue(q) => {
+                if outs.contains(&q) && !ins.contains(&q) {
+                    StallClass::Backpressured
+                } else {
+                    StallClass::InputStarved
+                }
+            }
+        }
+    }
+
+    /// Closes module `i`'s current park interval at cycle `now`: charges
+    /// the parked cycles to the park's stall class and, when tracing,
+    /// records the stall span and re-opens the active span.
+    fn note_unpark(
+        stall: &mut [StallCounters],
+        trace: &mut Option<TraceState>,
+        obs: &mut RunObs,
+        i: usize,
+        now: u64,
+    ) {
+        let cycles = now - obs.park_at[i];
+        let class = obs.park_class[i];
+        stall[i].add(class, cycles);
+        obs.stalled[i] += cycles;
+        if let Some(ts) = trace {
+            ts.buf.record_span(i as u32, SpanKind::Stall(class), obs.park_at[i], now);
+        }
+        obs.span_start[i] = now;
+    }
+
+    /// Closes all open span/stall intervals at the end of a run (any exit
+    /// path) and credits each module's non-parked remainder as active.
+    fn finalize_obs(&mut self, obs: &RunObs) {
+        let now = self.cycle;
+        let elapsed = now - obs.base;
+        for i in 0..obs.parked.len() {
+            if obs.parked[i] {
+                let cycles = now - obs.park_at[i];
+                self.stall[i].add(obs.park_class[i], cycles);
+                self.stall[i].active += elapsed - (obs.stalled[i] + cycles);
+                if let Some(ts) = &mut self.trace {
+                    ts.buf.record_span(
+                        i as u32,
+                        SpanKind::Stall(obs.park_class[i]),
+                        obs.park_at[i],
+                        now,
+                    );
+                }
+            } else {
+                self.stall[i].active += elapsed - obs.stalled[i];
+                if let Some(ts) = &mut self.trace {
+                    ts.buf.record_span(i as u32, SpanKind::Active, obs.span_start[i], now);
+                }
+            }
         }
     }
 
     /// The naive engine: tick every unfinished module every cycle. This is
     /// the semantic baseline the event-driven engine must match bit for
-    /// bit; keep its behavior frozen.
+    /// bit; keep its behavior frozen. Modules never park here, so stall
+    /// attribution reports every cycle as active.
     fn run_reference(&mut self, max_cycles: u64) -> Result<SimStats, SimError> {
         let deadlock_window = 4 * self.mem.config().latency_cycles + 10_000;
         let mut last_progress_cycle = self.cycle;
@@ -280,6 +493,7 @@ impl System {
             if self.cycle >= max_cycles {
                 return Err(SimError::CycleLimit { limit: max_cycles });
             }
+            self.sample_queues_if_due();
             self.step();
             // Progress checks are amortized.
             if self.cycle.is_multiple_of(512) {
@@ -326,7 +540,7 @@ impl System {
     /// engine's 512-cycle deadlock sampling arithmetic so `Deadlock` and
     /// `CycleLimit` errors fire at identical cycles.
     #[allow(clippy::too_many_lines)]
-    fn run_event(&mut self, max_cycles: u64) -> Result<SimStats, SimError> {
+    fn run_event(&mut self, max_cycles: u64, obs: &mut RunObs) -> Result<SimStats, SimError> {
         /// Watcher-role bits: how a module relates to a watched queue.
         const ROLE_INPUT: u8 = 1;
         const ROLE_OUTPUT: u8 = 2;
@@ -397,7 +611,6 @@ impl System {
         }
         let mut done: Vec<bool> = self.modules.iter().map(|m| m.is_done()).collect();
         let mut done_count = done.iter().filter(|&&d| d).count();
-        let mut parked = vec![false; n];
         let mut parked_watch = vec![Watch::Inputs; n];
         let mut parked_count = 0usize;
         // Bumped on every unpark so stale timed-heap entries are ignored.
@@ -418,17 +631,19 @@ impl System {
                 self.queues.set_touch_tracking(false);
                 return Err(SimError::CycleLimit { limit: max_cycles });
             }
+            self.sample_queues_if_due();
             // Timed wakes due this cycle.
             while let Some(&Reverse((at, i, g))) = timed.peek() {
                 if at > self.cycle {
                     break;
                 }
                 timed.pop();
-                if g == gen[i] && parked[i] && !done[i] {
-                    parked[i] = false;
+                if g == gen[i] && obs.parked[i] && !done[i] {
+                    obs.parked[i] = false;
                     parked_count -= 1;
                     gen[i] = gen[i].wrapping_add(1);
                     adjust_watches(&mut self.queues, &in_qs[i], &out_qs[i], parked_watch[i], false);
+                    Self::note_unpark(&mut self.stall, &mut self.trace, obs, i, self.cycle);
                 }
             }
             if tracking && parked_count == 0 {
@@ -450,7 +665,7 @@ impl System {
                 let wake = loop {
                     match timed.peek() {
                         Some(&Reverse((at, i, g))) => {
-                            if g == gen[i] && parked[i] && !done[i] {
+                            if g == gen[i] && obs.parked[i] && !done[i] {
                                 break at;
                             }
                             timed.pop();
@@ -480,7 +695,7 @@ impl System {
             }
             self.mem.begin_cycle(self.cycle);
             for i in 0..n {
-                if done[i] || parked[i] {
+                if done[i] || obs.parked[i] {
                     continue;
                 }
                 let mut ctx = Ctx {
@@ -498,10 +713,21 @@ impl System {
                 if tracking && self.queues.has_touched() {
                     self.queues.take_touched(&mut touched);
                     for &qi in &touched {
+                        // A touch is also a depth-change signal: sample the
+                        // touched queue (deduplicated) when tracing.
+                        if let Some(ts) = &mut self.trace {
+                            let d = self.queues.get(QueueId(qi)).len() as u64;
+                            if ts.last_depth[qi as usize] != d {
+                                ts.last_depth[qi as usize] = d;
+                                ts.buf.record_sample(qi, self.cycle, d);
+                            }
+                        }
                         for &(w, role) in &watchers[qi as usize] {
-                            if parked[w] && !done[w] && watch_matches(parked_watch[w], role, qi)
+                            if obs.parked[w]
+                                && !done[w]
+                                && watch_matches(parked_watch[w], role, qi)
                             {
-                                parked[w] = false;
+                                obs.parked[w] = false;
                                 parked_count -= 1;
                                 gen[w] = gen[w].wrapping_add(1);
                                 adjust_watches(
@@ -510,6 +736,13 @@ impl System {
                                     &out_qs[w],
                                     parked_watch[w],
                                     false,
+                                );
+                                Self::note_unpark(
+                                    &mut self.stall,
+                                    &mut self.trace,
+                                    obs,
+                                    w,
+                                    self.cycle,
                                 );
                             }
                         }
@@ -524,9 +757,21 @@ impl System {
                         }
                     }
                     Tick::Park { wake_at, watch } => {
-                        parked[i] = true;
+                        obs.parked[i] = true;
                         parked_watch[i] = watch;
                         parked_count += 1;
+                        obs.park_at[i] = self.cycle;
+                        obs.park_class[i] = Self::classify_stall(watch, &in_qs[i], &out_qs[i]);
+                        if let Some(ts) = &mut self.trace {
+                            // The park tick itself was a no-op, so the
+                            // active span ends where the stall begins.
+                            ts.buf.record_span(
+                                i as u32,
+                                SpanKind::Active,
+                                obs.span_start[i],
+                                self.cycle,
+                            );
+                        }
                         adjust_watches(&mut self.queues, &in_qs[i], &out_qs[i], watch, true);
                         if let Some(at) = wake_at {
                             timed.push(Reverse((at, i, gen[i])));
@@ -599,7 +844,11 @@ impl System {
         let queue_bytes: u64 = self.queues.iter().map(|q| queue_bram(q.capacity())).sum();
         fabric.bram_bytes += queue_bytes + self.spms.total_bytes() as u64;
         fabric = fabric + pipeline_overhead().times(u64::from(self.pipeline_count));
-        ResourceReport::from_fabric(fabric)
+        ResourceReport {
+            backpressure_stalls: self.queues.iter().map(|q| q.total_full_stalls()).sum(),
+            total_flits: self.queues.iter().map(|q| q.total_pushed()).sum(),
+            ..ResourceReport::from_fabric(fabric)
+        }
     }
 
     /// Current cycle number.

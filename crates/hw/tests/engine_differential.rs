@@ -133,12 +133,12 @@ proptest! {
                 sys.add_module(Box::new(StreamSource::from_field_items(
                     "l",
                     q_l,
-                    &[left_rows.clone()],
+                    std::slice::from_ref(&left_rows),
                 )));
                 sys.add_module(Box::new(StreamSource::from_field_items(
                     "r",
                     q_r,
-                    &[right_rows.clone()],
+                    std::slice::from_ref(&right_rows),
                 )));
                 sys.add_module(Box::new(Joiner::new("join", kind, q_l, q_r, q_j, 1, 1)));
                 sys.add_module(Box::new(Filter::new(
@@ -217,7 +217,7 @@ fn spm_rmw_pipeline_bit_identical() {
             sys.add_module(Box::new(StreamSource::from_field_items(
                 "src",
                 q_in,
-                &[rows.clone()],
+                std::slice::from_ref(&rows),
             )));
             sys.add_module(Box::new(
                 SpmUpdater::new(

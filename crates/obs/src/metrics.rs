@@ -1,0 +1,299 @@
+//! Host-side metrics registry: counters and histograms.
+//!
+//! The hot path is lock-free: a [`Counter`] is an `Arc<AtomicU64>` and a
+//! [`Histogram`] is a fixed array of atomic log₂ buckets, so recording an
+//! observation is a handful of relaxed atomic adds with no allocation. The
+//! registry map itself is guarded by an `RwLock`, taken only to *register*
+//! (first use of a name) or to snapshot; convenience helpers that look up
+//! by name take a read lock, and callers on genuinely hot paths can cache
+//! the returned handles instead.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// A monotonically increasing counter handle. Cheap to clone; all clones
+/// share the same cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets: observation `v` lands in bucket
+/// `min(63, bit_length(v))`, i.e. bucket `i` covers `[2^(i-1), 2^i)`.
+const BUCKETS: usize = 64;
+
+/// A lock-free histogram over `u64` observations (nanoseconds, bytes, …)
+/// with power-of-two buckets plus exact count / sum / max.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        let bucket = (64 - value.leading_zeros()).min(BUCKETS as u32 - 1) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// A point-in-time copy of the histogram state.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A frozen copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Log₂ bucket counts (`buckets[i]` covers `[2^(i-1), 2^i)`; bucket 0
+    /// is exactly zero).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile: the upper bound of the log₂ bucket containing
+    /// the `q`-th observation (`0.0 ..= 1.0`). Accurate to within 2×.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max
+    }
+}
+
+/// A registry of named counters and histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Returns (registering on first use) the counter named `name`. Cache
+    /// the handle on hot paths: increments on the handle are lock-free.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.counters.read().expect("metrics lock").get(name) {
+            return c.clone();
+        }
+        let mut map = self.counters.write().expect("metrics lock");
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Returns (registering on first use) the histogram named `name`.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().expect("metrics lock").get(name) {
+            return Arc::clone(h);
+        }
+        let mut map = self.histograms.write().expect("metrics lock");
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// Convenience: record `d` into histogram `name` (one read-lock lookup;
+    /// cache the [`MetricsRegistry::histogram`] handle if called in a loop).
+    pub fn observe_duration(&self, name: &str, d: Duration) {
+        self.histogram(name).observe_duration(d);
+    }
+
+    /// A coherent point-in-time snapshot of every registered metric.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        MetricsSnapshot { counters, histograms }
+    }
+}
+
+/// Frozen registry contents, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, v) in &self.counters {
+            writeln!(f, "{name:<40} {v}")?;
+        }
+        for (name, h) in &self.histograms {
+            writeln!(
+                f,
+                "{name:<40} n={} mean={:.0} p50~{} p99~{} max={}",
+                h.count,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+                h.max
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_shares_state_across_clones() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(4);
+        assert_eq!(reg.snapshot().counters["x"], 5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        h.observe(0);
+        h.observe(1);
+        h.observe(1000);
+        h.observe(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1_001_001);
+        assert_eq!(s.max, 1_000_000);
+        assert_eq!(s.buckets[0], 1); // the zero
+        assert_eq!(s.buckets[1], 1); // 1 ∈ [1, 2)
+        assert_eq!(s.buckets[10], 1); // 1000 ∈ [512, 1024)
+        assert_eq!(s.quantile(0.0), 0);
+        assert!(s.quantile(1.0) >= 1_000_000);
+        assert!((s.mean() - 250_250.25).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let reg = Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                let c = reg.counter("hits");
+                let h = reg.histogram("lat");
+                for i in 0..1000u64 {
+                    c.inc();
+                    h.observe(i);
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        let s = reg.snapshot();
+        assert_eq!(s.counters["hits"], 4000);
+        assert_eq!(s.histograms["lat"].count, 4000);
+    }
+
+    #[test]
+    fn snapshot_display_mentions_names() {
+        let reg = MetricsRegistry::new();
+        reg.counter("calls").inc();
+        reg.observe_duration("wait", Duration::from_micros(5));
+        let text = reg.snapshot().to_string();
+        assert!(text.contains("calls"));
+        assert!(text.contains("wait"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Span events and the preallocated ring buffers that hold them.
+//!
+//! A [`Span`] is one contiguous stretch of cycles during which a module was
+//! in one state: doing observable work ([`SpanKind::Active`]) or parked on
+//! a classified stall ([`SpanKind::Stall`]). Spans on one track never
+//! overlap and are recorded in increasing start order, which is what makes
+//! the Chrome-trace export well-nested by construction.
+//!
+//! Rings are preallocated at a fixed capacity and overwrite their oldest
+//! entries when full (counting what they dropped), so tracing never
+//! reallocates on the simulation hot path and a runaway trace degrades to
+//! "most recent window" rather than unbounded memory growth.
+
+use crate::stall::StallClass;
+
+/// What a module was doing during a [`Span`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// The module ticked with observable work (or had finished and sat
+    /// retired; see [`crate::stall::StallCounters::active`]).
+    Active,
+    /// The module was parked on the classified stall.
+    Stall(StallClass),
+}
+
+impl SpanKind {
+    /// Short display name used for Chrome-trace slice labels.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Active => "active",
+            SpanKind::Stall(c) => c.name(),
+        }
+    }
+}
+
+/// One recorded span on a module track. Cycle interval is half-open:
+/// `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Track index (module registration index within its `System`).
+    pub track: u32,
+    /// First cycle of the span.
+    pub start: u64,
+    /// One past the last cycle of the span (`end > start` always).
+    pub end: u64,
+    /// What the module was doing.
+    pub kind: SpanKind,
+}
+
+/// One queue-depth counter sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// Counter index (queue index within its `System`).
+    pub counter: u32,
+    /// Cycle at which the depth was observed.
+    pub cycle: u64,
+    /// Observed value (buffered flits).
+    pub value: u64,
+}
+
+/// A fixed-capacity overwrite-oldest ring buffer.
+///
+/// `push` never allocates after construction; once full, each push evicts
+/// the oldest element and increments [`Ring::dropped`].
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    buf: Vec<T>,
+    head: usize,
+    dropped: u64,
+}
+
+impl<T: Copy> Ring<T> {
+    /// Creates a ring holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Ring<T> {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Ring { buf: Vec::with_capacity(capacity), head: 0, dropped: 0 }
+    }
+
+    /// Appends an element, evicting the oldest when full.
+    pub fn push(&mut self, value: T) {
+        if self.buf.len() < self.buf.capacity() {
+            self.buf.push(value);
+        } else {
+            self.buf[self.head] = value;
+            self.head = (self.head + 1) % self.buf.capacity();
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of retained elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many elements were evicted to make room for newer ones.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Iterates the retained elements oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf[self.head..].iter().chain(self.buf[..self.head].iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut r: Ring<u64> = Ring::new(3);
+        for v in 0..5u64 {
+            r.push(v);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let got: Vec<u64> = r.iter().copied().collect();
+        assert_eq!(got, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_below_capacity_in_order() {
+        let mut r: Ring<u64> = Ring::new(8);
+        r.push(7);
+        r.push(8);
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![7, 8]);
+    }
+
+    #[test]
+    fn span_kind_names() {
+        assert_eq!(SpanKind::Active.name(), "active");
+        assert_eq!(SpanKind::Stall(StallClass::MemoryWait).name(), "stall:memory");
+    }
+}

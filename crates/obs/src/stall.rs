@@ -1,0 +1,232 @@
+//! Stall attribution: where every simulated cycle of every module went.
+//!
+//! Each module's timeline is partitioned into four disjoint buckets that
+//! always sum to the total simulated cycles (the invariant the hw tests
+//! enforce): `active` plus the three parked classes. Classification comes
+//! from the park's `Watch`: a module starved on its inputs, backpressured
+//! on its outputs, or waiting out a device-memory latency window.
+
+use std::fmt;
+
+/// Why a parked module could not make progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallClass {
+    /// Waiting for upstream data (an input queue to become non-empty or
+    /// close).
+    InputStarved,
+    /// Waiting for downstream space (an output queue to drain).
+    Backpressured,
+    /// Waiting on a device-memory response (timed wake only).
+    MemoryWait,
+}
+
+impl StallClass {
+    /// Short display name (also the Chrome-trace slice label).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StallClass::InputStarved => "stall:input",
+            StallClass::Backpressured => "stall:backpressure",
+            StallClass::MemoryWait => "stall:memory",
+        }
+    }
+}
+
+/// Per-module cycle accounting. All four buckets are disjoint and sum to
+/// the cycles the module was simulated for.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallCounters {
+    /// Cycles not attributable to a stall: the module ticked with
+    /// observable work, or had already finished and sat retired while the
+    /// rest of the pipeline drained.
+    pub active: u64,
+    /// Cycles parked waiting for input data.
+    pub input_starved: u64,
+    /// Cycles parked waiting for output space.
+    pub backpressured: u64,
+    /// Cycles parked inside a memory latency window.
+    pub memory_wait: u64,
+}
+
+impl StallCounters {
+    /// Adds `cycles` to the bucket for `class`.
+    pub fn add(&mut self, class: StallClass, cycles: u64) {
+        match class {
+            StallClass::InputStarved => self.input_starved += cycles,
+            StallClass::Backpressured => self.backpressured += cycles,
+            StallClass::MemoryWait => self.memory_wait += cycles,
+        }
+    }
+
+    /// Total parked cycles across the three stall classes.
+    #[must_use]
+    pub fn parked(&self) -> u64 {
+        self.input_starved + self.backpressured + self.memory_wait
+    }
+
+    /// Total accounted cycles (all four buckets).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.active + self.parked()
+    }
+
+    /// Component-wise accumulation (batch roll-ups).
+    pub fn absorb(&mut self, other: StallCounters) {
+        self.active += other.active;
+        self.input_starved += other.input_starved;
+        self.backpressured += other.backpressured;
+        self.memory_wait += other.memory_wait;
+    }
+}
+
+/// One module's attribution within a [`StallReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleStall {
+    /// Module label.
+    pub label: String,
+    /// Cycle buckets.
+    pub counters: StallCounters,
+}
+
+/// Roll-up of stall attribution for a whole simulated system (or a merge
+/// of several batch systems, keyed by module label).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StallReport {
+    /// Total simulated cycles each module was accounted over.
+    pub total_cycles: u64,
+    /// Per-module buckets, in module registration order.
+    pub modules: Vec<ModuleStall>,
+}
+
+impl StallReport {
+    /// Sums the per-module buckets.
+    #[must_use]
+    pub fn totals(&self) -> StallCounters {
+        let mut t = StallCounters::default();
+        for m in &self.modules {
+            t.absorb(m.counters);
+        }
+        t
+    }
+
+    /// Merges another report (batch accumulation): modules with the same
+    /// label accumulate, new labels append, total cycles add up (batches
+    /// run back to back on the modeled device).
+    pub fn absorb(&mut self, other: &StallReport) {
+        self.total_cycles += other.total_cycles;
+        for m in &other.modules {
+            if let Some(mine) = self.modules.iter_mut().find(|x| x.label == m.label) {
+                mine.counters.absorb(m.counters);
+            } else {
+                self.modules.push(m.clone());
+            }
+        }
+    }
+
+    /// Renders the top-`n` most-stalled modules as a plain-text "flame
+    /// table": one row per module, columns for each bucket's share of the
+    /// module's timeline, sorted by parked cycles descending.
+    #[must_use]
+    pub fn flame_table(&self, n: usize) -> String {
+        use std::fmt::Write as _;
+        let mut rows: Vec<&ModuleStall> = self.modules.iter().collect();
+        rows.sort_by(|a, b| {
+            b.counters.parked().cmp(&a.counters.parked()).then(a.label.cmp(&b.label))
+        });
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12} {:>8} {:>8} {:>8} {:>8}",
+            "module", "cycles", "active%", "input%", "backpr%", "mem%"
+        );
+        for m in rows.iter().take(n) {
+            let t = m.counters.total().max(1) as f64;
+            let _ = writeln!(
+                out,
+                "{:<24} {:>12} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+                m.label,
+                m.counters.total(),
+                100.0 * m.counters.active as f64 / t,
+                100.0 * m.counters.input_starved as f64 / t,
+                100.0 * m.counters.backpressured as f64 / t,
+                100.0 * m.counters.memory_wait as f64 / t,
+            );
+        }
+        if self.modules.len() > n {
+            let _ = writeln!(out, "... ({} more modules)", self.modules.len() - n);
+        }
+        out
+    }
+}
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.flame_table(usize::MAX))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(label: &str, a: u64, i: u64, b: u64, m: u64) -> ModuleStall {
+        ModuleStall {
+            label: label.into(),
+            counters: StallCounters {
+                active: a,
+                input_starved: i,
+                backpressured: b,
+                memory_wait: m,
+            },
+        }
+    }
+
+    #[test]
+    fn counters_add_and_total() {
+        let mut c = StallCounters::default();
+        c.add(StallClass::InputStarved, 5);
+        c.add(StallClass::MemoryWait, 2);
+        c.active += 3;
+        assert_eq!(c.parked(), 7);
+        assert_eq!(c.total(), 10);
+    }
+
+    #[test]
+    fn report_merges_by_label() {
+        let mut a = StallReport {
+            total_cycles: 100,
+            modules: vec![mk("src", 90, 10, 0, 0)],
+        };
+        let b = StallReport {
+            total_cycles: 50,
+            modules: vec![mk("src", 40, 10, 0, 0), mk("sink", 20, 30, 0, 0)],
+        };
+        a.absorb(&b);
+        assert_eq!(a.total_cycles, 150);
+        assert_eq!(a.modules.len(), 2);
+        assert_eq!(a.modules[0].counters.active, 130);
+        assert_eq!(a.modules[0].counters.input_starved, 20);
+    }
+
+    #[test]
+    fn flame_table_sorts_by_parked() {
+        let r = StallReport {
+            total_cycles: 100,
+            modules: vec![mk("busy", 100, 0, 0, 0), mk("starved", 10, 90, 0, 0)],
+        };
+        let table = r.flame_table(10);
+        let busy_at = table.find("busy").unwrap();
+        let starved_at = table.find("starved").unwrap();
+        assert!(starved_at < busy_at, "most-stalled module first:\n{table}");
+        assert!(table.contains("90.0%"));
+    }
+
+    #[test]
+    fn flame_table_truncates() {
+        let r = StallReport {
+            total_cycles: 1,
+            modules: (0..5).map(|i| mk(&format!("m{i}"), 1, 0, 0, 0)).collect(),
+        };
+        assert!(r.flame_table(2).contains("3 more modules"));
+    }
+}

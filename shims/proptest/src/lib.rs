@@ -429,7 +429,7 @@ mod tests {
 
     proptest! {
         #[test]
-        fn oneof_and_map(b in prop_oneof![Just(1u8), Just(2u8), (3u8..5)].prop_map(|x| x * 2)) {
+        fn oneof_and_map(b in prop_oneof![Just(1u8), Just(2u8), 3u8..5].prop_map(|x| i32::from(x) * 2)) {
             prop_assert!([2, 4, 6, 8].contains(&b));
         }
     }

@@ -12,6 +12,8 @@
 //! * [`gatk`] — GATK4-analog software baseline pipeline.
 //! * [`core`] — the Genesis framework: compiler, host API, accelerators,
 //!   performance and cost models.
+//! * [`obs`] — observability: per-module spans, stall attribution,
+//!   Chrome-trace export, and the host metrics registry.
 //!
 //! # Examples
 //!
@@ -21,5 +23,6 @@ pub use genesis_core as core;
 pub use genesis_datagen as datagen;
 pub use genesis_gatk as gatk;
 pub use genesis_hw as hw;
+pub use genesis_obs as obs;
 pub use genesis_sql as sql;
 pub use genesis_types as types;
