@@ -2,7 +2,7 @@
 //! NM, MD and UQ tags for every read in hardware.
 
 use crate::accel::frontend::{build_frontend, make_partition_jobs, JobOptions, PartitionJob};
-use crate::accel::run_batches;
+use crate::accel::run_batches_with_oracle;
 use crate::builder::PipelineBuilder;
 use crate::columns::bytes_to_u32;
 use crate::device::DeviceConfig;
@@ -166,7 +166,7 @@ impl MetadataAccel {
     ) -> Result<(ReadTagsOut, AccelStats), CoreError> {
         let jobs = make_partition_jobs(reads, genome, self.cfg.psize, JobOptions::default())?;
         let dma_in: u64 = jobs.iter().map(PartitionJob::dma_in_bytes).sum();
-        let (outs, mut stats) = run_batches(
+        let (outs, mut stats) = run_batches_with_oracle(
             &self.cfg,
             &jobs,
             |sys, group, job| Ok(Self::build(sys, group, job)),
@@ -187,6 +187,21 @@ impl MetadataAccel {
                 }
                 Ok((nm, uq, md))
             },
+            // Software oracle for graceful degradation: GATK tag
+            // computation on the job's read subset. Partition jobs carry
+            // only mapped, in-bounds reads, so every read gets tags.
+            Some(|_, job: &PartitionJob| {
+                let mut subset: Vec<ReadRecord> = job
+                    .read_indices
+                    .iter()
+                    .map(|&idx| reads[idx as usize].clone())
+                    .collect();
+                genesis_gatk::metadata::set_nm_md_uq_tags(&mut subset, genome)?;
+                let nm = subset.iter().map(|r| r.nm.unwrap_or(0)).collect();
+                let uq = subset.iter().map(|r| r.uq.unwrap_or(0)).collect();
+                let md = subset.iter().map(|r| r.md.clone().unwrap_or_default()).collect();
+                Ok((nm, uq, md))
+            }),
         )?;
         stats.dma_in_bytes = dma_in;
         stats.dma_transfers = jobs.len() as u64 * 2; // scatter-gather DMA: one batched transfer each way

@@ -3,9 +3,11 @@
 
 use crate::device::DeviceConfig;
 use crate::error::CoreError;
+use crate::fault::{DmaFault, FaultReport};
 use crate::perf::AccelStats;
 use genesis_hw::System;
 use genesis_obs::{ChromeTrace, StallReport, TraceBuffer};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod bqsr;
@@ -44,46 +46,171 @@ where
     J: Sync,
     R: Send,
 {
-    let chunks: Vec<&[J]> = jobs.chunks(cfg.pipelines.max(1)).collect();
+    // No software oracle: exhausted batches fail the run instead of
+    // degrading.
+    run_batches_with_oracle(cfg, jobs, build, extract, None::<NoOracle<J, R>>)
+}
+
+/// Placeholder oracle type for [`run_batches`] (always passed as `None`).
+type NoOracle<J, R> = fn(usize, &J) -> Result<R, CoreError>;
+
+/// [`run_batches`] with a fault-tolerance escape hatch: when the device
+/// config carries an active [`crate::fault::FaultConfig`], each batch is
+/// attempted up to `1 + max_retries` times (injected DMA/device faults and
+/// real simulation errors alike trigger a retry after capped exponential
+/// backoff), and a batch that exhausts its budget is re-executed job by
+/// job on `oracle` — the exact software-reference computation — so the
+/// merged output stays bit-identical to a fault-free run.
+///
+/// `oracle(job_index, job)` receives the *global* job index. All fault
+/// decisions are pure functions of `(seed, batch/job index, attempt)`, so
+/// a schedule replays identically regardless of host thread count.
+pub(crate) fn run_batches_with_oracle<J, H, R, O>(
+    cfg: &DeviceConfig,
+    jobs: &[J],
+    build: impl Fn(&mut System, u32, &J) -> Result<H, CoreError> + Sync,
+    extract: impl Fn(&System, &H, &J) -> Result<R, CoreError> + Sync,
+    oracle: Option<O>,
+) -> Result<(Vec<R>, AccelStats), CoreError>
+where
+    J: Sync,
+    R: Send,
+    O: Fn(usize, &J) -> Result<R, CoreError> + Sync,
+{
+    let plane = &cfg.faults;
+    let per_batch = cfg.pipelines.max(1);
+    let chunks: Vec<&[J]> = jobs.chunks(per_batch).collect();
     type ChunkOut<R> = (Vec<R>, AccelStats, Option<(TraceBuffer, StallReport)>);
-    let run_chunk = |chunk: &[J]| -> Result<ChunkOut<R>, CoreError> {
-        let mut sys = System::with_memory(cfg.mem.clone());
-        if cfg.trace.enabled {
-            sys.set_trace(cfg.trace.clone());
-        }
-        let mut handles = Vec::with_capacity(chunk.len());
-        for (i, job) in chunk.iter().enumerate() {
-            handles.push(build(&mut sys, i as u32, job)?);
-        }
-        let run = sys.run(CYCLE_BUDGET)?;
-        let report = sys.stall_report();
-        let totals = report.totals();
-        let stats = AccelStats {
-            cycles: run.cycles,
-            device_mem_bytes: run.mem.read_bytes() + run.mem.write_bytes(),
-            invocations: 1,
-            backpressure_stalls: run.backpressure_stalls,
-            total_flits: run.total_flits,
-            active_cycles: totals.active,
-            input_starved_cycles: totals.input_starved,
-            backpressured_cycles: totals.backpressured,
-            memory_wait_cycles: totals.memory_wait,
-            ..AccelStats::default()
+    // One simulation attempt of one batch. A panicking module is contained
+    // here and surfaced as a (retryable) device fault instead of poisoning
+    // host state.
+    let run_chunk = |chunk_idx: usize, chunk: &[J], attempt: u32| -> Result<ChunkOut<R>, CoreError> {
+        let sim = || -> Result<ChunkOut<R>, CoreError> {
+            let mut mem = cfg.mem.clone();
+            plane.overlay_mem(&mut mem, chunk_idx as u64, attempt);
+            let mut sys = System::with_memory(mem);
+            if cfg.trace.enabled {
+                sys.set_trace(cfg.trace.clone());
+            }
+            let mut handles = Vec::with_capacity(chunk.len());
+            for (i, job) in chunk.iter().enumerate() {
+                handles.push(build(&mut sys, i as u32, job)?);
+            }
+            let run = sys.run(CYCLE_BUDGET)?;
+            let report = sys.stall_report();
+            let totals = report.totals();
+            let stats = AccelStats {
+                cycles: run.cycles,
+                device_mem_bytes: run.mem.read_bytes() + run.mem.write_bytes(),
+                invocations: 1,
+                backpressure_stalls: run.backpressure_stalls,
+                total_flits: run.total_flits,
+                active_cycles: totals.active,
+                input_starved_cycles: totals.input_starved,
+                backpressured_cycles: totals.backpressured,
+                memory_wait_cycles: totals.memory_wait,
+                faults: FaultReport {
+                    mem_spikes: run.mem.latency_spikes,
+                    ..FaultReport::default()
+                },
+                ..AccelStats::default()
+            };
+            let mut results = Vec::with_capacity(chunk.len());
+            for (handle, job) in handles.iter().zip(chunk) {
+                results.push(extract(&sys, handle, job)?);
+            }
+            let obs = sys.take_trace().map(|buf| (buf, report));
+            Ok((results, stats, obs))
         };
-        let mut results = Vec::with_capacity(chunk.len());
-        for (handle, job) in handles.iter().zip(chunk) {
-            results.push(extract(&sys, handle, job)?);
+        catch_unwind(AssertUnwindSafe(sim)).unwrap_or_else(|payload| {
+            Err(CoreError::Device(format!(
+                "batch {chunk_idx} worker panicked: {}",
+                panic_message(payload.as_ref())
+            )))
+        })
+    };
+    // Fault-tolerant wrapper: injection, retry with backoff, then graceful
+    // degradation to the software oracle.
+    let attempt_chunk = |chunk_idx: usize, chunk: &[J]| -> Result<ChunkOut<R>, CoreError> {
+        if !plane.is_active() {
+            return run_chunk(chunk_idx, chunk, 0);
         }
-        let obs = sys.take_trace().map(|buf| (buf, report));
-        Ok((results, stats, obs))
+        let job_base = chunk_idx * per_batch;
+        let mut report = FaultReport::default();
+        let mut last_err = CoreError::Device(format!("batch {chunk_idx}: no attempt ran"));
+        for attempt in 0..=plane.max_retries {
+            if attempt > 0 {
+                report.retries += 1;
+                let pause = plane.backoff(attempt);
+                report.backoff_ns +=
+                    u64::try_from(pause.as_nanos()).unwrap_or(u64::MAX);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+            }
+            if let Some(flavor) = plane.dma_fault(chunk_idx as u64, attempt) {
+                last_err = match flavor {
+                    DmaFault::Error => {
+                        report.dma_errors += 1;
+                        CoreError::Dma(format!(
+                            "injected transfer error (batch {chunk_idx}, attempt {attempt})"
+                        ))
+                    }
+                    DmaFault::Timeout => {
+                        report.dma_timeouts += 1;
+                        CoreError::Dma(format!(
+                            "injected transfer timeout (batch {chunk_idx}, attempt {attempt})"
+                        ))
+                    }
+                };
+                continue;
+            }
+            let faulted: Vec<usize> = (0..chunk.len())
+                .filter(|&i| plane.device_fault((job_base + i) as u64, attempt))
+                .collect();
+            if !faulted.is_empty() {
+                report.device_faults += faulted.len() as u64;
+                last_err = CoreError::Device(format!(
+                    "injected transient fault on partition job(s) {faulted:?} \
+                     (batch {chunk_idx}, attempt {attempt})"
+                ));
+                continue;
+            }
+            match run_chunk(chunk_idx, chunk, attempt) {
+                Ok((results, mut stats, obs)) => {
+                    report.mem_spikes += stats.faults.mem_spikes;
+                    stats.faults = report;
+                    return Ok((results, stats, obs));
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        // Retry budget exhausted: degrade to the software oracle when
+        // allowed, preserving bit-identical output.
+        if plane.fallback {
+            if let Some(oracle) = oracle.as_ref() {
+                report.fallback_batches += 1;
+                report.fallback_jobs += chunk.len() as u64;
+                let mut results = Vec::with_capacity(chunk.len());
+                for (i, job) in chunk.iter().enumerate() {
+                    results.push(oracle(job_base + i, job)?);
+                }
+                let stats = AccelStats { faults: report, ..AccelStats::default() };
+                return Ok((results, stats, None));
+            }
+        }
+        Err(CoreError::Host(format!(
+            "batch {chunk_idx} failed after {} attempt(s): {last_err}",
+            plane.max_retries + 1
+        )))
     };
     let threads = cfg.resolved_host_threads().min(chunks.len()).max(1);
     let mut results = Vec::with_capacity(jobs.len());
     let mut stats = AccelStats::default();
     let mut traces = Vec::new();
     if threads <= 1 {
-        for chunk in &chunks {
-            let (r, s, obs) = run_chunk(chunk)?;
+        for (idx, chunk) in chunks.iter().enumerate() {
+            let (r, s, obs) = attempt_chunk(idx, chunk)?;
             results.extend(r);
             stats.absorb(s);
             if let Some(t) = obs {
@@ -94,7 +221,7 @@ where
         return Ok((results, stats));
     }
     let next = AtomicUsize::new(0);
-    let collected = crossbeam::thread::scope(|scope| {
+    let scoped = crossbeam::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|_| {
@@ -104,18 +231,27 @@ where
                     loop {
                         let idx = next.fetch_add(1, Ordering::Relaxed);
                         let Some(chunk) = chunks.get(idx) else { break };
-                        mine.push((idx, run_chunk(chunk)));
+                        mine.push((idx, attempt_chunk(idx, chunk)));
                     }
                     mine
                 })
             })
             .collect();
-        workers
-            .into_iter()
-            .flat_map(|w| w.join().expect("batch worker thread panicked"))
-            .collect::<Vec<_>>()
-    })
-    .expect("batch worker scope");
+        let mut all = Vec::new();
+        for w in workers {
+            // A worker can only panic through `attempt_chunk` on paths
+            // `catch_unwind` does not cover (e.g. allocation failure);
+            // surface it as an error instead of cascading the panic.
+            all.extend(w.join().map_err(|_| ())?);
+        }
+        Ok::<_, ()>(all)
+    });
+    let collected = match scoped {
+        Ok(Ok(all)) => all,
+        _ => {
+            return Err(CoreError::Device("batch worker thread panicked".into()));
+        }
+    };
     type BatchOutcome<R> = Result<(Vec<R>, AccelStats, Option<(TraceBuffer, StallReport)>), CoreError>;
     let mut slots: Vec<Option<BatchOutcome<R>>> = (0..chunks.len()).map(|_| None).collect();
     for (idx, outcome) in collected {
@@ -131,6 +267,18 @@ where
     }
     export_trace(cfg, &traces)?;
     Ok((results, stats))
+}
+
+/// Best-effort text of a panic payload (the `&str`/`String` cases cover
+/// `panic!` and failed `assert!`s).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 /// Writes the merged per-batch Chrome trace and its sibling flame table

@@ -1,5 +1,6 @@
 //! The modeled accelerator device: clock, replication, DMA link.
 
+use crate::fault::FaultConfig;
 use genesis_hw::MemoryConfig;
 use genesis_obs::TraceConfig;
 use std::time::Duration;
@@ -69,6 +70,10 @@ pub struct DeviceConfig {
     /// the merged Chrome trace there plus a `<path>.stalls.txt` flame
     /// table (a later run overwrites an earlier one).
     pub trace: TraceConfig,
+    /// Fault injection and recovery policy. Defaults from the
+    /// `GENESIS_FAULTS` environment variable (unset/empty/`0`/`off` = the
+    /// inert default: no injection, no retries, no fallback).
+    pub faults: FaultConfig,
 }
 
 impl Default for DeviceConfig {
@@ -82,6 +87,7 @@ impl Default for DeviceConfig {
             psize: 1_000_000,
             host_threads: 0,
             trace: TraceConfig::from_env(),
+            faults: FaultConfig::from_env(),
         }
     }
 }
@@ -132,6 +138,14 @@ impl DeviceConfig {
     #[must_use]
     pub fn with_trace(mut self, trace: TraceConfig) -> DeviceConfig {
         self.trace = trace;
+        self
+    }
+
+    /// Sets the fault injection and recovery policy (overriding the
+    /// `GENESIS_FAULTS` default).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> DeviceConfig {
+        self.faults = faults;
         self
     }
 

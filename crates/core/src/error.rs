@@ -17,6 +17,11 @@ pub enum CoreError {
     Host(String),
     /// The accelerated result failed a host-side consistency check.
     Verification(String),
+    /// A DMA transfer failed or timed out (retryable).
+    Dma(String),
+    /// A device-side fault: an injected transient failure or a panicking
+    /// device worker (retryable).
+    Device(String),
 }
 
 impl fmt::Display for CoreError {
@@ -27,6 +32,8 @@ impl fmt::Display for CoreError {
             CoreError::Unsupported(s) => write!(f, "unsupported plan shape: {s}"),
             CoreError::Host(s) => write!(f, "host api error: {s}"),
             CoreError::Verification(s) => write!(f, "verification failed: {s}"),
+            CoreError::Dma(s) => write!(f, "dma transfer failed: {s}"),
+            CoreError::Device(s) => write!(f, "device fault: {s}"),
         }
     }
 }

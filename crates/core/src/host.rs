@@ -7,16 +7,24 @@
 //! accelerator simulation genuinely runs on a worker thread, so the host
 //! can overlap work with `check_genesis` polling exactly as on the real
 //! system.
+//!
+//! Waiters block on a condition variable the worker signals at completion
+//! (no polling loop), and every lock acquisition recovers from poisoning:
+//! a panicking job is contained by the worker, surfaced as
+//! [`CoreError::Host`], and never cascades into later `check`/`wait`/
+//! `flush` calls. [`GenesisHost::wait_genesis_for`] adds a watchdog
+//! deadline on top of the paper's blocking wait.
 
+use crate::accel::panic_message;
 use crate::error::CoreError;
+use crate::fault::FaultReport;
 use crate::perf::AccelStats;
 use genesis_obs::{MetricsRegistry, MetricsSnapshot};
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Inputs staged by `configure_mem` for one pipeline, keyed by column name.
 #[derive(Debug, Default, Clone)]
@@ -75,13 +83,12 @@ pub type JobFn = Box<dyn FnOnce(ConfiguredInputs) -> Result<JobOutput, CoreError
 
 enum Slot {
     Configuring(ConfiguredInputs),
-    Running {
-        done: Arc<AtomicBool>,
-        handle: JoinHandle<Result<JobOutput, CoreError>>,
-    },
-    /// A waiter took the join handle out and is blocked on it; other
-    /// waiters spin-wait for the `Finished` slot it will install.
-    Joining,
+    /// The job is in flight on a detached worker thread. `epoch`
+    /// distinguishes this run from any later one: a worker installs its
+    /// result only while the slot still holds *its* epoch, so a
+    /// `configure_mem` that replaces a running slot orphans the stale
+    /// worker instead of being clobbered by it.
+    Running { epoch: u64 },
     Finished(Result<JobOutput, CoreError>),
 }
 
@@ -89,10 +96,7 @@ impl std::fmt::Debug for Slot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Slot::Configuring(i) => write!(f, "Configuring({} cols)", i.len()),
-            Slot::Running { done, .. } => {
-                write!(f, "Running(done={})", done.load(Ordering::SeqCst))
-            }
-            Slot::Joining => write!(f, "Joining"),
+            Slot::Running { epoch } => write!(f, "Running(epoch={epoch})"),
             Slot::Finished(r) => write!(f, "Finished(ok={})", r.is_ok()),
         }
     }
@@ -104,17 +108,25 @@ impl std::fmt::Debug for Slot {
 pub enum PipelineStatus {
     /// `configure_mem` has staged inputs; `run_genesis` not yet called.
     Configuring,
-    /// The job is in flight (or a waiter is joining it).
+    /// The job is in flight.
     Running,
     /// The job completed; results (or its error) await `genesis_flush`.
     Finished,
 }
 
+/// Slot table plus the completion signal workers raise.
+#[derive(Debug, Default)]
+struct Shared {
+    slots: Mutex<HashMap<u32, Slot>>,
+    completed: Condvar,
+}
+
 /// The host-side controller of the Genesis accelerators.
 #[derive(Debug, Default)]
 pub struct GenesisHost {
-    slots: Mutex<HashMap<u32, Slot>>,
+    shared: Arc<Shared>,
     metrics: Arc<MetricsRegistry>,
+    next_epoch: AtomicU64,
 }
 
 impl GenesisHost {
@@ -122,6 +134,14 @@ impl GenesisHost {
     #[must_use]
     pub fn new() -> GenesisHost {
         GenesisHost::default()
+    }
+
+    /// Locks the slot table, recovering from poisoning: the table is kept
+    /// consistent under every lock hold (no partial multi-step updates), so
+    /// a thread that panicked while holding the lock — which can only be a
+    /// caller's panic propagating through — leaves usable state behind.
+    fn lock(&self) -> MutexGuard<'_, HashMap<u32, Slot>> {
+        self.shared.slots.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The paper's `configure_mem(addr, elemsize, len, colname, pipelineID)`:
@@ -132,7 +152,7 @@ impl GenesisHost {
     /// system).
     pub fn configure_mem(&self, pipeline_id: u32, colname: &str, bytes: Vec<u8>, elem_size: usize) {
         let start = Instant::now();
-        let mut slots = self.slots.lock();
+        let mut slots = self.lock();
         let slot = slots
             .entry(pipeline_id)
             .or_insert_with(|| Slot::Configuring(ConfiguredInputs::default()));
@@ -149,31 +169,52 @@ impl GenesisHost {
     /// The paper's non-blocking `run_genesis(pipelineID)`: launches `job`
     /// with the staged inputs on a worker thread and returns immediately.
     ///
+    /// A panicking job is contained on the worker and recorded as a
+    /// [`CoreError::Host`] result — it poisons nothing and later calls on
+    /// this or other pipelines are unaffected.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::Host`] when the pipeline is already running.
     pub fn run_genesis(&self, pipeline_id: u32, job: JobFn) -> Result<(), CoreError> {
-        let mut slots = self.slots.lock();
+        let mut slots = self.lock();
         let inputs = match slots.remove(&pipeline_id) {
             Some(Slot::Configuring(inputs)) => inputs,
-            Some(busy @ (Slot::Running { .. } | Slot::Joining)) => {
+            Some(busy @ Slot::Running { .. }) => {
                 slots.insert(pipeline_id, busy);
                 return Err(CoreError::Host(format!("pipeline {pipeline_id} already running")));
             }
             Some(Slot::Finished(_)) | None => ConfiguredInputs::default(),
         };
-        let done = Arc::new(AtomicBool::new(false));
-        let done2 = Arc::clone(&done);
+        let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
+        slots.insert(pipeline_id, Slot::Running { epoch });
+        drop(slots);
+        let shared = Arc::clone(&self.shared);
         let metrics = Arc::clone(&self.metrics);
-        let handle = std::thread::spawn(move || {
+        std::thread::spawn(move || {
             let start = Instant::now();
-            let out = job(inputs);
-            metrics
-                .observe_duration(&format!("pipeline.{pipeline_id}.run_ns"), start.elapsed());
-            done2.store(true, Ordering::SeqCst);
-            out
+            let result = catch_unwind(AssertUnwindSafe(|| job(inputs))).unwrap_or_else(|p| {
+                Err(CoreError::Host(format!(
+                    "accelerator job panicked: {}",
+                    panic_message(p.as_ref())
+                )))
+            });
+            metrics.observe_duration(&format!("pipeline.{pipeline_id}.run_ns"), start.elapsed());
+            match &result {
+                Ok(out) => record_fault_metrics(&metrics, out.stats.faults),
+                Err(_) => metrics.counter("faults.job_errors").inc(),
+            }
+            let mut slots = shared.slots.lock().unwrap_or_else(PoisonError::into_inner);
+            if matches!(slots.get(&pipeline_id), Some(Slot::Running { epoch: e }) if *e == epoch)
+            {
+                slots.insert(pipeline_id, Slot::Finished(result));
+                drop(slots);
+                // Wake every waiter; each rechecks its own pipeline.
+                shared.completed.notify_all();
+            }
+            // Otherwise a reconfigure superseded this run; the result is
+            // stale and dropped.
         });
-        slots.insert(pipeline_id, Slot::Running { done, handle });
         Ok(())
     }
 
@@ -181,12 +222,7 @@ impl GenesisHost {
     /// execution completed. Never blocks.
     #[must_use]
     pub fn check_genesis(&self, pipeline_id: u32) -> bool {
-        let slots = self.slots.lock();
-        match slots.get(&pipeline_id) {
-            Some(Slot::Running { done, .. }) => done.load(Ordering::SeqCst),
-            Some(Slot::Finished(_)) => true,
-            _ => false,
-        }
+        matches!(self.lock().get(&pipeline_id), Some(Slot::Finished(_)))
     }
 
     /// Coarse state of a pipeline slot: `None` when the id is unknown (or
@@ -194,44 +230,62 @@ impl GenesisHost {
     /// finished. Never blocks.
     #[must_use]
     pub fn status(&self, pipeline_id: u32) -> Option<PipelineStatus> {
-        let slots = self.slots.lock();
+        let slots = self.lock();
         slots.get(&pipeline_id).map(|slot| match slot {
             Slot::Configuring(_) => PipelineStatus::Configuring,
-            Slot::Running { .. } | Slot::Joining => PipelineStatus::Running,
+            Slot::Running { .. } => PipelineStatus::Running,
             Slot::Finished(_) => PipelineStatus::Finished,
         })
     }
 
-    /// Blocks until the pipeline's job has completed and its `Finished`
-    /// slot is installed. Safe to race from multiple threads: the first
-    /// caller joins the worker, later callers wait for the result it
-    /// publishes.
-    fn join_pipeline(&self, pipeline_id: u32) -> Result<(), CoreError> {
-        loop {
-            let taken = {
-                let mut slots = self.slots.lock();
-                match slots.get(&pipeline_id) {
-                    None | Some(Slot::Configuring(_)) => {
-                        return Err(CoreError::Host(format!(
-                            "pipeline {pipeline_id} was not started"
-                        )));
-                    }
-                    Some(Slot::Finished(_)) => return Ok(()),
-                    Some(Slot::Joining) => None,
-                    Some(Slot::Running { .. }) => slots.insert(pipeline_id, Slot::Joining),
+    /// Blocks on the completion condvar until the pipeline's `Finished`
+    /// slot is installed or `deadline` passes. Returns `Ok(true)` when
+    /// finished, `Ok(false)` on deadline. Safe to race from any number of
+    /// threads: every waiter sleeps on the same condvar and rechecks its
+    /// own slot on wake-up.
+    fn wait_until(&self, pipeline_id: u32, deadline: Option<Instant>) -> Result<bool, CoreError> {
+        let mut wakeups = 0u64;
+        let mut slots = self.lock();
+        let outcome = loop {
+            match slots.get(&pipeline_id) {
+                None | Some(Slot::Configuring(_)) => {
+                    drop(slots);
+                    return Err(CoreError::Host(format!(
+                        "pipeline {pipeline_id} was not started"
+                    )));
                 }
-            };
-            match taken {
-                Some(Slot::Running { handle, .. }) => {
-                    let result = handle.join().unwrap_or_else(|_| {
-                        Err(CoreError::Host("accelerator thread panicked".into()))
-                    });
-                    self.slots.lock().insert(pipeline_id, Slot::Finished(result));
-                    return Ok(());
-                }
-                _ => std::thread::sleep(std::time::Duration::from_micros(50)),
+                Some(Slot::Finished(_)) => break true,
+                Some(Slot::Running { .. }) => {}
             }
-        }
+            wakeups += 1;
+            match deadline {
+                None => {
+                    slots = self
+                        .shared
+                        .completed
+                        .wait(slots)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break false;
+                    }
+                    let (guard, _) = self
+                        .shared
+                        .completed
+                        .wait_timeout(slots, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    slots = guard;
+                }
+            }
+        };
+        drop(slots);
+        // Condvar wake-ups per wait: the no-busy-poll regression metric. A
+        // long job costs a handful of wake-ups, not tens of thousands of
+        // 50 µs polls.
+        self.metrics.histogram(&format!("pipeline.{pipeline_id}.wait_wakeups")).observe(wakeups);
+        Ok(outcome)
     }
 
     /// The paper's blocking `wait_genesis(pipelineID)`.
@@ -247,11 +301,46 @@ impl GenesisHost {
     /// the job's own error.
     pub fn wait_genesis(&self, pipeline_id: u32) -> Result<(), CoreError> {
         let start = Instant::now();
-        let joined = self.join_pipeline(pipeline_id);
+        let waited = self.wait_until(pipeline_id, None);
         self.span(pipeline_id, "wait", start);
-        joined?;
-        let slots = self.slots.lock();
-        match slots.get(&pipeline_id) {
+        waited?;
+        self.finished_error(pipeline_id)
+    }
+
+    /// [`GenesisHost::wait_genesis`] with a watchdog: blocks at most
+    /// `timeout`. Returns `Ok(true)` when the job finished (successfully),
+    /// `Ok(false)` when the watchdog fired first — the job keeps running
+    /// and can still be waited on or flushed later; the timeout is counted
+    /// in the `faults.watchdog_timeouts` and
+    /// `pipeline.<id>.watchdog_timeouts` metrics.
+    ///
+    /// Pair with [`crate::fault::FaultConfig::watchdog`] (the
+    /// `GENESIS_FAULTS=watchdog=…` knob) for a policy-driven deadline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Host`] when the pipeline was never started, or
+    /// the job's own error when it finished with one.
+    pub fn wait_genesis_for(
+        &self,
+        pipeline_id: u32,
+        timeout: Duration,
+    ) -> Result<bool, CoreError> {
+        let start = Instant::now();
+        let waited = self.wait_until(pipeline_id, Some(start + timeout));
+        self.span(pipeline_id, "wait", start);
+        if !waited? {
+            self.metrics.counter("faults.watchdog_timeouts").inc();
+            self.metrics.counter(&format!("pipeline.{pipeline_id}.watchdog_timeouts")).inc();
+            return Ok(false);
+        }
+        self.finished_error(pipeline_id)?;
+        Ok(true)
+    }
+
+    /// The stored job error of a finished pipeline, if any.
+    fn finished_error(&self, pipeline_id: u32) -> Result<(), CoreError> {
+        match self.lock().get(&pipeline_id) {
             Some(Slot::Finished(Err(e))) => Err(e.clone()),
             _ => Ok(()),
         }
@@ -273,12 +362,12 @@ impl GenesisHost {
     }
 
     fn flush_inner(&self, pipeline_id: u32) -> Result<JobOutput, CoreError> {
-        self.join_pipeline(pipeline_id)?;
-        let mut slots = self.slots.lock();
+        self.wait_until(pipeline_id, None)?;
+        let mut slots = self.lock();
         match slots.remove(&pipeline_id) {
             Some(Slot::Finished(result)) => result,
             Some(other) => {
-                // Lost a race with another flush between join and remove;
+                // Lost a race with another flush between wait and remove;
                 // put whatever state appeared back.
                 slots.insert(pipeline_id, other);
                 Err(CoreError::Host(format!("pipeline {pipeline_id} has no results")))
@@ -289,7 +378,9 @@ impl GenesisHost {
 
     /// The host-side metrics registry: per-pipeline wall-clock histograms
     /// (`pipeline.<id>.configure_mem_ns` / `run_ns` / `wait_ns` /
-    /// `flush_ns`). Handles obtained from it are lock-free to update.
+    /// `flush_ns`), the `pipeline.<id>.wait_wakeups` condvar histogram, and
+    /// the `faults.*` recovery counters. Handles obtained from it are
+    /// lock-free to update.
     #[must_use]
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
@@ -304,6 +395,29 @@ impl GenesisHost {
     fn span(&self, pipeline_id: u32, op: &str, start: Instant) {
         self.metrics
             .observe_duration(&format!("pipeline.{pipeline_id}.{op}_ns"), start.elapsed());
+    }
+}
+
+/// Publishes a job's [`FaultReport`] into the host registry under the
+/// `faults.*` counter names, so `metrics_snapshot()` exposes retry /
+/// fallback / injection totals across all pipelines.
+fn record_fault_metrics(metrics: &MetricsRegistry, report: FaultReport) {
+    if report.is_empty() {
+        return;
+    }
+    for (name, value) in [
+        ("faults.dma_errors", report.dma_errors),
+        ("faults.dma_timeouts", report.dma_timeouts),
+        ("faults.device_faults", report.device_faults),
+        ("faults.mem_spikes", report.mem_spikes),
+        ("faults.retries", report.retries),
+        ("faults.backoff_ns", report.backoff_ns),
+        ("faults.fallback_batches", report.fallback_batches),
+        ("faults.fallback_jobs", report.fallback_jobs),
+    ] {
+        if value > 0 {
+            metrics.counter(name).add(value);
+        }
     }
 }
 
@@ -381,6 +495,22 @@ mod tests {
     }
 
     #[test]
+    fn panicking_job_is_contained_and_reported() {
+        let host = GenesisHost::new();
+        host.run_genesis(7, Box::new(|_| panic!("injected panic"))).unwrap();
+        let err = host.wait_genesis(7).unwrap_err();
+        assert!(err.to_string().contains("injected panic"), "got: {err}");
+        // The host is not poisoned: other pipelines keep working, and the
+        // failed slot flushes its error then clears.
+        host.run_genesis(8, slow_job(1)).unwrap();
+        host.wait_genesis(8).unwrap();
+        assert!(host.genesis_flush(7).is_err());
+        assert_eq!(host.status(7), None);
+        assert!(host.genesis_flush(8).is_ok());
+        assert_eq!(host.metrics_snapshot().counters["faults.job_errors"], 1);
+    }
+
+    #[test]
     fn status_tracks_lifecycle() {
         let host = GenesisHost::new();
         assert_eq!(host.status(0), None);
@@ -443,6 +573,21 @@ mod tests {
     }
 
     #[test]
+    fn reconfigure_while_running_orphans_stale_worker() {
+        let host = GenesisHost::new();
+        host.run_genesis(4, slow_job(30)).unwrap();
+        // Replace the running slot mid-flight; the old worker's late
+        // result must not clobber the new configuration.
+        host.configure_mem(4, "fresh", vec![1], 1);
+        assert_eq!(host.status(4), Some(PipelineStatus::Configuring));
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(host.status(4), Some(PipelineStatus::Configuring));
+        host.run_genesis(4, slow_job(1)).unwrap();
+        let out = host.genesis_flush(4).unwrap();
+        assert_eq!(out.outputs["echo"], vec![1]);
+    }
+
+    #[test]
     fn metrics_record_host_spans() {
         let host = GenesisHost::new();
         host.configure_mem(5, "a", vec![0], 1);
@@ -455,5 +600,40 @@ mod tests {
             assert!(h.count >= 1, "missing span for {op}");
         }
         assert!(snap.to_string().contains("pipeline.5.run_ns"));
+    }
+
+    #[test]
+    fn waiting_does_not_busy_poll() {
+        let host = GenesisHost::new();
+        host.run_genesis(6, slow_job(300)).unwrap();
+        host.wait_genesis(6).unwrap();
+        let snap = host.metrics_snapshot();
+        let wakeups = &snap.histograms["pipeline.6.wait_wakeups"];
+        assert_eq!(wakeups.count, 1);
+        // The old 50 µs polling loop would spin ~6000 iterations across a
+        // 300 ms job; a condvar waiter wakes a handful of times at most.
+        assert!(wakeups.max <= 16, "wait woke {} times — busy polling?", wakeups.max);
+        host.genesis_flush(6).unwrap();
+    }
+
+    #[test]
+    fn watchdog_times_out_then_job_still_completes() {
+        let host = GenesisHost::new();
+        host.run_genesis(9, slow_job(120)).unwrap();
+        // Watchdog fires well before the job is done...
+        assert_eq!(host.wait_genesis_for(9, Duration::from_millis(5)), Ok(false));
+        assert_eq!(host.status(9), Some(PipelineStatus::Running));
+        // ...but the job keeps running and a longer wait succeeds.
+        assert_eq!(host.wait_genesis_for(9, Duration::from_secs(30)), Ok(true));
+        let snap = host.metrics_snapshot();
+        assert_eq!(snap.counters["faults.watchdog_timeouts"], 1);
+        assert_eq!(snap.counters["pipeline.9.watchdog_timeouts"], 1);
+        host.genesis_flush(9).unwrap();
+    }
+
+    #[test]
+    fn watchdog_on_unstarted_pipeline_errors() {
+        let host = GenesisHost::new();
+        assert!(host.wait_genesis_for(42, Duration::from_millis(1)).is_err());
     }
 }

@@ -21,6 +21,9 @@
 //! * [`accel`] — the three paper accelerators (Mark Duplicates, Metadata
 //!   Update, BQSR covariate construction; Figures 10–12) plus the Figure 7
 //!   example pipeline, each with host-side orchestration and result merge.
+//! * [`fault`] — deterministic, seed-replayable fault injection and the
+//!   recovery policy (retry with capped backoff, graceful degradation to
+//!   the software oracle, watchdog timeouts).
 //! * [`perf`] — wall-clock/breakdown accounting (Figure 13).
 //! * [`cost`] — the AWS cost model (Tables II and III).
 //!
@@ -48,11 +51,13 @@ pub mod compile;
 pub mod cost;
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod host;
 pub mod library;
 pub mod perf;
 
 pub use device::DeviceConfig;
 pub use error::CoreError;
+pub use fault::{FaultConfig, FaultReport};
 pub use host::{GenesisHost, PipelineStatus};
 pub use perf::{AccelStats, Breakdown};

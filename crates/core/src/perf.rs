@@ -1,5 +1,6 @@
 //! Performance accounting: the numbers behind Figure 13.
 
+use crate::fault::FaultReport;
 use std::fmt;
 use std::time::Duration;
 
@@ -33,6 +34,9 @@ pub struct AccelStats {
     pub backpressured_cycles: u64,
     /// Module-cycles parked inside a device-memory latency window.
     pub memory_wait_cycles: u64,
+    /// Injected faults observed and recovery actions taken (all zeros in a
+    /// fault-free run).
+    pub faults: FaultReport,
 }
 
 impl AccelStats {
@@ -50,6 +54,7 @@ impl AccelStats {
         self.input_starved_cycles += other.input_starved_cycles;
         self.backpressured_cycles += other.backpressured_cycles;
         self.memory_wait_cycles += other.memory_wait_cycles;
+        self.faults.absorb(other.faults);
     }
 
     /// Fraction of module-cycles spent in each stall class, as
@@ -94,7 +99,11 @@ impl fmt::Display for AccelStats {
             i * 100.0,
             b * 100.0,
             m * 100.0,
-        )
+        )?;
+        if !self.faults.is_empty() {
+            write!(f, " | faults: {}", self.faults)?;
+        }
+        Ok(())
     }
 }
 
@@ -186,6 +195,23 @@ mod tests {
         let f = s.stall_fractions();
         assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert_eq!(AccelStats::default().stall_fractions(), [0.0; 4]);
+    }
+
+    #[test]
+    fn display_appends_faults_only_when_present() {
+        let clean = AccelStats { cycles: 1, ..AccelStats::default() };
+        assert!(!clean.to_string().contains("faults"));
+        let faulty = AccelStats {
+            cycles: 1,
+            faults: FaultReport { retries: 2, fallback_batches: 1, ..FaultReport::default() },
+            ..AccelStats::default()
+        };
+        let text = faulty.to_string();
+        assert!(!text.contains('\n'));
+        assert!(text.contains("faults:") && text.contains("retries 2"));
+        let mut merged = clean;
+        merged.absorb(faulty);
+        assert_eq!(merged.faults.retries, 2);
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod spm;
 pub mod system;
 pub mod word;
 
-pub use memory::{MemoryConfig, MemorySystem};
+pub use memory::{LatencyFaults, MemoryConfig, MemorySystem};
 pub use queue::{QueueId, QueuePool};
 pub use resource::{ResourceReport, ResourceUsage};
 pub use spm::{SpmId, SpmPool};

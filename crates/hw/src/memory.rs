@@ -15,6 +15,40 @@ pub const LINE_BYTES: usize = 64;
 /// A 64-byte memory line.
 pub type Line = [u8; LINE_BYTES];
 
+/// SplitMix64 finalizer: a stateless 64-bit mixer. Fault decisions hash
+/// deterministic indices (request ordinal, batch index, attempt) through
+/// this, so injected faults replay exactly under a fixed seed regardless
+/// of host thread scheduling.
+#[must_use]
+pub fn mix64(z: u64) -> u64 {
+    let z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic read-latency fault injection: a seeded fraction of
+/// accepted line reads takes `extra_cycles` longer than the configured
+/// latency, modeling refresh collisions or row-buffer thrash. The decision
+/// for the *n*-th accepted read is a pure function of `(seed, n)`, so the
+/// same schedule replays under both simulation engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyFaults {
+    /// Probability, in parts per million, that an accepted read spikes.
+    pub spike_ppm: u32,
+    /// Extra cycles a spiked read takes on top of `latency_cycles`.
+    pub extra_cycles: u64,
+    /// Seed of the per-request fault stream.
+    pub seed: u64,
+}
+
+impl LatencyFaults {
+    fn spikes(&self, ordinal: u64) -> bool {
+        mix64(self.seed ^ ordinal.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % 1_000_000
+            < u64::from(self.spike_ppm)
+    }
+}
+
 /// Configuration of the device memory system.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemoryConfig {
@@ -28,6 +62,8 @@ pub struct MemoryConfig {
     pub local_requests_per_cycle: u32,
     /// Maximum outstanding requests per port (the reader prefetch depth).
     pub max_inflight_per_port: usize,
+    /// Optional injected latency-spike model (`None` = no faults).
+    pub faults: Option<LatencyFaults>,
 }
 
 impl Default for MemoryConfig {
@@ -41,7 +77,19 @@ impl Default for MemoryConfig {
             channel_requests_per_cycle: 1,
             local_requests_per_cycle: 2,
             max_inflight_per_port: 8,
+            faults: None,
         }
+    }
+}
+
+impl MemoryConfig {
+    /// The worst-case latency a single read can observe under the active
+    /// fault model. Deadlock detection windows scale with this rather than
+    /// the nominal latency, so injected spikes are not misread as hangs.
+    #[must_use]
+    pub fn worst_case_latency_cycles(&self) -> u64 {
+        self.latency_cycles
+            + self.faults.filter(|f| f.spike_ppm > 0).map_or(0, |f| f.extra_cycles)
     }
 }
 
@@ -60,6 +108,8 @@ pub struct MemStats {
     pub channel_stalls: u64,
     /// Requests refused by local arbitration.
     pub local_stalls: u64,
+    /// Reads that suffered an injected latency spike.
+    pub latency_spikes: u64,
 }
 
 impl MemStats {
@@ -93,6 +143,10 @@ pub struct MemorySystem {
     channel_used: Vec<u32>,
     group_used: Vec<u32>,
     stats: MemStats,
+    /// Ordinal of the next accepted read, the index into the deterministic
+    /// fault stream. Reads are accepted in the same order under both
+    /// engines, so spike placement is engine-independent.
+    issued_reads: u64,
 }
 
 impl MemorySystem {
@@ -108,6 +162,7 @@ impl MemorySystem {
             channel_used: vec![0; channels],
             group_used: Vec::new(),
             stats: MemStats::default(),
+            issued_reads: 0,
         }
     }
 
@@ -197,7 +252,15 @@ impl MemorySystem {
         self.group_used[group] += 1;
         self.channel_used[chan] += 1;
         self.stats.read_lines += 1;
-        let ready = self.cycle + self.cfg.latency_cycles;
+        let mut latency = self.cfg.latency_cycles;
+        if let Some(faults) = self.cfg.faults {
+            if faults.spike_ppm > 0 && faults.spikes(self.issued_reads) {
+                latency += faults.extra_cycles;
+                self.stats.latency_spikes += 1;
+            }
+        }
+        self.issued_reads += 1;
+        let ready = self.cycle + latency;
         let p = &mut self.ports[port.0 as usize];
         p.inflight += 1;
         p.responses.push_back((ready, line_addr));
@@ -371,6 +434,34 @@ mod tests {
         assert_eq!(m.host_read(a + 8, 3), vec![1, 2, 3]);
         assert_eq!(m.stats().write_lines, 1);
         assert_eq!(m.stats().write_bytes(), 64);
+    }
+
+    #[test]
+    fn latency_spikes_are_deterministic_and_counted() {
+        let cfg = MemoryConfig {
+            latency_cycles: 3,
+            max_inflight_per_port: 64,
+            local_requests_per_cycle: 8,
+            faults: Some(LatencyFaults { spike_ppm: 500_000, extra_cycles: 40, seed: 9 }),
+            ..MemoryConfig::default()
+        };
+        assert_eq!(cfg.worst_case_latency_cycles(), 43);
+        let run = |cfg: &MemoryConfig| {
+            let mut m = MemorySystem::new(cfg.clone());
+            let a = m.alloc(64 * 64);
+            let p = m.register_port(0);
+            for i in 0..32u64 {
+                m.begin_cycle(i);
+                assert!(m.try_read(p, a + i * 64));
+            }
+            m.stats().latency_spikes
+        };
+        let spikes = run(&cfg);
+        assert!(spikes > 0 && spikes < 32, "~half should spike, got {spikes}");
+        assert_eq!(spikes, run(&cfg), "same seed must replay the same schedule");
+        let quiet = MemoryConfig { faults: None, ..cfg };
+        assert_eq!(run(&quiet), 0);
+        assert_eq!(quiet.worst_case_latency_cycles(), 3);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub enum EngineMode {
 pub struct ModuleId(usize);
 
 /// Simulation error.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub enum SimError {
     /// No forward progress for an implausibly long window: a wiring bug
     /// (e.g. a queue nobody drains) rather than a performance artifact.
@@ -47,6 +47,12 @@ pub enum SimError {
         cycle: u64,
         /// Labels of modules that had not finished.
         stuck: Vec<String>,
+        /// Per-module stall attribution at the point of the deadlock, for
+        /// diagnosing *why* the stuck modules stopped (input starvation vs
+        /// backpressure vs memory wait). Diagnostic only — excluded from
+        /// equality so the two engines' error outcomes still compare equal
+        /// (the reference engine attributes all cycles as active).
+        report: Box<StallReport>,
     },
     /// The cycle budget was exhausted before the pipeline drained.
     CycleLimit {
@@ -55,11 +61,41 @@ pub enum SimError {
     },
 }
 
+impl PartialEq for SimError {
+    fn eq(&self, other: &SimError) -> bool {
+        match (self, other) {
+            (
+                SimError::Deadlock { cycle: a, stuck: b, report: _ },
+                SimError::Deadlock { cycle: c, stuck: d, report: _ },
+            ) => a == c && b == d,
+            (SimError::CycleLimit { limit: a }, SimError::CycleLimit { limit: b }) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for SimError {}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Deadlock { cycle, stuck } => {
-                write!(f, "simulation deadlocked at cycle {cycle}; stuck modules: {stuck:?}")
+            SimError::Deadlock { cycle, stuck, report } => {
+                write!(f, "simulation deadlocked at cycle {cycle}; stuck modules: {stuck:?}")?;
+                // Name the module that spent the most cycles not making
+                // progress — usually the head of the blocked chain.
+                let worst = report
+                    .modules
+                    .iter()
+                    .max_by_key(|m| m.counters.total().saturating_sub(m.counters.active));
+                if let Some(m) = worst.filter(|m| m.counters.total() > m.counters.active) {
+                    let c = m.counters;
+                    write!(
+                        f,
+                        "; most stalled: {} (starved {}, backpressured {}, memory {})",
+                        m.label, c.input_starved, c.backpressured, c.memory_wait
+                    )?;
+                }
+                Ok(())
             }
             SimError::CycleLimit { limit } => {
                 write!(f, "cycle limit {limit} exhausted before pipeline drained")
@@ -380,7 +416,17 @@ impl System {
             EngineMode::EventDriven => self.run_event(max_cycles, &mut obs),
         };
         self.finalize_obs(&obs);
-        result
+        // Engines construct `Deadlock` with an empty report (stall
+        // accounting is only complete after `finalize_obs`); attach the
+        // real attribution here.
+        match result {
+            Err(SimError::Deadlock { cycle, stuck, .. }) => Err(SimError::Deadlock {
+                cycle,
+                stuck,
+                report: Box::new(self.stall_report()),
+            }),
+            other => other,
+        }
     }
 
     /// Prepares the trace buffer for a run: installs the module/queue name
@@ -486,7 +532,7 @@ impl System {
     /// bit; keep its behavior frozen. Modules never park here, so stall
     /// attribution reports every cycle as active.
     fn run_reference(&mut self, max_cycles: u64) -> Result<SimStats, SimError> {
-        let deadlock_window = 4 * self.mem.config().latency_cycles + 10_000;
+        let deadlock_window = self.deadlock_window();
         let mut last_progress_cycle = self.cycle;
         let mut last_signature = self.progress_signature();
         while !self.is_done() {
@@ -505,6 +551,7 @@ impl System {
                     return Err(SimError::Deadlock {
                         cycle: self.cycle,
                         stuck: self.stuck_labels(),
+                        report: Box::default(),
                     });
                 }
             }
@@ -584,7 +631,7 @@ impl System {
             }
         }
         let n = self.modules.len();
-        let deadlock_window = 4 * self.mem.config().latency_cycles + 10_000;
+        let deadlock_window = self.deadlock_window();
         // Queue index -> modules watching it, tagged with their role so a
         // parked module's `Watch` can filter wake-ups; plus each module's
         // own queue lists for park-time watch registration.
@@ -676,7 +723,11 @@ impl System {
                 if c_dl <= wake && c_dl <= max_cycles {
                     self.cycle = c_dl;
                     self.queues.set_touch_tracking(false);
-                    return Err(SimError::Deadlock { cycle: c_dl, stuck: self.stuck_labels() });
+                    return Err(SimError::Deadlock {
+                        cycle: c_dl,
+                        stuck: self.stuck_labels(),
+                        report: Box::default(),
+                    });
                 }
                 if wake < max_cycles {
                     if sig_now != last_signature && next_sample <= wake {
@@ -798,12 +849,20 @@ impl System {
                     return Err(SimError::Deadlock {
                         cycle: self.cycle,
                         stuck: self.stuck_labels(),
+                        report: Box::default(),
                     });
                 }
             }
         }
         self.queues.set_touch_tracking(false);
         Ok(self.stats())
+    }
+
+    /// Cycles without observable progress before a run is declared
+    /// deadlocked. Scales with the *worst-case* memory latency (including
+    /// injected spikes) so fault injection is never misread as a hang.
+    fn deadlock_window(&self) -> u64 {
+        4 * self.mem.config().worst_case_latency_cycles() + 10_000
     }
 
     fn stuck_labels(&self) -> Vec<String> {

@@ -140,6 +140,15 @@ pub struct MetricsRegistry {
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
 }
 
+/// Recovers a lock from poisoning. The maps guard only registration
+/// (values are atomics), so a writer that panicked mid-insert leaves the
+/// map in a usable state — at worst a freshly-default entry. Propagating
+/// the poison would instead cascade one worker's panic into every later
+/// metrics call on unrelated threads.
+fn unpoison<G>(r: Result<G, std::sync::PoisonError<G>>) -> G {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 impl MetricsRegistry {
     /// Creates an empty registry.
     #[must_use]
@@ -151,20 +160,20 @@ impl MetricsRegistry {
     /// the handle on hot paths: increments on the handle are lock-free.
     #[must_use]
     pub fn counter(&self, name: &str) -> Counter {
-        if let Some(c) = self.counters.read().expect("metrics lock").get(name) {
+        if let Some(c) = unpoison(self.counters.read()).get(name) {
             return c.clone();
         }
-        let mut map = self.counters.write().expect("metrics lock");
+        let mut map = unpoison(self.counters.write());
         map.entry(name.to_owned()).or_default().clone()
     }
 
     /// Returns (registering on first use) the histogram named `name`.
     #[must_use]
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        if let Some(h) = self.histograms.read().expect("metrics lock").get(name) {
+        if let Some(h) = unpoison(self.histograms.read()).get(name) {
             return Arc::clone(h);
         }
-        let mut map = self.histograms.write().expect("metrics lock");
+        let mut map = unpoison(self.histograms.write());
         Arc::clone(map.entry(name.to_owned()).or_default())
     }
 
@@ -177,17 +186,11 @@ impl MetricsRegistry {
     /// A coherent point-in-time snapshot of every registered metric.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let counters = self
-            .counters
-            .read()
-            .expect("metrics lock")
+        let counters = unpoison(self.counters.read())
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
-        let histograms = self
-            .histograms
-            .read()
-            .expect("metrics lock")
+        let histograms = unpoison(self.histograms.read())
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect();

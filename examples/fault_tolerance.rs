@@ -1,0 +1,60 @@
+//! Fault-tolerant host runtime demo: a seeded fault schedule injects DMA
+//! errors, transient device faults, and memory-latency spikes while the
+//! metadata accelerator runs; the retry/backoff loop and the software
+//! oracle fallback recover bit-identical output, and the recovery is
+//! visible in the `FaultReport` and the host metrics snapshot.
+//!
+//! Run with: `cargo run --release --example fault_tolerance`
+//!
+//! The same schedule can be applied to any run via the environment:
+//! `GENESIS_FAULTS="dma=0.15,device=0.05,mem=0.002:200,seed=7" \
+//!  cargo run --release --example metadata_update`
+
+use genesis::core::accel::metadata::MetadataAccel;
+use genesis::core::device::DeviceConfig;
+use genesis::core::fault::FaultConfig;
+use genesis::core::host::{GenesisHost, JobOutput};
+use genesis::datagen::{DatagenConfig, Dataset};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = Arc::new(Dataset::generate(&DatagenConfig::tiny()));
+
+    // Ground truth: a fault-free run.
+    let clean_dev = DeviceConfig::small();
+    let (clean, _) = MetadataAccel::new(clean_dev).run(&dataset.reads, &dataset.genome)?;
+
+    // A deterministic, seed-replayable schedule: 15% of DMA transfers
+    // fail, 5% of jobs hit a transient device fault, 0.2% of memory
+    // reads take a 200-cycle latency spike. Same seed → same faults.
+    let faults = FaultConfig::from_spec("dma=0.15,device=0.05,mem=0.002:200,seed=7")
+        .expect("valid fault spec");
+    println!("fault schedule: {faults:?}\n");
+
+    let host = GenesisHost::new();
+    let ds = Arc::clone(&dataset);
+    host.run_genesis(
+        0,
+        Box::new(move |_| {
+            let dev = DeviceConfig::small().with_faults(faults);
+            let (tags, stats) = MetadataAccel::new(dev).run(&ds.reads, &ds.genome)?;
+            let mut out = JobOutput { stats, ..JobOutput::default() };
+            out.outputs.insert("NM".into(), tags.nm.iter().flat_map(|v| v.to_le_bytes()).collect());
+            Ok(out)
+        }),
+    )?;
+    host.wait_genesis(0)?;
+    let out = host.genesis_flush(0)?;
+
+    // Despite the injected faults, the recovered output is bit-identical.
+    let nm: Vec<u32> = out.outputs["NM"]
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    assert_eq!(nm, clean.nm, "recovered NM tags match the fault-free run");
+    println!("recovered output bit-identical to the fault-free run ✓\n");
+
+    println!("fault report: {}", out.stats.faults);
+    println!("\nhost metrics snapshot:\n{}", host.metrics_snapshot());
+    Ok(())
+}
