@@ -1,4 +1,4 @@
-//! The logical-plan → hardware-pipeline translator.
+//! The logical-plan → hardware-pipeline compiler.
 //!
 //! Paper §III-D: "For now, our framework assumes that the process of
 //! translating SQL-style queries to the hardware pipeline is manual.
@@ -7,21 +7,33 @@
 //! mapped to a Genesis hardware module, and each edge … to a hardware
 //! queue."
 //!
-//! This module implements that automation for the operator idioms the
-//! paper's proof-of-concept needs: whole-column reductions (the Mark
-//! Duplicates offload) and the Figure 4 example query (per-read
-//! matching-base counts). Unsupported shapes return
-//! [`CoreError::Unsupported`] rather than silently degrading.
+//! This module implements that automation. [`Compiler::compile`] lowers
+//! any supported [`LogicalPlan`] tree node by node into a hardware module
+//! graph, recognizes the paper's three hand-built accelerators
+//! ([`CompiledKernel`]) as fast paths, and chooses a pipeline replication
+//! factor from the cost model (paper Figure 8). The result is an open
+//! [`PipelinePlan`] handle that can be inspected (`explain`,
+//! `replication`) and executed against a [`Catalog`] on the simulated
+//! device. Unsupported shapes return a structured
+//! [`CoreError::Unsupported`] naming the offending node rather than
+//! silently degrading.
 
+use crate::cost::{choose_replication, PipelineProfile, ReplicationChoice, MAX_REPLICATION};
+use crate::device::DeviceConfig;
 use crate::error::CoreError;
 use crate::library::module_for_operator;
+use crate::lower::{analyze, Lowering};
+use crate::perf::AccelStats;
+use genesis_hw::ResourceUsage;
 use genesis_sql::ast::{AggFn, BinOp, Expr, JoinKind, SelectItem, Statement};
 use genesis_sql::parser::parse_script;
 use genesis_sql::plan::lower_query;
-use genesis_sql::LogicalPlan;
+use genesis_sql::{Catalog, LogicalPlan};
+use genesis_types::Table;
 use std::collections::HashMap;
 
-/// A recognized, hardware-compilable kernel.
+/// A recognized fast-path kernel: one of the paper's three hand-built
+/// accelerators, with a pre-characterized pipeline profile.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompiledKernel {
     /// `SELECT <agg>(COL) FROM READS [PARTITION (p)]`, one result per item:
@@ -47,32 +59,260 @@ pub enum CompiledKernel {
     },
 }
 
-/// Compiles a whole extended-SQL script: resolves `CREATE TABLE` views,
-/// follows the `FOR row IN table` loop, and pattern-matches the final
-/// `INSERT` plan.
+/// Pre-characterized per-pipeline profile of a fast-path kernel, the cost
+/// model's input. The constants mirror the hand-built accelerators'
+/// streaming ports and fabric and reproduce the paper's Figure 8
+/// replication factors: 16× for the reduce (Mark Duplicates) pipeline,
+/// 16× for the metadata pipeline, 8× for the BRAM-heavy BQSR histogram.
+#[must_use]
+pub fn kernel_profile(kernel: &CompiledKernel) -> PipelineProfile {
+    match kernel {
+        // One narrow column stream into a reduction tree.
+        CompiledKernel::ColumnReduce { .. } => PipelineProfile {
+            read_port_bytes: vec![1],
+            write_port_bytes: vec![],
+            fabric: ResourceUsage { luts: 3_500, registers: 4_900, bram_bytes: 2_304 },
+        },
+        // Read fields + reference stream through explode/join/compare.
+        CompiledKernel::CountMatchingBases => PipelineProfile {
+            read_port_bytes: vec![4, 4, 2, 1, 1, 1],
+            write_port_bytes: vec![],
+            fabric: ResourceUsage { luts: 9_500, registers: 11_000, bram_bytes: 41_000 },
+        },
+        // Key stream in, histogram drain out, large covariate scratchpads.
+        CompiledKernel::GroupCount { .. } => PipelineProfile {
+            read_port_bytes: vec![4],
+            write_port_bytes: vec![4],
+            fabric: ResourceUsage { luts: 4_650, registers: 5_700, bram_bytes: 528_896 },
+        },
+    }
+}
+
+/// The plan→pipeline compiler. Owns the device model the pipelines are
+/// costed against; one compiler serves any number of plans.
 ///
-/// # Errors
+/// ```
+/// use genesis_core::compile::Compiler;
+/// use genesis_core::device::DeviceConfig;
+/// use genesis_sql::{Catalog, parser::parse_script, plan::lower_query, ast::Statement};
+/// use genesis_types::{Column, DataType, Field, Schema, Table};
 ///
-/// Returns [`CoreError::Unsupported`] when the script does not reduce to a
-/// supported kernel, and parse errors as `Unsupported` with the message.
-pub fn compile_script(src: &str) -> Result<CompiledKernel, CoreError> {
+/// let mut catalog = Catalog::new();
+/// catalog.register(
+///     "T",
+///     Table::from_columns(
+///         Schema::new(vec![Field::new("X", DataType::U32)]),
+///         vec![Column::U32((0..64).collect())],
+///     )?,
+/// );
+/// let stmts = parse_script("INSERT INTO O SELECT SUM(X) FROM T")?;
+/// let Statement::Insert { query, .. } = &stmts[0] else { unreachable!() };
+/// let compiled = Compiler::new(DeviceConfig::small()).compile(&lower_query(query), &catalog)?;
+/// let (table, _stats) = compiled.execute(&catalog)?;
+/// assert_eq!(table.get(0, "SUM").unwrap(), genesis_types::Value::U64((0u64..64).sum()));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    cfg: DeviceConfig,
+}
+
+impl Compiler {
+    /// A compiler targeting the given device model.
+    #[must_use]
+    pub fn new(cfg: DeviceConfig) -> Compiler {
+        Compiler { cfg }
+    }
+
+    /// Compiles one logical plan against `catalog`.
+    ///
+    /// The plan is matched against the fast-path kernels *and* lowered
+    /// node by node through the general compiler; either suffices. The
+    /// replication factor comes from [`choose_replication`] over the
+    /// kernel's pre-characterized profile (fast path) or the measured
+    /// profile of the freshly built module graph.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Unsupported`] naming the offending plan node when the
+    /// plan neither matches a kernel nor lowers.
+    pub fn compile(&self, plan: &LogicalPlan, catalog: &Catalog) -> Result<PipelinePlan, CoreError> {
+        let kernel = match_kernel(plan);
+        let lowered = match analyze(plan, catalog, &self.cfg) {
+            Ok(l) => Some(l),
+            Err(e) if kernel.is_none() => return Err(e),
+            Err(_) => None,
+        };
+        let profile = kernel.as_ref().map_or_else(
+            || lowered.as_ref().expect("kernel or lowering").profile.clone(),
+            kernel_profile,
+        );
+        let replication = choose_replication(&profile, &self.cfg.mem, MAX_REPLICATION);
+        Ok(PipelinePlan {
+            plan: plan.clone(),
+            kernel,
+            lowered,
+            profile,
+            replication,
+            cfg: self.cfg.clone(),
+        })
+    }
+
+    /// Compiles a whole extended-SQL script: resolves `CREATE TABLE`
+    /// views, follows the `FOR row IN table` loop, and compiles the final
+    /// `INSERT` plan.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors surface as [`CoreError::Unsupported`] on the `Script`
+    /// node; everything else as in [`Compiler::compile`].
+    pub fn compile_script(&self, src: &str, catalog: &Catalog) -> Result<PipelinePlan, CoreError> {
+        self.compile(&script_to_plan(src)?, catalog)
+    }
+}
+
+/// A compiled, executable hardware pipeline: the open handle returned by
+/// [`Compiler::compile`].
+#[derive(Debug, Clone)]
+pub struct PipelinePlan {
+    plan: LogicalPlan,
+    kernel: Option<CompiledKernel>,
+    lowered: Option<Lowering>,
+    profile: PipelineProfile,
+    replication: ReplicationChoice,
+    cfg: DeviceConfig,
+}
+
+impl PipelinePlan {
+    /// The source logical plan.
+    #[must_use]
+    pub fn plan(&self) -> &LogicalPlan {
+        &self.plan
+    }
+
+    /// The fast-path kernel this plan matched, if any.
+    #[must_use]
+    pub fn kernel(&self) -> Option<&CompiledKernel> {
+        self.kernel.as_ref()
+    }
+
+    /// True when the plan lowered through the general node-by-node
+    /// compiler (and is therefore executable via [`PipelinePlan::execute`]).
+    #[must_use]
+    pub fn is_executable(&self) -> bool {
+        self.lowered.is_some()
+    }
+
+    /// The cost model's replication decision for this pipeline.
+    #[must_use]
+    pub fn replication(&self) -> &ReplicationChoice {
+        &self.replication
+    }
+
+    /// The per-pipeline profile the replication decision was made from.
+    #[must_use]
+    pub fn profile(&self) -> &PipelineProfile {
+        &self.profile
+    }
+
+    /// Output column names of the compiled pipeline (empty for fast-path
+    /// kernels executed through their dedicated accelerator APIs).
+    #[must_use]
+    pub fn output_columns(&self) -> &[String] {
+        self.lowered.as_ref().map_or(&[], |l| l.output_columns())
+    }
+
+    /// The node → hardware-module mapping plus the replication decision,
+    /// one line per operator (paper §III-D's "tree graph").
+    #[must_use]
+    pub fn explain(&self) -> String {
+        let mut out = explain(&self.plan);
+        if let Some(k) = &self.kernel {
+            out.push_str(&format!("fast path: {k:?}\n"));
+        }
+        if let Some(l) = &self.lowered {
+            for line in &l.summary {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out.push_str(&self.replication.summary());
+        out.push('\n');
+        out
+    }
+
+    /// Executes the compiled pipeline on the simulated device at the
+    /// cost-model-chosen replication factor and returns the result table
+    /// with accelerator statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Host`] when the plan only matched a dedicated
+    /// genomics kernel (run those through `accel::*`), or any simulation /
+    /// verification error from the run.
+    pub fn execute(&self, catalog: &Catalog) -> Result<(Table, AccelStats), CoreError> {
+        self.execute_replicated(catalog, self.replication.factor)
+    }
+
+    /// Like [`PipelinePlan::execute`] but at an explicit replication
+    /// factor (used by benchmarks to compare against the model's choice).
+    ///
+    /// # Errors
+    ///
+    /// As for [`PipelinePlan::execute`].
+    pub fn execute_replicated(
+        &self,
+        catalog: &Catalog,
+        factor: usize,
+    ) -> Result<(Table, AccelStats), CoreError> {
+        let Some(lowered) = &self.lowered else {
+            return Err(CoreError::Host(format!(
+                "plan compiled only to the dedicated {:?} kernel; run it through the \
+                 accel API or GenesisHost",
+                self.kernel
+            )));
+        };
+        lowered.execute(&self.cfg, catalog, factor.max(1))
+    }
+
+    /// Binds the compiled pipeline to `catalog`'s current data, returning a
+    /// `Send` job that [`crate::host::GenesisHost::submit`] can run on a
+    /// worker thread.
+    pub(crate) fn prepare_job(
+        &self,
+        catalog: &Catalog,
+        factor: usize,
+    ) -> Result<crate::lower::PreparedJob, CoreError> {
+        let Some(lowered) = &self.lowered else {
+            return Err(CoreError::Host(format!(
+                "plan compiled only to the dedicated {:?} kernel; run it through the \
+                 accel API or GenesisHost",
+                self.kernel
+            )));
+        };
+        lowered.prepare(&self.cfg, catalog, factor.max(1))
+    }
+}
+
+/// Parses a script and reduces it to the final `INSERT` plan with all
+/// views inlined.
+fn script_to_plan(src: &str) -> Result<LogicalPlan, CoreError> {
     let stmts =
-        parse_script(src).map_err(|e| CoreError::Unsupported(format!("parse error: {e}")))?;
+        parse_script(src).map_err(|e| CoreError::unsupported("Script", format!("parse error: {e}")))?;
     let mut views: HashMap<String, LogicalPlan> = HashMap::new();
     let mut target: Option<LogicalPlan> = None;
-    collect(&stmts, &mut views, &mut target)?;
+    collect(&stmts, &mut views, &mut target);
     let plan = target.ok_or_else(|| {
-        CoreError::Unsupported("script has no INSERT INTO statement to compile".into())
+        CoreError::unsupported("Script", "no INSERT INTO statement to compile")
     })?;
-    let inlined = inline_views(&plan, &views);
-    compile_plan(&inlined)
+    Ok(inline_views(&plan, &views))
 }
 
 fn collect(
     stmts: &[Statement],
     views: &mut HashMap<String, LogicalPlan>,
     target: &mut Option<LogicalPlan>,
-) -> Result<(), CoreError> {
+) {
     for stmt in stmts {
         match stmt {
             Statement::CreateTableAs { name, query } => {
@@ -85,13 +325,15 @@ fn collect(
                 // The loop variable ranges over the table: for hardware
                 // compilation the whole table streams through, so the
                 // variable *is* the table.
-                views.insert(var.clone(), LogicalPlan::Scan { table: table.clone(), partition: None });
-                collect(body, views, target)?;
+                views.insert(
+                    var.clone(),
+                    LogicalPlan::Scan { table: table.clone(), partition: None },
+                );
+                collect(body, views, target);
             }
             Statement::Declare { .. } | Statement::Set { .. } | Statement::Exec { .. } => {}
         }
     }
-    Ok(())
 }
 
 /// Substitutes scans of named views by their defining plans, transitively.
@@ -146,12 +388,9 @@ fn inline_views(plan: &LogicalPlan, views: &HashMap<String, LogicalPlan>) -> Log
     }
 }
 
-/// Compiles a single (already-inlined) plan.
-///
-/// # Errors
-///
-/// Returns [`CoreError::Unsupported`] for unrecognized shapes.
-pub fn compile_plan(plan: &LogicalPlan) -> Result<CompiledKernel, CoreError> {
+/// Pattern-matches a plan against the three fast-path kernels.
+#[must_use]
+pub fn match_kernel(plan: &LogicalPlan) -> Option<CompiledKernel> {
     // Shape 1: Aggregate over a bare table scan (possibly projected).
     if let LogicalPlan::Aggregate { input, items, group_by } = plan {
         // GROUP BY key with a COUNT aggregate → the SPM histogram kernel.
@@ -161,7 +400,7 @@ pub fn compile_plan(plan: &LogicalPlan) -> Result<CompiledKernel, CoreError> {
                 .any(|i| matches!(i, SelectItem::Agg { func: AggFn::Count, .. }));
             if has_count {
                 if let Some(table) = root_scan(input) {
-                    return Ok(CompiledKernel::GroupCount {
+                    return Some(CompiledKernel::GroupCount {
                         table: table.to_owned(),
                         key: key.column.clone(),
                     });
@@ -173,13 +412,13 @@ pub fn compile_plan(plan: &LogicalPlan) -> Result<CompiledKernel, CoreError> {
                 // Sum of an equality comparison → the matching-bases idiom.
                 if let Some(Expr::Bin { op: BinOp::Eq, .. }) = arg {
                     if plan_has_explode_join(input) {
-                        return Ok(CompiledKernel::CountMatchingBases);
+                        return Some(CompiledKernel::CountMatchingBases);
                     }
                 }
                 // Plain column aggregate over a scan.
                 if let Some(Expr::Col(c)) = arg {
                     if let Some(table) = root_scan(input) {
-                        return Ok(CompiledKernel::ColumnReduce {
+                        return Some(CompiledKernel::ColumnReduce {
                             table: table.to_owned(),
                             column: c.column.clone(),
                             func: *func,
@@ -189,10 +428,46 @@ pub fn compile_plan(plan: &LogicalPlan) -> Result<CompiledKernel, CoreError> {
             }
         }
     }
-    Err(CoreError::Unsupported(format!(
-        "no hardware idiom matches this plan (operators: {})",
-        plan.operator_count()
-    )))
+    None
+}
+
+/// Compiles a whole extended-SQL script to a fast-path kernel tag.
+///
+/// # Errors
+///
+/// [`CoreError::Unsupported`] when the script does not reduce to one of
+/// the three kernels (the general compiler is not consulted).
+#[deprecated(
+    since = "0.5.0",
+    note = "use Compiler::compile_script, which also lowers general plans and \
+            returns an executable PipelinePlan"
+)]
+pub fn compile_script(src: &str) -> Result<CompiledKernel, CoreError> {
+    #[allow(deprecated)]
+    compile_plan(&script_to_plan(src)?)
+}
+
+/// Compiles a single (already-inlined) plan to a fast-path kernel tag.
+///
+/// # Errors
+///
+/// [`CoreError::Unsupported`] for shapes outside the three kernels.
+#[deprecated(
+    since = "0.5.0",
+    note = "use Compiler::compile, which also lowers general plans and returns \
+            an executable PipelinePlan"
+)]
+pub fn compile_plan(plan: &LogicalPlan) -> Result<CompiledKernel, CoreError> {
+    match_kernel(plan).ok_or_else(|| {
+        CoreError::unsupported(
+            "Plan",
+            format!(
+                "no fast-path kernel matches this plan ({} operators); \
+                 the general compiler (Compiler::compile) may still lower it",
+                plan.operator_count()
+            ),
+        )
+    })
 }
 
 /// Descends through single-input wrappers to a scan leaf.
@@ -331,8 +606,10 @@ pub fn figure4_script(partition: u64) -> String {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use genesis_types::{Column, DataType, Field, Schema, Value};
 
     #[test]
     fn figure4_script_compiles_to_count_matching_bases() {
@@ -371,7 +648,74 @@ mod tests {
             "INSERT INTO Out SELECT X FROM A INNER JOIN B ON A.K = B.K",
         )
         .unwrap_err();
-        assert!(matches!(err, CoreError::Unsupported(_)));
+        assert!(matches!(err, CoreError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn kernel_profiles_reproduce_figure8_replication() {
+        // Paper Figure 8: reduce and metadata pipelines replicate 16×, the
+        // BRAM-heavy BQSR histogram only 8× (area-bound).
+        use crate::cost::ReplicationBound;
+        let mem = genesis_hw::MemoryConfig::default();
+        let reduce = CompiledKernel::ColumnReduce {
+            table: "READS".into(),
+            column: "QUAL".into(),
+            func: AggFn::Sum,
+        };
+        let meta = CompiledKernel::CountMatchingBases;
+        let hist = CompiledKernel::GroupCount { table: "READS".into(), key: "RG".into() };
+        let choose = |k: &CompiledKernel| {
+            choose_replication(&kernel_profile(k), &mem, MAX_REPLICATION)
+        };
+        assert_eq!(choose(&reduce).factor, 16);
+        assert_eq!(choose(&meta).factor, 16);
+        let h = choose(&hist);
+        assert_eq!(h.factor, 8);
+        assert_eq!(h.limited_by, ReplicationBound::FpgaArea);
+    }
+
+    #[test]
+    fn compiler_tags_fast_path_and_lowers_generally() {
+        let mut catalog = Catalog::new();
+        catalog.register(
+            "T",
+            genesis_types::Table::from_columns(
+                Schema::new(vec![Field::new("X", DataType::U32)]),
+                vec![Column::U32((0..32).collect())],
+            )
+            .unwrap(),
+        );
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Scan { table: "T".into(), partition: None }),
+            items: vec![SelectItem::Agg {
+                func: AggFn::Sum,
+                arg: Some(Expr::Col(genesis_sql::ast::ColRef::bare("X"))),
+                alias: None,
+            }],
+            group_by: vec![],
+        };
+        let compiled = Compiler::new(DeviceConfig::small()).compile(&plan, &catalog).unwrap();
+        assert!(matches!(compiled.kernel(), Some(CompiledKernel::ColumnReduce { .. })));
+        assert!(compiled.is_executable());
+        assert_eq!(compiled.replication().factor, 16);
+        let text = compiled.explain();
+        assert!(text.contains("fast path"));
+        assert!(text.contains("replication 16x"));
+        let (out, _) = compiled.execute(&catalog).unwrap();
+        assert_eq!(out.get(0, "SUM").unwrap(), Value::U64((0u64..32).sum()));
+    }
+
+    #[test]
+    fn figure4_compiles_through_compiler_as_fast_path_only() {
+        // ReadExplode/PosExplode do not lower generally; the plan still
+        // compiles because the metadata kernel matches it.
+        let compiled = Compiler::new(DeviceConfig::small())
+            .compile_script(&figure4_script(0), &Catalog::new())
+            .unwrap();
+        assert_eq!(compiled.kernel(), Some(&CompiledKernel::CountMatchingBases));
+        assert!(!compiled.is_executable());
+        let err = compiled.execute(&Catalog::new()).unwrap_err();
+        assert!(matches!(err, CoreError::Host(_)));
     }
 
     #[test]

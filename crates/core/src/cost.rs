@@ -1,5 +1,11 @@
-//! AWS cost model (paper Tables II and III).
+//! Cost models: AWS pricing (paper Tables II and III) and the
+//! pipeline-replication chooser (paper Figure 8).
 
+use genesis_hw::memory::LINE_BYTES;
+use genesis_hw::resource::{
+    pipeline_overhead, shell_overhead, VU9P_BRAM_BYTES, VU9P_LUTS, VU9P_REGISTERS,
+};
+use genesis_hw::{MemoryConfig, ResourceUsage};
 use std::time::Duration;
 
 /// Hourly price of one machine configuration (paper Table II, Nov 2019).
@@ -59,9 +65,191 @@ pub fn cost_row(stage: &str, baseline: Duration, accelerated: Duration) -> CostR
     CostRow { stage: stage.to_owned(), cost_reduction, speedup, perf_per_dollar }
 }
 
+/// Hard cap on pipeline replication: the paper never replicates beyond 16
+/// (the Figure 8 Mark Duplicates / metadata designs).
+pub const MAX_REPLICATION: usize = 16;
+
+/// Memory-port and fabric demand of *one* pipeline instance, the input to
+/// [`choose_replication`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PipelineProfile {
+    /// Element width in bytes of each *sustained* read port (a streaming
+    /// Memory Reader consumes one element per cycle at peak). Ports that
+    /// move one element per multi-cycle item (e.g. an aggregate writer
+    /// emitting one sum per read) contribute negligible bandwidth and are
+    /// omitted.
+    pub read_port_bytes: Vec<usize>,
+    /// Element width in bytes of each sustained write port.
+    pub write_port_bytes: Vec<usize>,
+    /// Fabric usage of one pipeline: modules, queues and scratchpads
+    /// (shell and per-pipeline arbiter overhead are added by the chooser).
+    pub fabric: ResourceUsage,
+}
+
+impl PipelineProfile {
+    /// Peak memory-line demand of one pipeline in lines/cycle: every port
+    /// moves one element per cycle, 64-byte lines amortize across
+    /// elements, and the local arbiter forwards at most
+    /// `local_requests_per_cycle` lines.
+    #[must_use]
+    pub fn lines_per_cycle(&self, mem: &MemoryConfig) -> f64 {
+        let bytes: usize =
+            self.read_port_bytes.iter().chain(&self.write_port_bytes).sum();
+        let raw = bytes as f64 / LINE_BYTES as f64;
+        raw.min(f64::from(mem.local_requests_per_cycle))
+    }
+}
+
+/// Which budget limited the chosen replication factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationBound {
+    /// The global memory channels saturate first (paper Figure 8: the
+    /// channel arbiters accept `num_channels × channel_requests_per_cycle`
+    /// lines per cycle).
+    MemoryChannels,
+    /// The FPGA fabric (LUT/register/BRAM) fills first — the BQSR case,
+    /// whose per-pipeline covariate scratchpads are BRAM-heavy.
+    FpgaArea,
+    /// Neither budget binds below the [`MAX_REPLICATION`] policy cap.
+    PolicyCap,
+}
+
+/// A replication decision with the budgets that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicationChoice {
+    /// Chosen replication factor (a power of two, like all paper designs).
+    pub factor: usize,
+    /// Largest factor the memory channels sustain.
+    pub mem_bound: usize,
+    /// Largest factor that fits the VU9P fabric.
+    pub area_bound: usize,
+    /// Which budget bound the choice.
+    pub limited_by: ReplicationBound,
+    /// One pipeline's line demand in lines/cycle.
+    pub demand_lines_per_cycle: f64,
+}
+
+impl ReplicationChoice {
+    /// Human-readable summary for `explain` output.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "replication {}x (mem bound {}x, area bound {}x, demand {:.3} lines/cycle, limited by {:?})",
+            self.factor, self.mem_bound, self.area_bound, self.demand_lines_per_cycle, self.limited_by
+        )
+    }
+}
+
+/// Largest power of two `<= n` (minimum 1): arbiter trees are binary, so
+/// replication factors are powers of two — exactly the paper's 16/16/8.
+fn prev_pow2(n: usize) -> usize {
+    let mut p = 1;
+    while p * 2 <= n {
+        p *= 2;
+    }
+    p
+}
+
+/// Largest replication factor whose fabric fits the VU9P.
+fn area_bound(profile: &PipelineProfile) -> usize {
+    let shell = shell_overhead();
+    let per = profile.fabric + pipeline_overhead();
+    let mut r = 0usize;
+    loop {
+        let next = per.times(r as u64 + 1) + shell;
+        let fits = next.luts <= VU9P_LUTS
+            && next.registers <= VU9P_REGISTERS
+            && next.bram_bytes <= VU9P_BRAM_BYTES;
+        if !fits || r + 1 > 4096 {
+            break;
+        }
+        r += 1;
+    }
+    r.max(1)
+}
+
+/// Picks the pipeline replication factor for one pipeline profile under
+/// the channel/arbiter budget of `mem` (paper Figure 8): replicate until
+/// either the global memory channels or the FPGA fabric saturates, round
+/// down to a power of two, and never exceed `cap`.
+#[must_use]
+pub fn choose_replication(
+    profile: &PipelineProfile,
+    mem: &MemoryConfig,
+    cap: usize,
+) -> ReplicationChoice {
+    let capacity =
+        mem.num_channels as f64 * f64::from(mem.channel_requests_per_cycle);
+    let demand = profile.lines_per_cycle(mem);
+    let mem_bound = if demand <= 0.0 {
+        usize::MAX
+    } else {
+        ((capacity / demand).floor() as usize).max(1)
+    };
+    let area = area_bound(profile);
+    let cap = cap.clamp(1, MAX_REPLICATION);
+    let raw = mem_bound.min(area).min(cap);
+    let factor = prev_pow2(raw);
+    let limited_by = if factor >= prev_pow2(cap) {
+        ReplicationBound::PolicyCap
+    } else if mem_bound <= area {
+        ReplicationBound::MemoryChannels
+    } else {
+        ReplicationBound::FpgaArea
+    };
+    ReplicationChoice {
+        factor,
+        mem_bound: mem_bound.min(MAX_REPLICATION * 4),
+        area_bound: area,
+        limited_by,
+        demand_lines_per_cycle: demand,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn replication_bounds() {
+        let mem = MemoryConfig::default();
+        // A light pipeline (1-byte stream, small fabric) hits the policy cap.
+        let light = PipelineProfile {
+            read_port_bytes: vec![1],
+            write_port_bytes: vec![],
+            fabric: ResourceUsage { luts: 3_500, registers: 4_900, bram_bytes: 2_304 },
+        };
+        let c = choose_replication(&light, &mem, MAX_REPLICATION);
+        assert_eq!(c.factor, 16);
+        assert_eq!(c.limited_by, ReplicationBound::PolicyCap);
+        // A memory-hungry pipeline saturates the 4 channels first.
+        let heavy = PipelineProfile {
+            read_port_bytes: vec![8, 8, 8, 8, 8, 8, 8, 8],
+            write_port_bytes: vec![8, 8],
+            fabric: ResourceUsage { luts: 10_000, registers: 10_000, bram_bytes: 10_000 },
+        };
+        let c = choose_replication(&heavy, &mem, MAX_REPLICATION);
+        assert_eq!(c.limited_by, ReplicationBound::MemoryChannels);
+        assert!(c.factor <= 4);
+        // A BRAM-heavy pipeline (512 KB of scratchpads) is area-bound at 8.
+        let bram = PipelineProfile {
+            read_port_bytes: vec![4],
+            write_port_bytes: vec![4],
+            fabric: ResourceUsage { luts: 4_650, registers: 5_700, bram_bytes: 528_896 },
+        };
+        let c = choose_replication(&bram, &mem, MAX_REPLICATION);
+        assert_eq!(c.factor, 8);
+        assert_eq!(c.limited_by, ReplicationBound::FpgaArea);
+    }
+
+    #[test]
+    fn factors_are_powers_of_two() {
+        assert_eq!(prev_pow2(1), 1);
+        assert_eq!(prev_pow2(9), 8);
+        assert_eq!(prev_pow2(15), 8);
+        assert_eq!(prev_pow2(16), 16);
+        assert_eq!(prev_pow2(31), 16);
+    }
 
     #[test]
     fn instance_cost() {

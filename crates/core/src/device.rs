@@ -93,6 +93,19 @@ impl Default for DeviceConfig {
 }
 
 impl DeviceConfig {
+    /// F1-like defaults with trace, fault, and host-thread settings taken
+    /// from the validated `GENESIS_*` environment
+    /// ([`crate::env::GenesisEnv`]). Unlike [`DeviceConfig::default`]
+    /// (which panics on a malformed `GENESIS_FAULTS`), a bad variable
+    /// surfaces as a structured error naming the knob.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::env::EnvError`] for the first malformed variable.
+    pub fn from_env() -> Result<DeviceConfig, crate::env::EnvError> {
+        Ok(crate::env::GenesisEnv::load()?.device_config())
+    }
+
     /// A configuration scaled down for unit tests: 4 pipelines, 20 kbp
     /// partitions, low memory latency.
     #[must_use]

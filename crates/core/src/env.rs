@@ -1,0 +1,250 @@
+//! Unified `GENESIS_*` environment configuration.
+//!
+//! Four environment variables tune a Genesis process without code changes:
+//! `GENESIS_ENGINE`, `GENESIS_TRACE`, `GENESIS_FAULTS` and
+//! `GENESIS_HOST_THREADS`. Historically each was parsed ad hoc at its
+//! point of use — with different lenience (a typo'd engine name silently
+//! fell back to the default, a typo'd fault spec panicked). This module
+//! parses and validates all of them in one place: [`GenesisEnv::load`]
+//! returns either a fully validated snapshot or a single [`EnvError`]
+//! naming the offending variable, and [`GenesisEnv::help`] produces the
+//! knob reference for CLI `--help` output.
+
+use crate::device::DeviceConfig;
+use crate::fault::FaultConfig;
+use genesis_hw::EngineMode;
+use genesis_obs::TraceConfig;
+use std::fmt;
+
+/// A malformed `GENESIS_*` environment variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvError {
+    /// The variable name (e.g. `GENESIS_ENGINE`).
+    pub var: &'static str,
+    /// The rejected value.
+    pub value: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}={:?}: {} (see GenesisEnv::help() for the knob reference)",
+            self.var, self.value, self.reason
+        )
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// A validated snapshot of the `GENESIS_*` environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenesisEnv {
+    /// Simulation engine selection (`GENESIS_ENGINE`): event-driven by
+    /// default, the naive reference engine for differential debugging.
+    pub engine: EngineMode,
+    /// Tracing knob (`GENESIS_TRACE`): off, or Chrome-trace export path.
+    pub trace: TraceConfig,
+    /// Fault injection and recovery policy (`GENESIS_FAULTS`).
+    pub faults: FaultConfig,
+    /// Host worker-thread override (`GENESIS_HOST_THREADS`); `None` means
+    /// auto-detect.
+    pub host_threads: Option<usize>,
+}
+
+impl GenesisEnv {
+    /// Loads and validates the four `GENESIS_*` variables from the process
+    /// environment.
+    ///
+    /// # Errors
+    ///
+    /// The first [`EnvError`] encountered, naming the offending variable —
+    /// a misconfigured experiment should fail loudly at startup, not
+    /// silently run with defaults.
+    pub fn load() -> Result<GenesisEnv, EnvError> {
+        GenesisEnv::from_lookup(|var| std::env::var(var).ok())
+    }
+
+    /// Like [`GenesisEnv::load`] but reading variables through `lookup`
+    /// (tests inject maps instead of mutating the process environment).
+    ///
+    /// # Errors
+    ///
+    /// As for [`GenesisEnv::load`].
+    pub fn from_lookup(
+        lookup: impl Fn(&str) -> Option<String>,
+    ) -> Result<GenesisEnv, EnvError> {
+        Ok(GenesisEnv {
+            engine: parse_engine(lookup("GENESIS_ENGINE"))?,
+            trace: parse_trace(lookup("GENESIS_TRACE")),
+            faults: parse_faults(lookup("GENESIS_FAULTS"))?,
+            host_threads: parse_host_threads(lookup("GENESIS_HOST_THREADS"))?,
+        })
+    }
+
+    /// A [`DeviceConfig`] with this environment's trace, fault, and
+    /// host-thread settings over the F1-like defaults.
+    #[must_use]
+    pub fn device_config(&self) -> DeviceConfig {
+        DeviceConfig {
+            trace: self.trace.clone(),
+            faults: self.faults.clone(),
+            host_threads: self.host_threads.unwrap_or(0),
+            ..DeviceConfig::default()
+        }
+    }
+
+    /// The knob reference, one block per variable — print this from CLI
+    /// `--help` or after an [`EnvError`].
+    #[must_use]
+    pub fn help() -> String {
+        "GENESIS_* environment variables:\n\
+         \n\
+         GENESIS_ENGINE        Simulation engine. `event` (default) or\n\
+         \x20                     `reference` (naive tick-everything engine,\n\
+         \x20                     for differential debugging).\n\
+         GENESIS_TRACE         Unset/empty/`0`/`off` = no tracing; any other\n\
+         \x20                     value enables tracing and is the Chrome-trace\n\
+         \x20                     output path (plus `<path>.stalls.txt`).\n\
+         GENESIS_FAULTS        Fault injection spec: comma-separated\n\
+         \x20                     `key=value` over the recovering baseline,\n\
+         \x20                     e.g. `dma=0.1,device=0.05,mem=0.01:400,seed=7`.\n\
+         \x20                     Keys: dma, device, mem, seed, retries,\n\
+         \x20                     backoff, fallback, watchdog. `0`/`off` = inert.\n\
+         GENESIS_HOST_THREADS  Positive integer = host worker threads for\n\
+         \x20                     parallel batch simulation; unset or `0` =\n\
+         \x20                     auto-detect (one per available core).\n"
+            .to_owned()
+    }
+}
+
+fn parse_engine(v: Option<String>) -> Result<EngineMode, EnvError> {
+    let Some(v) = v else { return Ok(EngineMode::EventDriven) };
+    let t = v.trim();
+    if t.is_empty() || t.eq_ignore_ascii_case("event") || t.eq_ignore_ascii_case("event-driven") {
+        Ok(EngineMode::EventDriven)
+    } else if t.eq_ignore_ascii_case("reference") {
+        Ok(EngineMode::Reference)
+    } else {
+        Err(EnvError {
+            var: "GENESIS_ENGINE",
+            value: v,
+            reason: "expected `event` or `reference`".to_owned(),
+        })
+    }
+}
+
+fn parse_trace(v: Option<String>) -> TraceConfig {
+    match v {
+        Some(v) => {
+            let t = v.trim();
+            if t.is_empty() || t == "0" || t.eq_ignore_ascii_case("off") {
+                TraceConfig::off()
+            } else {
+                TraceConfig::to_path(t)
+            }
+        }
+        None => TraceConfig::off(),
+    }
+}
+
+fn parse_faults(v: Option<String>) -> Result<FaultConfig, EnvError> {
+    let Some(v) = v else { return Ok(FaultConfig::default()) };
+    FaultConfig::from_spec(&v).map_err(|reason| EnvError {
+        var: "GENESIS_FAULTS",
+        value: v,
+        reason,
+    })
+}
+
+fn parse_host_threads(v: Option<String>) -> Result<Option<usize>, EnvError> {
+    let Some(v) = v else { return Ok(None) };
+    let t = v.trim();
+    if t.is_empty() {
+        return Ok(None);
+    }
+    match t.parse::<usize>() {
+        Ok(0) => Ok(None),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(EnvError {
+            var: "GENESIS_HOST_THREADS",
+            value: v,
+            reason: "expected a non-negative integer thread count".to_owned(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn env_of(pairs: &[(&str, &str)]) -> impl Fn(&str) -> Option<String> {
+        let map: HashMap<String, String> =
+            pairs.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect();
+        move |var| map.get(var).cloned()
+    }
+
+    #[test]
+    fn empty_environment_is_default() {
+        let env = GenesisEnv::from_lookup(|_| None).unwrap();
+        assert_eq!(env.engine, EngineMode::EventDriven);
+        assert!(!env.trace.enabled);
+        assert_eq!(env.faults, FaultConfig::default());
+        assert_eq!(env.host_threads, None);
+        let cfg = env.device_config();
+        assert_eq!(cfg.host_threads, 0);
+    }
+
+    #[test]
+    fn all_knobs_parse_together() {
+        let env = GenesisEnv::from_lookup(env_of(&[
+            ("GENESIS_ENGINE", "Reference"),
+            ("GENESIS_TRACE", "/tmp/trace.json"),
+            ("GENESIS_FAULTS", "dma=0.25,seed=9"),
+            ("GENESIS_HOST_THREADS", "3"),
+        ]))
+        .unwrap();
+        assert_eq!(env.engine, EngineMode::Reference);
+        assert!(env.trace.enabled);
+        assert_eq!(env.faults.seed, 9);
+        assert_eq!(env.host_threads, Some(3));
+        assert_eq!(env.device_config().host_threads, 3);
+    }
+
+    #[test]
+    fn errors_name_the_variable() {
+        let err =
+            GenesisEnv::from_lookup(env_of(&[("GENESIS_ENGINE", "quantum")])).unwrap_err();
+        assert_eq!(err.var, "GENESIS_ENGINE");
+        assert!(err.to_string().contains("GENESIS_ENGINE"));
+        assert!(err.to_string().contains("quantum"));
+
+        let err =
+            GenesisEnv::from_lookup(env_of(&[("GENESIS_FAULTS", "dma=banana")])).unwrap_err();
+        assert_eq!(err.var, "GENESIS_FAULTS");
+
+        let err = GenesisEnv::from_lookup(env_of(&[("GENESIS_HOST_THREADS", "-2")]))
+            .unwrap_err();
+        assert_eq!(err.var, "GENESIS_HOST_THREADS");
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let env =
+            GenesisEnv::from_lookup(env_of(&[("GENESIS_HOST_THREADS", "0")])).unwrap();
+        assert_eq!(env.host_threads, None);
+    }
+
+    #[test]
+    fn help_covers_every_variable() {
+        let help = GenesisEnv::help();
+        for var in
+            ["GENESIS_ENGINE", "GENESIS_TRACE", "GENESIS_FAULTS", "GENESIS_HOST_THREADS"]
+        {
+            assert!(help.contains(var), "help missing {var}");
+        }
+    }
+}

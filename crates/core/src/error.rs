@@ -11,8 +11,15 @@ pub enum CoreError {
     Sim(SimError),
     /// A data-model error while marshalling tables.
     Table(TypeError),
-    /// The plan compiler does not support this operator shape.
-    Unsupported(String),
+    /// The plan compiler does not support this operator shape. `node`
+    /// names the offending plan node (e.g. `Join(Outer)` or
+    /// `Scan(READS)`), `reason` says why it cannot be lowered.
+    Unsupported {
+        /// The offending plan node, in `Operator(detail)` form.
+        node: String,
+        /// Why the node cannot be lowered to hardware.
+        reason: String,
+    },
     /// Host-API misuse (e.g. running an unconfigured pipeline).
     Host(String),
     /// The accelerated result failed a host-side consistency check.
@@ -29,12 +36,21 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Sim(e) => write!(f, "simulation error: {e}"),
             CoreError::Table(e) => write!(f, "table error: {e}"),
-            CoreError::Unsupported(s) => write!(f, "unsupported plan shape: {s}"),
+            CoreError::Unsupported { node, reason } => {
+                write!(f, "unsupported plan shape: {node}: {reason}")
+            }
             CoreError::Host(s) => write!(f, "host api error: {s}"),
             CoreError::Verification(s) => write!(f, "verification failed: {s}"),
             CoreError::Dma(s) => write!(f, "dma transfer failed: {s}"),
             CoreError::Device(s) => write!(f, "device fault: {s}"),
         }
+    }
+}
+
+impl CoreError {
+    /// Shorthand for the structured [`CoreError::Unsupported`] diagnostic.
+    pub fn unsupported(node: impl Into<String>, reason: impl Into<String>) -> CoreError {
+        CoreError::Unsupported { node: node.into(), reason: reason.into() }
     }
 }
 
@@ -72,6 +88,17 @@ mod tests {
         let e = CoreError::Sim(SimError::CycleLimit { limit: 5 });
         assert!(e.to_string().contains("cycle limit"));
         assert!(e.source().is_some());
-        assert!(CoreError::Unsupported("x".into()).source().is_none());
+        assert!(CoreError::unsupported("Sort", "mid-plan sort").source().is_none());
+    }
+
+    #[test]
+    fn unsupported_names_node_and_reason() {
+        let e = CoreError::unsupported("Join(Outer)", "row order is engine-defined");
+        assert_eq!(
+            e.to_string(),
+            "unsupported plan shape: Join(Outer): row order is engine-defined"
+        );
+        let CoreError::Unsupported { node, .. } = e else { panic!() };
+        assert_eq!(node, "Join(Outer)");
     }
 }

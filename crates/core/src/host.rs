@@ -16,10 +16,13 @@
 //! deadline on top of the paper's blocking wait.
 
 use crate::accel::panic_message;
+use crate::compile::PipelinePlan;
 use crate::error::CoreError;
 use crate::fault::FaultReport;
 use crate::perf::AccelStats;
 use genesis_obs::{MetricsRegistry, MetricsSnapshot};
+use genesis_sql::Catalog;
+use genesis_types::Table;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -81,6 +84,150 @@ pub struct JobOutput {
 /// [`genesis_hw::System`] and simulates it).
 pub type JobFn = Box<dyn FnOnce(ConfiguredInputs) -> Result<JobOutput, CoreError> + Send>;
 
+/// The software oracle a [`JobSpec`] degrades to when the hardware run
+/// fails: recomputes the same result on the host (graceful degradation,
+/// the same policy [`crate::fault::FaultConfig::fallback`] applies inside
+/// the accelerators).
+pub type OracleFn = Box<dyn FnOnce() -> Result<Table, CoreError> + Send>;
+
+/// One accelerator job: a compiled [`PipelinePlan`] plus the host-side
+/// policy knobs that used to be spread across separate `GenesisHost`
+/// calls (`configure_mem` + `run_genesis` + `wait_genesis_for` +
+/// `genesis_flush`). Build with [`JobSpec::new`], refine with the
+/// `with_*` methods, then hand to [`GenesisHost::submit`]:
+///
+/// ```text
+/// let handle = host.submit(
+///     JobSpec::new(plan)
+///         .with_oracle(|| software_result())
+///         .with_deadline(Duration::from_secs(5)),
+///     &catalog,
+/// )?;
+/// let (table, stats) = handle.wait()?;
+/// ```
+pub struct JobSpec {
+    plan: PipelinePlan,
+    pipeline_id: Option<u32>,
+    deadline: Option<Duration>,
+    oracle: Option<OracleFn>,
+    replication: Option<usize>,
+}
+
+impl std::fmt::Debug for JobSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobSpec")
+            .field("plan", &self.plan)
+            .field("pipeline_id", &self.pipeline_id)
+            .field("deadline", &self.deadline)
+            .field("oracle", &self.oracle.is_some())
+            .field("replication", &self.replication)
+            .finish()
+    }
+}
+
+impl JobSpec {
+    /// A job running `plan` at the cost model's replication choice, on an
+    /// auto-assigned pipeline id, with no deadline and no oracle.
+    #[must_use]
+    pub fn new(plan: PipelinePlan) -> JobSpec {
+        JobSpec { plan, pipeline_id: None, deadline: None, oracle: None, replication: None }
+    }
+
+    /// Pins the job to an explicit pipeline slot (the default allocates a
+    /// fresh id, so submissions never collide).
+    #[must_use]
+    pub fn with_pipeline_id(mut self, id: u32) -> JobSpec {
+        self.pipeline_id = Some(id);
+        self
+    }
+
+    /// Bounds [`JobHandle::wait`]: when the accelerator has not finished
+    /// within `deadline`, the wait fails instead of blocking forever (the
+    /// job itself keeps running and can still be flushed via the raw API).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> JobSpec {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Installs a software fallback: when the hardware job fails for any
+    /// reason (including a plan that only compiled to a dedicated
+    /// genomics kernel), `oracle` recomputes the result on the host and
+    /// the job succeeds with `fallback_jobs = 1` in its fault report.
+    #[must_use]
+    pub fn with_oracle(
+        mut self,
+        oracle: impl FnOnce() -> Result<Table, CoreError> + Send + 'static,
+    ) -> JobSpec {
+        self.oracle = Some(Box::new(oracle));
+        self
+    }
+
+    /// Overrides the cost model's replication factor (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_replication(mut self, factor: usize) -> JobSpec {
+        self.replication = Some(factor);
+        self
+    }
+}
+
+/// A submitted job: poll with [`JobHandle::is_done`], collect with
+/// [`JobHandle::wait`]. The underlying pipeline slot stays accessible
+/// through the raw paper API ([`GenesisHost::check_genesis`] etc.) under
+/// [`JobHandle::id`].
+#[derive(Debug)]
+pub struct JobHandle<'h> {
+    host: &'h GenesisHost,
+    id: u32,
+    deadline: Option<Duration>,
+    table: Arc<Mutex<Option<Table>>>,
+}
+
+impl JobHandle<'_> {
+    /// The pipeline slot this job runs on.
+    #[must_use]
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// True once the job completed (the paper's `check_genesis`). Never
+    /// blocks.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.host.check_genesis(self.id)
+    }
+
+    /// Blocks until the job completes and returns its result table and
+    /// run statistics, consuming the pipeline slot.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Host`] when the spec's deadline passes before the job
+    /// finishes, or the job's own error when it failed (after the oracle,
+    /// if any, also failed).
+    pub fn wait(self) -> Result<(Table, AccelStats), CoreError> {
+        if let Some(deadline) = self.deadline {
+            if !self.host.wait_genesis_for(self.id, deadline)? {
+                return Err(CoreError::Host(format!(
+                    "job on pipeline {} exceeded its {:?} deadline",
+                    self.id, deadline
+                )));
+            }
+        }
+        let out = self.host.genesis_flush(self.id)?;
+        let table = self
+            .table
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .ok_or_else(|| CoreError::Host("job produced no result table".into()))?;
+        Ok((table, out.stats))
+    }
+}
+
+/// Base for auto-assigned pipeline ids, far above any hand-picked slot.
+const AUTO_PIPELINE_BASE: u32 = 0x8000_0000;
+
 enum Slot {
     Configuring(ConfiguredInputs),
     /// The job is in flight on a detached worker thread. `epoch`
@@ -127,6 +274,7 @@ pub struct GenesisHost {
     shared: Arc<Shared>,
     metrics: Arc<MetricsRegistry>,
     next_epoch: AtomicU64,
+    next_auto_id: AtomicU64,
 }
 
 impl GenesisHost {
@@ -142,6 +290,54 @@ impl GenesisHost {
     /// caller's panic propagating through — leaves usable state behind.
     fn lock(&self) -> MutexGuard<'_, HashMap<u32, Slot>> {
         self.shared.slots.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Submits a compiled pipeline as one job: binds `spec`'s plan to
+    /// `catalog`'s current data on the calling thread (the host→device
+    /// copy), launches the simulation on a worker thread, and returns a
+    /// handle to poll or wait on. This is the consolidated front door over
+    /// the paper's five-call sequence — `configure_mem` → `run_genesis` →
+    /// `check_genesis` / `wait_genesis` → `genesis_flush` — which remains
+    /// available for accelerators that manage buffers by hand.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Host`] when the spec pins a pipeline id that is
+    /// already running. A plan that cannot execute (kernel-only compile)
+    /// or fails mid-run does *not* error here: the failure surfaces at
+    /// [`JobHandle::wait`], unless the spec's oracle rescues it.
+    pub fn submit<'h>(
+        &'h self,
+        spec: JobSpec,
+        catalog: &Catalog,
+    ) -> Result<JobHandle<'h>, CoreError> {
+        let JobSpec { plan, pipeline_id, deadline, oracle, replication } = spec;
+        let factor = replication.unwrap_or_else(|| plan.replication().factor);
+        // Serialize the scans now, while we still hold the (non-`Send`)
+        // catalog; the worker thread gets a self-contained job.
+        let prepared = plan.prepare_job(catalog, factor);
+        let id = pipeline_id.unwrap_or_else(|| {
+            AUTO_PIPELINE_BASE + self.next_auto_id.fetch_add(1, Ordering::Relaxed) as u32
+        });
+        let table_slot: Arc<Mutex<Option<Table>>> = Arc::new(Mutex::new(None));
+        let worker_slot = Arc::clone(&table_slot);
+        let job: JobFn = Box::new(move |_inputs| {
+            let hw = prepared.and_then(crate::lower::PreparedJob::run);
+            let (table, stats) = match hw {
+                Ok(done) => done,
+                Err(e) => {
+                    let Some(oracle) = oracle else { return Err(e) };
+                    let mut stats = AccelStats::default();
+                    stats.faults.fallback_batches = 1;
+                    stats.faults.fallback_jobs = 1;
+                    (oracle()?, stats)
+                }
+            };
+            *worker_slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(table);
+            Ok(JobOutput { outputs: HashMap::new(), stats })
+        });
+        self.run_genesis(id, job)?;
+        Ok(JobHandle { host: self, id, deadline, table: table_slot })
     }
 
     /// The paper's `configure_mem(addr, elemsize, len, colname, pipelineID)`:
@@ -635,5 +831,123 @@ mod tests {
     fn watchdog_on_unstarted_pipeline_errors() {
         let host = GenesisHost::new();
         assert!(host.wait_genesis_for(42, Duration::from_millis(1)).is_err());
+    }
+
+    /// `SELECT SUM(X) FROM T` over `1..=rows`, compiled through the
+    /// general compiler (the submit tests' standard job).
+    fn sum_plan(rows: u32) -> (crate::compile::PipelinePlan, Catalog) {
+        use genesis_sql::ast::{AggFn, ColRef, Expr, SelectItem};
+        use genesis_sql::LogicalPlan;
+        use genesis_types::{Column, DataType, Field, Schema};
+
+        let schema = Schema::new(vec![Field::new("X", DataType::U32)]);
+        let table =
+            Table::from_columns(schema, vec![Column::U32((1..=rows).collect())]).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.register("T", table);
+        let logical = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Scan { table: "T".into(), partition: None }),
+            items: vec![SelectItem::Agg {
+                func: AggFn::Sum,
+                arg: Some(Expr::Col(ColRef::bare("X"))),
+                alias: None,
+            }],
+            group_by: vec![],
+        };
+        let plan = crate::compile::Compiler::new(crate::device::DeviceConfig::small())
+            .compile(&logical, &catalog)
+            .unwrap();
+        (plan, catalog)
+    }
+
+    #[test]
+    fn submit_runs_compiled_plan_end_to_end() {
+        let (plan, catalog) = sum_plan(32);
+        let host = GenesisHost::new();
+        let handle = host.submit(JobSpec::new(plan), &catalog).unwrap();
+        assert!(handle.id() >= AUTO_PIPELINE_BASE, "expected an auto-assigned id");
+        let (table, stats) = handle.wait().unwrap();
+        assert_eq!(table.num_rows(), 1);
+        assert_eq!(table.row(0)[0], genesis_types::Value::U64((1..=32u64).sum()));
+        assert!(stats.cycles > 0);
+        assert_eq!(stats.faults.fallback_jobs, 0);
+    }
+
+    #[test]
+    fn submit_auto_ids_never_collide() {
+        let (plan, catalog) = sum_plan(32);
+        let host = GenesisHost::new();
+        let a = host.submit(JobSpec::new(plan.clone()), &catalog).unwrap();
+        let b = host.submit(JobSpec::new(plan), &catalog).unwrap();
+        assert_ne!(a.id(), b.id());
+        a.wait().unwrap();
+        b.wait().unwrap();
+    }
+
+    #[test]
+    fn submit_respects_pinned_id_and_replication() {
+        let (plan, catalog) = sum_plan(32);
+        let host = GenesisHost::new();
+        let handle = host
+            .submit(
+                JobSpec::new(plan).with_pipeline_id(3).with_replication(2),
+                &catalog,
+            )
+            .unwrap();
+        assert_eq!(handle.id(), 3);
+        assert!(host.status(3).is_some(), "job occupies the pinned slot");
+        let (table, _) = handle.wait().unwrap();
+        assert_eq!(table.row(0)[0], genesis_types::Value::U64((1..=32u64).sum()));
+        assert_eq!(host.status(3), None);
+    }
+
+    #[test]
+    fn submit_oracle_rescues_failed_job() {
+        use genesis_types::{DataType, Field, Schema, Value};
+        let (plan, _) = sum_plan(32);
+        // Re-bind the plan to a catalog missing the scanned table: the
+        // prepare step fails, and the oracle must take over.
+        let empty = Catalog::new();
+        let host = GenesisHost::new();
+        let spec = JobSpec::new(plan).with_oracle(|| {
+            let mut t =
+                Table::new(Schema::new(vec![Field::new("SUM", DataType::Cell)]));
+            t.push_row(vec![Value::U64(528)])?;
+            Ok(t)
+        });
+        let (table, stats) = host.submit(spec, &empty).unwrap().wait().unwrap();
+        assert_eq!(table.row(0)[0], Value::U64(528));
+        assert_eq!(stats.faults.fallback_jobs, 1);
+        let snap = host.metrics_snapshot();
+        assert_eq!(snap.counters["faults.fallback_jobs"], 1);
+    }
+
+    #[test]
+    fn submit_without_oracle_surfaces_job_error() {
+        let (plan, _) = sum_plan(32);
+        let empty = Catalog::new();
+        let host = GenesisHost::new();
+        let handle = host.submit(JobSpec::new(plan), &empty).unwrap();
+        assert!(handle.wait().is_err());
+    }
+
+    #[test]
+    fn submit_deadline_bounds_wait() {
+        let (plan, catalog) = sum_plan(32);
+        let host = GenesisHost::new();
+        // Occupy the pinned slot with a slow raw job, then point the
+        // deadline-carrying handle at a fresh submission that is fast; the
+        // deadline must pass when generous and fire when impossibly tight.
+        let ok = host
+            .submit(JobSpec::new(plan.clone()).with_deadline(Duration::from_secs(30)), &catalog)
+            .unwrap()
+            .wait();
+        assert!(ok.is_ok());
+        let tight = host
+            .submit(JobSpec::new(plan).with_deadline(Duration::from_nanos(1)), &catalog)
+            .unwrap()
+            .wait();
+        let err = tight.unwrap_err();
+        assert!(err.to_string().contains("deadline"), "got: {err}");
     }
 }

@@ -50,14 +50,18 @@ pub mod columns;
 pub mod compile;
 pub mod cost;
 pub mod device;
+pub mod env;
 pub mod error;
 pub mod fault;
 pub mod host;
 pub mod library;
+mod lower;
 pub mod perf;
 
+pub use compile::{Compiler, PipelinePlan};
 pub use device::DeviceConfig;
+pub use env::{EnvError, GenesisEnv};
 pub use error::CoreError;
 pub use fault::{FaultConfig, FaultReport};
-pub use host::{GenesisHost, PipelineStatus};
+pub use host::{GenesisHost, JobHandle, JobSpec, OracleFn, PipelineStatus};
 pub use perf::{AccelStats, Breakdown};

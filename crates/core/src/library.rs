@@ -94,6 +94,12 @@ pub fn catalog() -> Vec<ModuleDescriptor> {
             implements: "multi-consumer dataflow edges",
             description: "replicates a stream to several queues with joint backpressure",
         },
+        ModuleDescriptor {
+            kind: ModuleKind::Zip,
+            name: "Zip",
+            implements: "row assembly / SELECT column lists",
+            description: "lock-step concatenation of selected fields from several streams",
+        },
     ]
 }
 

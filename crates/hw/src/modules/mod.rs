@@ -26,6 +26,7 @@ pub mod sink;
 pub mod source;
 pub mod spm_reader;
 pub mod spm_updater;
+pub mod zip;
 
 /// Kind tag used by the FPGA resource model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,6 +55,8 @@ pub enum ModuleKind {
     BinIdGen,
     /// One-to-many stream replication.
     Fanout,
+    /// Many-to-one lock-step field concatenation (row assembly).
+    Zip,
     /// Host-side stream injector (testing / host interface).
     Source,
     /// Host-side stream collector (testing / host interface).

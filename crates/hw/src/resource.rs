@@ -90,6 +90,7 @@ pub fn module_cost(kind: ModuleKind) -> ResourceUsage {
         ModuleKind::MdGen => (1_300, 900),
         ModuleKind::BinIdGen => (1_600, 1_100),
         ModuleKind::Fanout => (150, 200),
+        ModuleKind::Zip => (250, 450),
         // Host-side helpers occupy no fabric.
         ModuleKind::Source | ModuleKind::Sink => (0, 0),
     };
@@ -207,6 +208,7 @@ mod tests {
             ModuleKind::MdGen,
             ModuleKind::BinIdGen,
             ModuleKind::Fanout,
+            ModuleKind::Zip,
         ] {
             assert!(module_cost(kind).luts > 0, "{kind:?} has no cost");
         }

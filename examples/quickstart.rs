@@ -8,8 +8,9 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use genesis::core::accel::example::{count_matching_bases_sw, CountMatchingBases};
-use genesis::core::compile::{compile_script, explain, figure4_script, CompiledKernel};
+use genesis::core::compile::{explain, figure4_script, CompiledKernel, Compiler};
 use genesis::core::device::DeviceConfig;
+use genesis::sql::Catalog;
 use genesis::datagen::{DatagenConfig, Dataset};
 use genesis::sql::parser::parse_script;
 use genesis::sql::plan::lower_query;
@@ -40,10 +41,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    // 4. Compile the whole script to a hardware kernel.
-    let kernel = compile_script(&script)?;
-    assert_eq!(kernel, CompiledKernel::CountMatchingBases);
-    println!("compiled kernel: {kernel:?} (the Figure 7 pipeline)\n");
+    // 4. Compile the whole script; the compiler recognizes it as the
+    //    hand-built Figure 7 kernel and picks a replication factor.
+    let compiler = Compiler::new(DeviceConfig::default());
+    let compiled = compiler.compile_script(&script, &Catalog::new())?;
+    assert_eq!(compiled.kernel(), Some(&CompiledKernel::CountMatchingBases));
+    println!("compiled kernel: {:?} (the Figure 7 pipeline)", CompiledKernel::CountMatchingBases);
+    println!("{}", compiled.replication().summary());
+    println!();
 
     // 5. Run the simulated accelerator and verify against software.
     let device = DeviceConfig::default().with_pipelines(8).with_psize(250_000);

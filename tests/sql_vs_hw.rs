@@ -3,7 +3,7 @@
 //! cycle-level simulator) produce the same answers.
 
 use genesis::core::accel::example::CountMatchingBases;
-use genesis::core::compile::{compile_script, figure4_script, CompiledKernel};
+use genesis::core::compile::{figure4_script, CompiledKernel, Compiler};
 use genesis::core::device::DeviceConfig;
 use genesis::datagen::{DatagenConfig, Dataset};
 use genesis::sql::{Catalog, Script};
@@ -43,8 +43,10 @@ fn figure4_sql_equals_figure7_hardware() {
     sql_counts.sort_unstable();
 
     // --- Hardware side: the compiled Figure 7 pipeline. ---
-    let kernel = compile_script(&figure4_script(0)).unwrap();
-    assert_eq!(kernel, CompiledKernel::CountMatchingBases);
+    let compiled = Compiler::new(DeviceConfig::small())
+        .compile_script(&figure4_script(0), &Catalog::new())
+        .unwrap();
+    assert_eq!(compiled.kernel(), Some(&CompiledKernel::CountMatchingBases));
     let accel =
         CountMatchingBases::new(DeviceConfig::small().with_psize(psize));
     let run = accel.run(&dataset.reads, &dataset.genome).unwrap();
