@@ -1,0 +1,271 @@
+//! Serving-layer benchmark (`cargo bench --bench serve_throughput`).
+//!
+//! Two questions, two gates:
+//!
+//! 1. **Cache value.** Repeatedly submitting the same plans with the
+//!    compiled-pipeline cache disabled (every submit recompiles and pays
+//!    the reconfiguration penalty) vs. enabled (compile once, hit
+//!    thereafter). Gate: warm-cache per-job compile+reconfigure overhead
+//!    ≥ 5× lower than cold.
+//! 2. **Pool value.** The same mixed three-tenant job set on a 1-device
+//!    vs. a 4-device server, compared on *modeled* device time (simulated
+//!    cycles over the device clock, makespan = busiest device). The gate
+//!    is on modeled makespan because this host has a single CPU core:
+//!    wall clock cannot show device-pool scaling with no host cores to
+//!    back the pool workers, but the device model can. Wall-clock numbers
+//!    are snapshotted alongside for reference. Gate: ≥ 2× modeled job
+//!    throughput at 4 devices.
+//!
+//! Results land in `BENCH_serve.json`.
+
+use genesis_core::serve::{GenesisServer, Request, ServerConfig};
+use genesis_core::DeviceConfig;
+use genesis_sql::ast::{AggFn, BinOp, ColRef, Expr, SelectItem};
+use genesis_sql::{Catalog, LogicalPlan};
+use genesis_types::{Column, DataType, Field, Schema, Table};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const ROWS: u32 = 8_192;
+const REPEATS: usize = 12;
+
+fn catalog() -> Catalog {
+    let x: Vec<u32> = (0..ROWS).map(|i| i.wrapping_mul(2654435761) % 10_000).collect();
+    let k: Vec<u32> = (0..ROWS).map(|i| i % 64).collect();
+    let table = Table::from_columns(
+        Schema::new(vec![Field::new("X", DataType::U32), Field::new("K", DataType::U32)]),
+        vec![Column::U32(x), Column::U32(k)],
+    )
+    .unwrap();
+    let mut cat = Catalog::new();
+    cat.register("T", table);
+    cat
+}
+
+fn scan() -> LogicalPlan {
+    LogicalPlan::Scan { table: "T".into(), partition: None }
+}
+
+fn col(name: &str) -> Expr {
+    Expr::Col(ColRef::bare(name))
+}
+
+/// Three distinct shapes so the mixed-tenant run exercises several cache
+/// entries: scalar sum, filtered sum, filtered projection.
+fn shapes() -> Vec<LogicalPlan> {
+    let sum = LogicalPlan::Aggregate {
+        input: Box::new(scan()),
+        items: vec![SelectItem::Agg { func: AggFn::Sum, arg: Some(col("X")), alias: None }],
+        group_by: vec![],
+    };
+    let filtered_sum = LogicalPlan::Aggregate {
+        input: Box::new(LogicalPlan::Filter {
+            input: Box::new(scan()),
+            pred: Expr::Bin {
+                op: BinOp::Lt,
+                lhs: Box::new(col("X")),
+                rhs: Box::new(Expr::Number(5_000)),
+            },
+        }),
+        items: vec![SelectItem::Agg { func: AggFn::Sum, arg: Some(col("X")), alias: None }],
+        group_by: vec![],
+    };
+    let projection = LogicalPlan::Project {
+        input: Box::new(LogicalPlan::Filter {
+            input: Box::new(scan()),
+            pred: Expr::Bin {
+                op: BinOp::Gt,
+                lhs: Box::new(col("X")),
+                rhs: Box::new(Expr::Number(9_000)),
+            },
+        }),
+        items: vec![SelectItem::Expr { expr: col("K"), alias: None }],
+    };
+    vec![sum, filtered_sum, projection]
+}
+
+struct CacheRun {
+    label: &'static str,
+    jobs: usize,
+    misses: u64,
+    hits: u64,
+    compile_ns: u64,
+    reconfig_cycles: u64,
+    /// Compile time + modeled reconfiguration time, per job.
+    overhead_per_job: Duration,
+}
+
+/// Submits every shape `REPEATS` times and accounts the compile +
+/// reconfigure overhead per job.
+fn cache_run(label: &'static str, cache_capacity: usize) -> CacheRun {
+    let cat = catalog();
+    let device = DeviceConfig::small();
+    let server = GenesisServer::new(
+        ServerConfig::default()
+            .with_devices(1, device.clone())
+            .with_cache_capacity(cache_capacity),
+    );
+    let mut reconfig_cycles = 0;
+    let mut jobs = 0;
+    for _ in 0..REPEATS {
+        for shape in shapes() {
+            let (_, stats) =
+                server.submit(Request::new("bench", shape), &cat).unwrap().wait().unwrap();
+            reconfig_cycles += stats.reconfig_cycles;
+            jobs += 1;
+        }
+    }
+    let snap = server.metrics_snapshot();
+    let compile_ns = snap.histograms.get("server.compile_ns").map_or(0, |h| h.sum);
+    let cache = server.cache_stats();
+    let overhead =
+        Duration::from_nanos(compile_ns) + device.cycles_to_time(reconfig_cycles);
+    CacheRun {
+        label,
+        jobs,
+        misses: cache.misses,
+        hits: cache.hits,
+        compile_ns,
+        reconfig_cycles,
+        overhead_per_job: overhead / jobs as u32,
+    }
+}
+
+struct PoolRun {
+    devices: usize,
+    jobs: usize,
+    wall: Duration,
+    modeled_makespan: Duration,
+    /// Jobs per modeled second (the throughput the device model predicts).
+    modeled_throughput: f64,
+}
+
+/// Runs the mixed three-tenant job set on an n-device pool.
+///
+/// Reconfiguration penalty is zeroed here: cold-compile cost is part 1's
+/// subject, and the three one-off misses would otherwise dominate the
+/// makespan and hide the steady-state execution balance the pool provides.
+fn pool_run(devices: usize) -> PoolRun {
+    let cat = catalog();
+    let mut cfg = ServerConfig::default()
+        .with_devices(devices, DeviceConfig::small())
+        .with_reconfig_penalty(0);
+    cfg.paused = true;
+    let server = GenesisServer::new(cfg);
+    let tenants = ["alice", "bob", "carol"];
+    let mut tickets = Vec::new();
+    for round in 0..8 {
+        for (t, tenant) in tenants.iter().enumerate() {
+            let shape = shapes().swap_remove((round + t) % 3);
+            tickets.push(server.submit(Request::new(*tenant, shape), &cat).unwrap());
+        }
+    }
+    let jobs = tickets.len();
+    let start = Instant::now();
+    server.resume();
+    for ticket in tickets {
+        ticket.wait().unwrap();
+    }
+    let wall = start.elapsed();
+    let modeled_makespan = server
+        .modeled_device_time()
+        .into_iter()
+        .max()
+        .unwrap_or_default();
+    PoolRun {
+        devices,
+        jobs,
+        wall,
+        modeled_makespan,
+        modeled_throughput: jobs as f64 / modeled_makespan.as_secs_f64().max(1e-12),
+    }
+}
+
+fn main() {
+    let repo_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+
+    println!("serve_throughput — pipeline cache and device pool\n");
+    let cold = cache_run("cold (cache disabled)", 0);
+    let warm = cache_run("warm (cache enabled)", 32);
+    for run in [&cold, &warm] {
+        println!(
+            "  {:<22} {:>2} jobs: {:>2} misses / {:>2} hits, compile {:>9} ns, \
+             reconfig {:>9} cycles -> {:>12.3?} overhead/job",
+            run.label, run.jobs, run.misses, run.hits, run.compile_ns,
+            run.reconfig_cycles, run.overhead_per_job,
+        );
+    }
+    let cache_gain = cold.overhead_per_job.as_secs_f64()
+        / warm.overhead_per_job.as_secs_f64().max(1e-12);
+    println!("\n  warm-cache overhead reduction: {cache_gain:.1}x (gate: >= 5x)");
+    assert!(
+        cache_gain >= 5.0,
+        "warm cache must cut compile+reconfigure overhead by >= 5x, got {cache_gain:.1}x"
+    );
+
+    println!();
+    let one = pool_run(1);
+    let four = pool_run(4);
+    for run in [&one, &four] {
+        println!(
+            "  {} device(s): {:>2} jobs, modeled makespan {:>10.3?} \
+             ({:>8.0} jobs/modeled-sec), wall {:>10.3?}",
+            run.devices, run.jobs, run.modeled_makespan, run.modeled_throughput, run.wall,
+        );
+    }
+    let pool_gain = four.modeled_throughput / one.modeled_throughput.max(1e-12);
+    println!(
+        "\n  4-device modeled throughput gain: {pool_gain:.1}x (gate: >= 2x; \
+         modeled because this host has one CPU core — wall clock cannot \
+         show pool scaling without host cores to back the workers)"
+    );
+    assert!(
+        pool_gain >= 2.0,
+        "4-device pool must deliver >= 2x modeled job throughput, got {pool_gain:.1}x"
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"serve_throughput\",\n");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"throughput gate uses modeled device time (simulated cycles / device \
+         clock, makespan = busiest device): the benchmark host has a single CPU core, so \
+         wall clock cannot demonstrate device-pool scaling; wall times are included for \
+         reference\","
+    );
+    json.push_str("  \"cache\": [\n");
+    for (i, run) in [&cold, &warm].into_iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"label\": \"{}\", \"jobs\": {}, \"misses\": {}, \"hits\": {}, \
+             \"compile_ns\": {}, \"reconfig_cycles\": {}, \"overhead_per_job_us\": {:.1}}}",
+            run.label,
+            run.jobs,
+            run.misses,
+            run.hits,
+            run.compile_ns,
+            run.reconfig_cycles,
+            run.overhead_per_job.as_secs_f64() * 1e6,
+        );
+        json.push_str(if i == 0 { ",\n" } else { "\n" });
+    }
+    let _ = writeln!(json, "  ],\n  \"warm_overhead_reduction\": {cache_gain:.1},");
+    json.push_str("  \"pool\": [\n");
+    for (i, run) in [&one, &four].into_iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"devices\": {}, \"jobs\": {}, \"modeled_makespan_ms\": {:.3}, \
+             \"modeled_jobs_per_sec\": {:.0}, \"wall_ms\": {:.1}}}",
+            run.devices,
+            run.jobs,
+            run.modeled_makespan.as_secs_f64() * 1e3,
+            run.modeled_throughput,
+            run.wall.as_secs_f64() * 1e3,
+        );
+        json.push_str(if i == 0 { ",\n" } else { "\n" });
+    }
+    let _ = writeln!(json, "  ],\n  \"pool_modeled_throughput_gain\": {pool_gain:.1}\n}}");
+    let out = repo_root.join("BENCH_serve.json");
+    std::fs::write(&out, &json).expect("write BENCH_serve.json");
+    println!("\nsnapshot written to {}", out.display());
+}

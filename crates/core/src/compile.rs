@@ -295,8 +295,9 @@ impl PipelinePlan {
 }
 
 /// Parses a script and reduces it to the final `INSERT` plan with all
-/// views inlined.
-fn script_to_plan(src: &str) -> Result<LogicalPlan, CoreError> {
+/// views inlined. Also used by [`crate::serve::GenesisServer`] to register
+/// named scripts.
+pub(crate) fn script_to_plan(src: &str) -> Result<LogicalPlan, CoreError> {
     let stmts =
         parse_script(src).map_err(|e| CoreError::unsupported("Script", format!("parse error: {e}")))?;
     let mut views: HashMap<String, LogicalPlan> = HashMap::new();

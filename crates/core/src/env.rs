@@ -1,14 +1,18 @@
 //! Unified `GENESIS_*` environment configuration.
 //!
-//! Four environment variables tune a Genesis process without code changes:
-//! `GENESIS_ENGINE`, `GENESIS_TRACE`, `GENESIS_FAULTS` and
-//! `GENESIS_HOST_THREADS`. Historically each was parsed ad hoc at its
-//! point of use — with different lenience (a typo'd engine name silently
-//! fell back to the default, a typo'd fault spec panicked). This module
-//! parses and validates all of them in one place: [`GenesisEnv::load`]
-//! returns either a fully validated snapshot or a single [`EnvError`]
-//! naming the offending variable, and [`GenesisEnv::help`] produces the
-//! knob reference for CLI `--help` output.
+//! Five environment variables tune a Genesis process without code changes:
+//! `GENESIS_ENGINE`, `GENESIS_TRACE`, `GENESIS_FAULTS`,
+//! `GENESIS_HOST_THREADS` and `GENESIS_DEVICES`. Historically each was
+//! parsed ad hoc at its point of use — with different lenience (a typo'd
+//! engine name silently fell back to the default, a typo'd fault spec
+//! panicked). This module parses and validates all of them in one place:
+//! [`GenesisEnv::load`] returns either a fully validated snapshot or a
+//! single [`EnvError`] naming the offending variable, and
+//! [`GenesisEnv::help`] produces the knob reference for CLI `--help`
+//! output. The [`suggest`] helper powers the did-you-mean hints attached
+//! to typo'd knob values here, to unknown `GENESIS_FAULTS` keys, and to
+//! unknown/misspelled column references in plan diagnostics
+//! ([`crate::error::CoreError::Plan`]).
 
 use crate::device::DeviceConfig;
 use crate::fault::FaultConfig;
@@ -39,6 +43,44 @@ impl fmt::Display for EnvError {
 
 impl std::error::Error for EnvError {}
 
+/// Closest candidate to a misspelled `input`, for did-you-mean
+/// diagnostics: the candidate with the smallest case-insensitive edit
+/// distance, provided that distance is small relative to the input length
+/// (≤ 1 for short names, ≤ ⌈len/3⌉ otherwise). Returns `None` when
+/// nothing is plausibly close — a wild guess is worse than no hint.
+#[must_use]
+pub fn suggest<'a>(input: &str, candidates: impl IntoIterator<Item = &'a str>) -> Option<String> {
+    let input_lc = input.to_ascii_lowercase();
+    let budget = input_lc.chars().count().div_ceil(3);
+    let budget = budget.max(1);
+    let mut best: Option<(usize, &str)> = None;
+    for cand in candidates {
+        let d = edit_distance(&input_lc, &cand.to_ascii_lowercase());
+        if d <= budget && best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, cand));
+        }
+    }
+    best.map(|(_, c)| c.to_owned())
+}
+
+/// Plain Levenshtein distance over chars (names here are short, so the
+/// O(n·m) dynamic program is fine).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
 /// A validated snapshot of the `GENESIS_*` environment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GenesisEnv {
@@ -52,6 +94,10 @@ pub struct GenesisEnv {
     /// Host worker-thread override (`GENESIS_HOST_THREADS`); `None` means
     /// auto-detect.
     pub host_threads: Option<usize>,
+    /// Simulated device-pool size for [`crate::serve::GenesisServer`]
+    /// (`GENESIS_DEVICES`); `None` means the server's own default (one
+    /// device).
+    pub devices: Option<usize>,
 }
 
 impl GenesisEnv {
@@ -80,7 +126,8 @@ impl GenesisEnv {
             engine: parse_engine(lookup("GENESIS_ENGINE"))?,
             trace: parse_trace(lookup("GENESIS_TRACE")),
             faults: parse_faults(lookup("GENESIS_FAULTS"))?,
-            host_threads: parse_host_threads(lookup("GENESIS_HOST_THREADS"))?,
+            host_threads: parse_count(lookup("GENESIS_HOST_THREADS"), "GENESIS_HOST_THREADS")?,
+            devices: parse_count(lookup("GENESIS_DEVICES"), "GENESIS_DEVICES")?,
         })
     }
 
@@ -115,7 +162,10 @@ impl GenesisEnv {
          \x20                     backoff, fallback, watchdog. `0`/`off` = inert.\n\
          GENESIS_HOST_THREADS  Positive integer = host worker threads for\n\
          \x20                     parallel batch simulation; unset or `0` =\n\
-         \x20                     auto-detect (one per available core).\n"
+         \x20                     auto-detect (one per available core).\n\
+         GENESIS_DEVICES       Positive integer = simulated accelerator\n\
+         \x20                     devices in the GenesisServer pool; unset or\n\
+         \x20                     `0` = one device.\n"
             .to_owned()
     }
 }
@@ -128,11 +178,11 @@ fn parse_engine(v: Option<String>) -> Result<EngineMode, EnvError> {
     } else if t.eq_ignore_ascii_case("reference") {
         Ok(EngineMode::Reference)
     } else {
-        Err(EnvError {
-            var: "GENESIS_ENGINE",
-            value: v,
-            reason: "expected `event` or `reference`".to_owned(),
-        })
+        let mut reason = "expected `event` or `reference`".to_owned();
+        if let Some(s) = suggest(t, ["event", "event-driven", "reference"]) {
+            reason.push_str(&format!(" (did you mean `{s}`?)"));
+        }
+        Err(EnvError { var: "GENESIS_ENGINE", value: v, reason })
     }
 }
 
@@ -159,7 +209,9 @@ fn parse_faults(v: Option<String>) -> Result<FaultConfig, EnvError> {
     })
 }
 
-fn parse_host_threads(v: Option<String>) -> Result<Option<usize>, EnvError> {
+/// Shared parser for the "positive integer, `0`/unset/empty = auto"
+/// count knobs (`GENESIS_HOST_THREADS`, `GENESIS_DEVICES`).
+fn parse_count(v: Option<String>, var: &'static str) -> Result<Option<usize>, EnvError> {
     let Some(v) = v else { return Ok(None) };
     let t = v.trim();
     if t.is_empty() {
@@ -169,9 +221,9 @@ fn parse_host_threads(v: Option<String>) -> Result<Option<usize>, EnvError> {
         Ok(0) => Ok(None),
         Ok(n) => Ok(Some(n)),
         Err(_) => Err(EnvError {
-            var: "GENESIS_HOST_THREADS",
+            var,
             value: v,
-            reason: "expected a non-negative integer thread count".to_owned(),
+            reason: "expected a non-negative integer count".to_owned(),
         }),
     }
 }
@@ -194,6 +246,7 @@ mod tests {
         assert!(!env.trace.enabled);
         assert_eq!(env.faults, FaultConfig::default());
         assert_eq!(env.host_threads, None);
+        assert_eq!(env.devices, None);
         let cfg = env.device_config();
         assert_eq!(cfg.host_threads, 0);
     }
@@ -205,12 +258,14 @@ mod tests {
             ("GENESIS_TRACE", "/tmp/trace.json"),
             ("GENESIS_FAULTS", "dma=0.25,seed=9"),
             ("GENESIS_HOST_THREADS", "3"),
+            ("GENESIS_DEVICES", "4"),
         ]))
         .unwrap();
         assert_eq!(env.engine, EngineMode::Reference);
         assert!(env.trace.enabled);
         assert_eq!(env.faults.seed, 9);
         assert_eq!(env.host_threads, Some(3));
+        assert_eq!(env.devices, Some(4));
         assert_eq!(env.device_config().host_threads, 3);
     }
 
@@ -229,6 +284,26 @@ mod tests {
         let err = GenesisEnv::from_lookup(env_of(&[("GENESIS_HOST_THREADS", "-2")]))
             .unwrap_err();
         assert_eq!(err.var, "GENESIS_HOST_THREADS");
+
+        let err = GenesisEnv::from_lookup(env_of(&[("GENESIS_DEVICES", "many")]))
+            .unwrap_err();
+        assert_eq!(err.var, "GENESIS_DEVICES");
+    }
+
+    #[test]
+    fn engine_typo_gets_a_suggestion() {
+        let err =
+            GenesisEnv::from_lookup(env_of(&[("GENESIS_ENGINE", "referense")])).unwrap_err();
+        assert!(err.reason.contains("did you mean `reference`"), "got: {}", err.reason);
+    }
+
+    #[test]
+    fn suggest_finds_close_names_only() {
+        let cols = ["QUAL", "FLAG", "POS"];
+        assert_eq!(suggest("qaul", cols), Some("QUAL".to_owned()));
+        assert_eq!(suggest("FLAGS", cols), Some("FLAG".to_owned()));
+        assert_eq!(suggest("zebra", cols), None);
+        assert_eq!(suggest("", []), None);
     }
 
     #[test]
@@ -241,9 +316,13 @@ mod tests {
     #[test]
     fn help_covers_every_variable() {
         let help = GenesisEnv::help();
-        for var in
-            ["GENESIS_ENGINE", "GENESIS_TRACE", "GENESIS_FAULTS", "GENESIS_HOST_THREADS"]
-        {
+        for var in [
+            "GENESIS_ENGINE",
+            "GENESIS_TRACE",
+            "GENESIS_FAULTS",
+            "GENESIS_HOST_THREADS",
+            "GENESIS_DEVICES",
+        ] {
             assert!(help.contains(var), "help missing {var}");
         }
     }

@@ -20,8 +20,32 @@ pub enum CoreError {
         /// Why the node cannot be lowered to hardware.
         reason: String,
     },
+    /// The plan itself is wrong as written by the user (unknown table,
+    /// unknown or ambiguous column, …) — distinct from
+    /// [`CoreError::Unsupported`], which marks valid plans the hardware
+    /// compiler cannot lower yet. `reason` carries a did-you-mean
+    /// suggestion when a close candidate exists.
+    Plan {
+        /// The offending plan node, in `Operator(detail)` form.
+        node: String,
+        /// What is wrong with the plan, with a suggestion when possible.
+        reason: String,
+    },
     /// Host-API misuse (e.g. running an unconfigured pipeline).
     Host(String),
+    /// The serving layer rejected the job at admission instead of queueing
+    /// it unboundedly (queue full, or a submit-time deadline the current
+    /// backlog cannot meet).
+    Overloaded {
+        /// The tenant whose submission was rejected.
+        tenant: String,
+        /// Jobs queued server-wide at rejection time.
+        queued: usize,
+        /// The admission limit in force.
+        limit: usize,
+        /// Why admission failed (queue depth or deadline feasibility).
+        reason: String,
+    },
     /// The accelerated result failed a host-side consistency check.
     Verification(String),
     /// A DMA transfer failed or timed out (retryable).
@@ -39,7 +63,16 @@ impl fmt::Display for CoreError {
             CoreError::Unsupported { node, reason } => {
                 write!(f, "unsupported plan shape: {node}: {reason}")
             }
+            CoreError::Plan { node, reason } => {
+                write!(f, "plan error: {node}: {reason}")
+            }
             CoreError::Host(s) => write!(f, "host api error: {s}"),
+            CoreError::Overloaded { tenant, queued, limit, reason } => {
+                write!(
+                    f,
+                    "server overloaded: tenant {tenant}: {reason} ({queued} queued, limit {limit})"
+                )
+            }
             CoreError::Verification(s) => write!(f, "verification failed: {s}"),
             CoreError::Dma(s) => write!(f, "dma transfer failed: {s}"),
             CoreError::Device(s) => write!(f, "device fault: {s}"),
@@ -51,6 +84,11 @@ impl CoreError {
     /// Shorthand for the structured [`CoreError::Unsupported`] diagnostic.
     pub fn unsupported(node: impl Into<String>, reason: impl Into<String>) -> CoreError {
         CoreError::Unsupported { node: node.into(), reason: reason.into() }
+    }
+
+    /// Shorthand for the structured [`CoreError::Plan`] diagnostic.
+    pub fn plan(node: impl Into<String>, reason: impl Into<String>) -> CoreError {
+        CoreError::Plan { node: node.into(), reason: reason.into() }
     }
 }
 
@@ -89,6 +127,23 @@ mod tests {
         assert!(e.to_string().contains("cycle limit"));
         assert!(e.source().is_some());
         assert!(CoreError::unsupported("Sort", "mid-plan sort").source().is_none());
+    }
+
+    #[test]
+    fn plan_and_overloaded_render_structured() {
+        let e = CoreError::plan("Scan(T)", "unknown column QAUL (did you mean `QUAL`?)");
+        assert_eq!(
+            e.to_string(),
+            "plan error: Scan(T): unknown column QAUL (did you mean `QUAL`?)"
+        );
+        let e = CoreError::Overloaded {
+            tenant: "alice".into(),
+            queued: 128,
+            limit: 128,
+            reason: "queue full".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("alice") && text.contains("128 queued"), "got: {text}");
     }
 
     #[test]

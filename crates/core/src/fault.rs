@@ -176,7 +176,17 @@ impl FaultConfig {
                 },
                 "fallback" => cfg.fallback = parse_switch(value)?,
                 "watchdog" => cfg.watchdog = Some(parse_duration(value)?),
-                _ => return Err(format!("unknown fault key `{key}`")),
+                _ => {
+                    let known = [
+                        "dma", "device", "mem", "seed", "retries", "backoff", "fallback",
+                        "watchdog",
+                    ];
+                    let mut msg = format!("unknown fault key `{key}`");
+                    if let Some(s) = crate::env::suggest(key, known) {
+                        msg.push_str(&format!(" (did you mean `{s}`?)"));
+                    }
+                    return Err(msg);
+                }
             }
         }
         Ok(cfg)
@@ -420,6 +430,8 @@ mod tests {
         assert_eq!(FaultConfig::from_spec("").unwrap(), FaultConfig::default());
         assert!(FaultConfig::from_spec("dma=2.0").is_err());
         assert!(FaultConfig::from_spec("bogus=1").is_err());
+        let err = FaultConfig::from_spec("dmaa=0.1").unwrap_err();
+        assert!(err.contains("did you mean `dma`"), "got: {err}");
         assert!(FaultConfig::from_spec("dma").is_err());
         assert!(FaultConfig::from_spec("backoff=1parsec").is_err());
         // Rates-only spec inherits the recovery defaults.

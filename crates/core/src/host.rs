@@ -26,7 +26,7 @@ use genesis_types::Table;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Inputs staged by `configure_mem` for one pipeline, keyed by column name.
@@ -134,16 +134,20 @@ impl JobSpec {
     }
 
     /// Pins the job to an explicit pipeline slot (the default allocates a
-    /// fresh id, so submissions never collide).
+    /// fresh id, so submissions never collide). Ids at or above
+    /// `0x8000_0000` are reserved for auto-assignment and rejected by
+    /// [`GenesisHost::submit`] — a pinned id there could collide with a
+    /// later auto-assigned one and silently join two jobs.
     #[must_use]
     pub fn with_pipeline_id(mut self, id: u32) -> JobSpec {
         self.pipeline_id = Some(id);
         self
     }
 
-    /// Bounds [`JobHandle::wait`]: when the accelerator has not finished
-    /// within `deadline`, the wait fails instead of blocking forever (the
-    /// job itself keeps running and can still be flushed via the raw API).
+    /// Deadline measured **from submission**: time the job spends queued
+    /// behind other work counts against it. A job whose deadline expires
+    /// while still queued is dropped at dispatch, and [`JobHandle::wait`]
+    /// fails with a deadline error instead of blocking forever.
     #[must_use]
     pub fn with_deadline(mut self, deadline: Duration) -> JobSpec {
         self.deadline = Some(deadline);
@@ -180,6 +184,8 @@ pub struct JobHandle<'h> {
     host: &'h GenesisHost,
     id: u32,
     deadline: Option<Duration>,
+    /// When the job was submitted — the deadline clock's zero point.
+    submitted: Instant,
     table: Arc<Mutex<Option<Table>>>,
 }
 
@@ -207,9 +213,13 @@ impl JobHandle<'_> {
     /// if any, also failed).
     pub fn wait(self) -> Result<(Table, AccelStats), CoreError> {
         if let Some(deadline) = self.deadline {
-            if !self.host.wait_genesis_for(self.id, deadline)? {
+            // The deadline clock started at submit, not here: only the
+            // remaining budget is granted to the wait.
+            let remaining = deadline.saturating_sub(self.submitted.elapsed());
+            if !self.host.wait_genesis_for(self.id, remaining)? {
                 return Err(CoreError::Host(format!(
-                    "job on pipeline {} exceeded its {:?} deadline",
+                    "job on pipeline {} exceeded its {:?} deadline \
+                     (clock started at submit)",
                     self.id, deadline
                 )));
             }
@@ -275,6 +285,9 @@ pub struct GenesisHost {
     metrics: Arc<MetricsRegistry>,
     next_epoch: AtomicU64,
     next_auto_id: AtomicU64,
+    /// Lazily started embedded serving layer behind [`GenesisHost::submit`]
+    /// (`GENESIS_DEVICES` devices, sharing this host's metrics registry).
+    server: OnceLock<crate::serve::GenesisServer>,
 }
 
 impl GenesisHost {
@@ -292,52 +305,91 @@ impl GenesisHost {
         self.shared.slots.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// The embedded serving layer `submit` routes through: one pool worker
+    /// per `GENESIS_DEVICES` device (default 1), job device configs
+    /// inherited from the compiled plan, metrics shared with this host (so
+    /// `server.*` names appear in [`GenesisHost::metrics_snapshot`]).
+    fn embedded_server(&self) -> &crate::serve::GenesisServer {
+        self.server.get_or_init(|| {
+            let n = crate::env::GenesisEnv::load()
+                .ok()
+                .and_then(|env| env.devices)
+                .unwrap_or(1);
+            let cfg = crate::serve::ServerConfig {
+                inherit_job_config: true,
+                ..crate::serve::ServerConfig::default()
+                    .with_devices(n, crate::device::DeviceConfig::default())
+            };
+            crate::serve::GenesisServer::with_metrics(cfg, Arc::clone(&self.metrics))
+        })
+    }
+
     /// Submits a compiled pipeline as one job: binds `spec`'s plan to
     /// `catalog`'s current data on the calling thread (the host→device
-    /// copy), launches the simulation on a worker thread, and returns a
-    /// handle to poll or wait on. This is the consolidated front door over
-    /// the paper's five-call sequence — `configure_mem` → `run_genesis` →
-    /// `check_genesis` / `wait_genesis` → `genesis_flush` — which remains
-    /// available for accelerators that manage buffers by hand.
+    /// copy), queues the job on the embedded one-host serving layer (a
+    /// [`crate::serve::GenesisServer`] with `GENESIS_DEVICES` simulated
+    /// devices), and returns a handle to poll or wait on. This is the
+    /// consolidated front door over the paper's five-call sequence —
+    /// `configure_mem` → `run_genesis` → `check_genesis` / `wait_genesis`
+    /// → `genesis_flush` — which remains available for accelerators that
+    /// manage buffers by hand; the job also occupies a pipeline slot, so
+    /// the raw calls observe it under [`JobHandle::id`].
+    ///
+    /// The spec's deadline clock starts *now*: time spent queued behind
+    /// other submissions counts against it.
     ///
     /// # Errors
     ///
     /// [`CoreError::Host`] when the spec pins a pipeline id that is
-    /// already running. A plan that cannot execute (kernel-only compile)
-    /// or fails mid-run does *not* error here: the failure surfaces at
-    /// [`JobHandle::wait`], unless the spec's oracle rescues it.
+    /// already running or lies in the auto-assigned range
+    /// (≥ `0x8000_0000`), and [`CoreError::Overloaded`] when the serving
+    /// layer's admission control rejects the job. A plan that cannot
+    /// execute (kernel-only compile) or fails mid-run does *not* error
+    /// here: the failure surfaces at [`JobHandle::wait`], unless the
+    /// spec's oracle rescues it.
     pub fn submit<'h>(
         &'h self,
         spec: JobSpec,
         catalog: &Catalog,
     ) -> Result<JobHandle<'h>, CoreError> {
         let JobSpec { plan, pipeline_id, deadline, oracle, replication } = spec;
-        let factor = replication.unwrap_or_else(|| plan.replication().factor);
-        // Serialize the scans now, while we still hold the (non-`Send`)
-        // catalog; the worker thread gets a self-contained job.
-        let prepared = plan.prepare_job(catalog, factor);
+        if let Some(id) = pipeline_id {
+            if id >= AUTO_PIPELINE_BASE {
+                return Err(CoreError::Host(format!(
+                    "pinned pipeline id {id:#x} lies in the auto-assigned range \
+                     (>= {AUTO_PIPELINE_BASE:#x}): a later auto-assigned job could \
+                     collide with it and the two would silently join — pin an id \
+                     below the base instead"
+                )));
+            }
+        }
         let id = pipeline_id.unwrap_or_else(|| {
             AUTO_PIPELINE_BASE + self.next_auto_id.fetch_add(1, Ordering::Relaxed) as u32
         });
+        let mut req = crate::serve::Request::precompiled("host", plan);
+        if let Some(deadline) = deadline {
+            req = req.with_deadline(deadline);
+        }
+        if let Some(oracle) = oracle {
+            req = req.with_oracle(oracle);
+        }
+        if let Some(factor) = replication {
+            req = req.with_replication(factor);
+        }
+        let submitted = Instant::now();
+        let ticket = self.embedded_server().submit(req, catalog)?;
         let table_slot: Arc<Mutex<Option<Table>>> = Arc::new(Mutex::new(None));
         let worker_slot = Arc::clone(&table_slot);
+        // The slot-bridge job: park a worker on the server ticket so the
+        // job stays visible to the raw paper API (status / check / flush)
+        // while the device pool runs it.
         let job: JobFn = Box::new(move |_inputs| {
-            let hw = prepared.and_then(crate::lower::PreparedJob::run);
-            let (table, stats) = match hw {
-                Ok(done) => done,
-                Err(e) => {
-                    let Some(oracle) = oracle else { return Err(e) };
-                    let mut stats = AccelStats::default();
-                    stats.faults.fallback_batches = 1;
-                    stats.faults.fallback_jobs = 1;
-                    (oracle()?, stats)
-                }
-            };
+            let (table, stats) = ticket.wait()?;
             *worker_slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(table);
             Ok(JobOutput { outputs: HashMap::new(), stats })
         });
         self.run_genesis(id, job)?;
-        Ok(JobHandle { host: self, id, deadline, table: table_slot })
+        Ok(JobHandle { host: self, id, deadline, submitted, table: table_slot })
     }
 
     /// The paper's `configure_mem(addr, elemsize, len, colname, pipelineID)`:
@@ -397,7 +449,7 @@ impl GenesisHost {
             });
             metrics.observe_duration(&format!("pipeline.{pipeline_id}.run_ns"), start.elapsed());
             match &result {
-                Ok(out) => record_fault_metrics(&metrics, out.stats.faults),
+                Ok(out) => record_fault_metrics(&metrics, out.stats.faults, ""),
                 Err(_) => metrics.counter("faults.job_errors").inc(),
             }
             let mut slots = shared.slots.lock().unwrap_or_else(PoisonError::into_inner);
@@ -594,10 +646,13 @@ impl GenesisHost {
     }
 }
 
-/// Publishes a job's [`FaultReport`] into the host registry under the
-/// `faults.*` counter names, so `metrics_snapshot()` exposes retry /
-/// fallback / injection totals across all pipelines.
-fn record_fault_metrics(metrics: &MetricsRegistry, report: FaultReport) {
+/// Publishes a job's [`FaultReport`] into the registry under
+/// `<prefix>faults.*` counter names, so `metrics_snapshot()` exposes
+/// retry / fallback / injection totals across all pipelines. The host
+/// worker records with an empty prefix; the serving layer's device pool
+/// records under `server.` so a host-submitted job (which passes through
+/// both) is not double-counted under one name.
+pub(crate) fn record_fault_metrics(metrics: &MetricsRegistry, report: FaultReport, prefix: &str) {
     if report.is_empty() {
         return;
     }
@@ -612,7 +667,7 @@ fn record_fault_metrics(metrics: &MetricsRegistry, report: FaultReport) {
         ("faults.fallback_jobs", report.fallback_jobs),
     ] {
         if value > 0 {
-            metrics.counter(name).add(value);
+            metrics.counter(&format!("{prefix}{name}")).add(value);
         }
     }
 }
@@ -899,6 +954,64 @@ mod tests {
         let (table, _) = handle.wait().unwrap();
         assert_eq!(table.row(0)[0], genesis_types::Value::U64((1..=32u64).sum()));
         assert_eq!(host.status(3), None);
+    }
+
+    #[test]
+    fn submit_rejects_pinned_id_in_auto_range() {
+        let (plan, catalog) = sum_plan(8);
+        let host = GenesisHost::new();
+        // A pinned id at or above the base could be handed out again by
+        // the auto allocator, silently joining two jobs on one slot.
+        let err = host
+            .submit(
+                JobSpec::new(plan.clone()).with_pipeline_id(AUTO_PIPELINE_BASE),
+                &catalog,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("auto-assigned range"), "got: {err}");
+        // Just below the base is a legal pin.
+        let handle = host
+            .submit(
+                JobSpec::new(plan).with_pipeline_id(AUTO_PIPELINE_BASE - 1),
+                &catalog,
+            )
+            .unwrap();
+        assert_eq!(handle.id(), AUTO_PIPELINE_BASE - 1);
+        handle.wait().unwrap();
+    }
+
+    #[test]
+    fn submit_deadline_clock_starts_at_submit() {
+        use genesis_types::{DataType, Field, Schema, Value};
+        let (plan, catalog) = sum_plan(32);
+        let host = GenesisHost::new();
+        // A slow job occupies the embedded server's (single) device: the
+        // prepare step fails on the empty catalog and the oracle sleeps.
+        let slow = host
+            .submit(
+                JobSpec::new(plan.clone()).with_oracle(|| {
+                    std::thread::sleep(Duration::from_millis(120));
+                    let mut t =
+                        Table::new(Schema::new(vec![Field::new("SUM", DataType::Cell)]));
+                    t.push_row(vec![Value::U64(0)])?;
+                    Ok(t)
+                }),
+                &Catalog::new(),
+            )
+            .unwrap();
+        // This fast job queues behind it past its own deadline.
+        let tight = host
+            .submit(
+                JobSpec::new(plan).with_deadline(Duration::from_millis(10)),
+                &catalog,
+            )
+            .unwrap();
+        slow.wait().unwrap();
+        // By now the tight job has long been dispatched (and dropped: its
+        // deadline expired while queued). Measuring the deadline from this
+        // wait call — the old bug — would succeed; from submit, it fails.
+        let err = tight.wait().unwrap_err();
+        assert!(err.to_string().contains("deadline"), "got: {err}");
     }
 
     #[test]

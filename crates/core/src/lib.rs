@@ -26,6 +26,11 @@
 //!   the software oracle, watchdog timeouts).
 //! * [`perf`] — wall-clock/breakdown accounting (Figure 13).
 //! * [`cost`] — the AWS cost model (Tables II and III).
+//! * [`serve`] — the multi-tenant serving front door: compiled-pipeline
+//!   LRU cache with reconfiguration-penalty accounting, a fair-queued
+//!   device pool (`GENESIS_DEVICES`), and deadline-aware admission.
+//! * [`sched`] — the deterministic fair-queuing primitives behind
+//!   [`serve`].
 //!
 //! # Examples
 //!
@@ -57,6 +62,8 @@ pub mod host;
 pub mod library;
 mod lower;
 pub mod perf;
+pub mod sched;
+pub mod serve;
 
 pub use compile::{Compiler, PipelinePlan};
 pub use device::DeviceConfig;
@@ -65,3 +72,5 @@ pub use error::CoreError;
 pub use fault::{FaultConfig, FaultReport};
 pub use host::{GenesisHost, JobHandle, JobSpec, OracleFn, PipelineStatus};
 pub use perf::{AccelStats, Breakdown};
+pub use sched::{DispatchRecord, FairQueue};
+pub use serve::{CacheStats, GenesisServer, Request, ServerConfig, Ticket};

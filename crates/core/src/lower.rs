@@ -235,8 +235,27 @@ fn resolve(cols: &[ColInfo], col: &ColRef, node: &str) -> Result<usize, CoreErro
         .collect();
     match hits.as_slice() {
         [i] => Ok(*i),
-        [] => Err(CoreError::unsupported(node, format!("unknown column {want}"))),
-        _ => Err(CoreError::unsupported(node, format!("ambiguous column {want}"))),
+        [] => {
+            // A user plan error (not a lowering gap): the column does not
+            // exist in the input stream. Attach a did-you-mean when a
+            // close name exists.
+            let mut reason = format!("unknown column {want}");
+            if let Some(s) = crate::env::suggest(&want, cols.iter().map(|c| c.name.as_str())) {
+                reason.push_str(&format!(" (did you mean `{s}`?)"));
+            }
+            Err(CoreError::plan(node, reason))
+        }
+        many => {
+            let names: Vec<&str> =
+                many.iter().map(|&i| cols[i].name.as_str()).collect();
+            Err(CoreError::plan(
+                node,
+                format!(
+                    "ambiguous column {want}: matches {} (qualify with a table prefix)",
+                    names.join(", ")
+                ),
+            ))
+        }
     }
 }
 
@@ -300,7 +319,11 @@ fn prepare_scans(
                 }
             };
             let t = found.ok_or_else(|| {
-                CoreError::unsupported(format!("Scan({table})"), "unknown table")
+                let mut reason = "unknown table".to_owned();
+                if let Some(s) = crate::env::suggest(table, catalog.table_names()) {
+                    reason.push_str(&format!(" (did you mean `{s}`?)"));
+                }
+                CoreError::plan(format!("Scan({table})"), reason)
             })?;
             out.push(prepare_table(table, t)?);
             Ok(())
@@ -545,6 +568,14 @@ pub(crate) struct PreparedJob {
 }
 
 impl PreparedJob {
+    /// Re-targets the job at a different device configuration — the
+    /// serving layer binds a queued job to whichever pool device
+    /// dispatches it.
+    pub(crate) fn with_device(mut self, cfg: &DeviceConfig) -> PreparedJob {
+        self.cfg = cfg.clone();
+        self
+    }
+
     /// Runs the job: splits the spine scan across the replication factor,
     /// simulates the batches, merges per-job results and replays host
     /// epilogues through the software engine.
@@ -1980,5 +2011,78 @@ mod tests {
         let CoreError::Unsupported { node, reason } = err else { panic!("{err}") };
         assert_eq!(node, "Aggregate(GROUP BY)");
         assert!(reason.contains("ORDER BY"));
+    }
+
+    #[test]
+    fn unknown_column_is_a_plan_error_with_suggestion() {
+        let catalog = catalog_with(vec![table_u32("T", &[("QUAL", vec![1, 2, 3])])]);
+        let plan = LogicalPlan::Project {
+            input: Box::new(scan("T")),
+            items: vec![SelectItem::Expr {
+                expr: Expr::Col(ColRef::bare("QAUL")),
+                alias: None,
+            }],
+        };
+        // A typo'd column is the *user's* plan being wrong, not a lowering
+        // gap: it must classify as Plan (was: Unsupported) and point at
+        // the close name.
+        let err = analyze(&plan, &catalog, &DeviceConfig::small()).unwrap_err();
+        let CoreError::Plan { node, reason } = err else { panic!("{err}") };
+        assert_eq!(node, "Project");
+        assert!(reason.contains("unknown column QAUL"), "got: {reason}");
+        assert!(reason.contains("did you mean `QUAL`"), "got: {reason}");
+    }
+
+    #[test]
+    fn ambiguous_column_is_a_plan_error_listing_matches() {
+        let catalog = catalog_with(vec![
+            table_u32("T", &[("K", vec![1, 2]), ("X", vec![10, 20])]),
+            table_u32("U", &[("K", vec![1, 2]), ("X", vec![30, 40])]),
+        ]);
+        // After the join both sides expose an `X`; a bare reference must
+        // name the candidates rather than claim the shape is unsupported.
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Join {
+                kind: JoinKind::Inner,
+                left: Box::new(scan("T")),
+                right: Box::new(scan("U")),
+                left_key: ColRef::qualified("T", "K"),
+                right_key: ColRef::qualified("U", "K"),
+            }),
+            items: vec![SelectItem::Expr {
+                expr: Expr::Col(ColRef::bare("X")),
+                alias: None,
+            }],
+        };
+        let err = analyze(&plan, &catalog, &DeviceConfig::small()).unwrap_err();
+        let CoreError::Plan { reason, .. } = err else { panic!("{err}") };
+        assert!(reason.contains("ambiguous column X"), "got: {reason}");
+        assert!(reason.contains("T.X") && reason.contains("U.X"), "got: {reason}");
+        assert!(reason.contains("qualify"), "got: {reason}");
+    }
+
+    #[test]
+    fn unknown_table_is_a_plan_error_with_suggestion() {
+        let catalog = catalog_with(vec![table_u32("READS", &[("X", vec![1])])]);
+        let plan = LogicalPlan::Project {
+            input: Box::new(scan("REDAS")),
+            items: vec![SelectItem::Expr {
+                expr: Expr::Col(ColRef::bare("X")),
+                alias: None,
+            }],
+        };
+        let cfg = DeviceConfig::small();
+        let low = analyze(&plan, &catalog, &cfg);
+        // Scan columns come from the catalog at analysis time, so the typo
+        // surfaces there or at execute depending on the path — either way
+        // it must be a Plan error suggesting the close table name.
+        let err = match low {
+            Err(e) => e,
+            Ok(low) => low.execute(&cfg, &catalog, 1).unwrap_err(),
+        };
+        let CoreError::Plan { node, reason } = err else { panic!("{err}") };
+        assert_eq!(node, "Scan(REDAS)");
+        assert!(reason.contains("unknown table"), "got: {reason}");
+        assert!(reason.contains("did you mean `READS`"), "got: {reason}");
     }
 }

@@ -34,6 +34,10 @@ pub struct AccelStats {
     pub backpressured_cycles: u64,
     /// Module-cycles parked inside a device-memory latency window.
     pub memory_wait_cycles: u64,
+    /// Cycles charged for FPGA reconfiguration by the serving layer's
+    /// compiled-pipeline cache on a cache miss (zero when the job hit the
+    /// cache or bypassed the server). Included in `cycles`.
+    pub reconfig_cycles: u64,
     /// Injected faults observed and recovery actions taken (all zeros in a
     /// fault-free run).
     pub faults: FaultReport,
@@ -54,6 +58,7 @@ impl AccelStats {
         self.input_starved_cycles += other.input_starved_cycles;
         self.backpressured_cycles += other.backpressured_cycles;
         self.memory_wait_cycles += other.memory_wait_cycles;
+        self.reconfig_cycles += other.reconfig_cycles;
         self.faults.absorb(other.faults);
     }
 
@@ -100,6 +105,9 @@ impl fmt::Display for AccelStats {
             b * 100.0,
             m * 100.0,
         )?;
+        if self.reconfig_cycles > 0 {
+            write!(f, " | reconfig {} cycles", self.reconfig_cycles)?;
+        }
         if !self.faults.is_empty() {
             write!(f, " | faults: {}", self.faults)?;
         }
@@ -195,6 +203,18 @@ mod tests {
         let f = s.stall_fractions();
         assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert_eq!(AccelStats::default().stall_fractions(), [0.0; 4]);
+    }
+
+    #[test]
+    fn display_appends_reconfig_only_when_charged() {
+        let clean = AccelStats { cycles: 1, ..AccelStats::default() };
+        assert!(!clean.to_string().contains("reconfig"));
+        let missed = AccelStats { cycles: 9, reconfig_cycles: 8, ..AccelStats::default() };
+        assert!(missed.to_string().contains("reconfig 8 cycles"));
+        let mut merged = clean;
+        merged.absorb(missed);
+        assert_eq!(merged.reconfig_cycles, 8);
+        assert_eq!(merged.cycles, 10);
     }
 
     #[test]

@@ -1,0 +1,1194 @@
+//! The multi-tenant serving layer: a front door over a pool of simulated
+//! devices.
+//!
+//! The paper's host API (§III-E) assumes one client driving one FPGA.
+//! [`GenesisServer`] scales that model toward "heavy traffic from millions
+//! of users" (ROADMAP north star) along the two axes the related work
+//! argues for:
+//!
+//! * **Compiled-pipeline cache.** Reconfiguring an FPGA costs real time on
+//!   hardware, and recompiling a plan costs real host time here. Each
+//!   submitted [`LogicalPlan`] is fingerprinted ([`fingerprint`]: a stable
+//!   structural hash over the plan tree and the scanned tables' schemas);
+//!   compiled [`PipelinePlan`]s live in an LRU cache with hit / miss /
+//!   eviction counters, and every miss is charged a configurable
+//!   reconfiguration penalty
+//!   ([`ServerConfig::reconfig_penalty_cycles`]) that shows up as
+//!   [`AccelStats::reconfig_cycles`] — so cache wins are visible in the
+//!   same stats the rest of the stack reports.
+//! * **Device pool + fair scheduling.** Admitted jobs are queued per
+//!   tenant and dispatched in deterministic round-robin fair order
+//!   ([`crate::sched::FairQueue`]) across N simulated devices
+//!   ([`ServerConfig::devices`], env `GENESIS_DEVICES`). Admission is
+//!   bounded: a full queue — or a submit-time deadline the current backlog
+//!   provably cannot meet — is rejected with a structured
+//!   [`CoreError::Overloaded`] instead of queueing unboundedly. Each
+//!   device run reuses the PR 3 recovery machinery (retry/backoff inside
+//!   `run_batches`, oracle fallback, panic containment).
+//!
+//! Everything is observable: per-tenant latency histograms, queue-depth
+//! gauges, and cache counters land in the shared
+//! [`MetricsRegistry`] (`server.*` names in `metrics_snapshot()`), and
+//! when tracing is enabled the server writes its own Chrome trace
+//! (`<path>.server.json`) with one thread track per device.
+//!
+//! [`crate::host::GenesisHost::submit`] is a thin wrapper over an
+//! embedded one-device server sharing the host's metrics registry.
+
+use crate::compile::{script_to_plan, Compiler, PipelinePlan};
+use crate::device::DeviceConfig;
+use crate::error::CoreError;
+use crate::host::OracleFn;
+use crate::lower::PreparedJob;
+use crate::perf::AccelStats;
+use crate::sched::{DispatchRecord, FairQueue};
+use genesis_obs::chrome::ChromeTrace;
+use genesis_obs::metrics::{MetricsRegistry, MetricsSnapshot};
+use genesis_obs::trace::TraceConfig;
+use genesis_sql::{Catalog, LogicalPlan};
+use genesis_types::Table;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`GenesisServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The simulated device pool: one scheduler worker per entry. The
+    /// first device is also the compile target for cache misses.
+    pub devices: Vec<DeviceConfig>,
+    /// Compiled-pipeline LRU cache capacity in entries (`0` disables
+    /// caching: every submit compiles and pays the reconfiguration
+    /// penalty).
+    pub cache_capacity: usize,
+    /// Cycles charged to a job whose plan missed the cache, modelling FPGA
+    /// reconfiguration time. The default (2.5 M cycles = 10 ms at the
+    /// paper's 250 MHz clock) is on the optimistic end of partial
+    /// reconfiguration; full-bitstream loads are ~100× worse.
+    pub reconfig_penalty_cycles: u64,
+    /// Admission bound: submissions beyond this many queued jobs are
+    /// rejected with [`CoreError::Overloaded`].
+    pub max_pending: usize,
+    /// When true, a job runs with the device configuration baked into its
+    /// compiled plan instead of the pool device's (the embedded
+    /// single-device server behind `GenesisHost::submit` sets this so the
+    /// consolidated front door preserves per-job configs).
+    pub inherit_job_config: bool,
+    /// Start with dispatch paused; queued jobs wait until
+    /// [`GenesisServer::resume`]. Determinism tests use this to submit a
+    /// full tenant mix before any worker races for the queue.
+    pub paused: bool,
+    /// Server-span tracing: when enabled with a path, the server writes a
+    /// Chrome trace to `<path>.server.json` on shutdown (the suffix keeps
+    /// it clear of the per-run engine trace at `<path>`).
+    pub trace: TraceConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            devices: vec![DeviceConfig::default()],
+            cache_capacity: 32,
+            reconfig_penalty_cycles: 2_500_000,
+            max_pending: 256,
+            inherit_job_config: false,
+            paused: false,
+            trace: TraceConfig::off(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A pool of `n` identical devices (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_devices(mut self, n: usize, device: DeviceConfig) -> ServerConfig {
+        self.devices = vec![device; n.max(1)];
+        self
+    }
+
+    /// Sets the compiled-pipeline cache capacity.
+    #[must_use]
+    pub fn with_cache_capacity(mut self, entries: usize) -> ServerConfig {
+        self.cache_capacity = entries;
+        self
+    }
+
+    /// Sets the reconfiguration penalty charged on cache misses.
+    #[must_use]
+    pub fn with_reconfig_penalty(mut self, cycles: u64) -> ServerConfig {
+        self.reconfig_penalty_cycles = cycles;
+        self
+    }
+
+    /// Sets the admission queue bound.
+    #[must_use]
+    pub fn with_max_pending(mut self, jobs: usize) -> ServerConfig {
+        self.max_pending = jobs;
+        self
+    }
+
+    /// Starts the server paused (see [`ServerConfig::paused`]).
+    #[must_use]
+    pub fn start_paused(mut self) -> ServerConfig {
+        self.paused = true;
+        self
+    }
+
+    /// Defaults from the validated `GENESIS_*` environment:
+    /// `GENESIS_DEVICES` sizes the pool and each device takes the
+    /// trace / fault / host-thread settings of
+    /// [`crate::env::GenesisEnv::device_config`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::env::EnvError`] for the first malformed variable.
+    pub fn from_env() -> Result<ServerConfig, crate::env::EnvError> {
+        let env = crate::env::GenesisEnv::load()?;
+        let device = env.device_config();
+        let n = env.devices.unwrap_or(1);
+        Ok(ServerConfig {
+            trace: device.trace.clone(),
+            ..ServerConfig::default().with_devices(n, device)
+        })
+    }
+}
+
+/// Stable structural fingerprint of a plan against a catalog: FNV-1a over
+/// the plan tree and each scanned table's name and schema. Two plans
+/// fingerprint equal exactly when they lower to the same hardware pipeline
+/// — table *data* is deliberately excluded (jobs re-bind data at submit;
+/// the compiled module graph depends only on shapes and types).
+#[must_use]
+pub fn fingerprint(plan: &LogicalPlan, catalog: &Catalog) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h ^= 0xff; // separator so "ab"+"c" != "a"+"bc"
+        h = h.wrapping_mul(FNV_PRIME);
+    };
+    mix(format!("{plan:?}").as_bytes());
+    for name in plan.scans() {
+        mix(name.as_bytes());
+        match catalog.table(name) {
+            Some(t) => mix(format!("{:?}", t.schema()).as_bytes()),
+            None => mix(b"<absent>"),
+        }
+    }
+    h
+}
+
+/// Point-in-time counters of the compiled-pipeline cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Submits served from the cache.
+    pub hits: u64,
+    /// Submits that compiled fresh (and paid the reconfiguration penalty).
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub len: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+}
+
+/// LRU cache of compiled pipelines keyed by [`fingerprint`].
+struct PipelineCache {
+    capacity: usize,
+    entries: HashMap<u64, Arc<PipelinePlan>>,
+    /// Least-recently-used first.
+    order: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl PipelineCache {
+    fn new(capacity: usize) -> PipelineCache {
+        PipelineCache {
+            capacity,
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn get(&mut self, key: u64) -> Option<Arc<PipelinePlan>> {
+        let hit = self.entries.get(&key).cloned();
+        match hit {
+            Some(plan) => {
+                self.hits += 1;
+                self.touch(key);
+                Some(plan)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: u64, plan: Arc<PipelinePlan>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.insert(key, plan).is_none() {
+            self.order.push_back(key);
+            while self.entries.len() > self.capacity {
+                let victim = self.order.pop_front().expect("order tracks entries");
+                self.entries.remove(&victim);
+                self.evictions += 1;
+            }
+        } else {
+            self.touch(key);
+        }
+    }
+
+    fn touch(&mut self, key: u64) {
+        if let Some(pos) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(pos);
+            self.order.push_back(key);
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            len: self.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// What a [`Request`] runs: an inline plan, a registered script by name,
+/// or an already-compiled pipeline (the `GenesisHost::submit` path).
+enum Payload {
+    Plan(LogicalPlan),
+    Script(String),
+    Compiled(Box<PipelinePlan>),
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Payload::Plan(_) => write!(f, "Plan(..)"),
+            Payload::Script(name) => write!(f, "Script({name})"),
+            Payload::Compiled(_) => write!(f, "Compiled(..)"),
+        }
+    }
+}
+
+/// One tenant submission: what to run plus the per-job policy knobs.
+pub struct Request {
+    tenant: String,
+    payload: Payload,
+    deadline: Option<Duration>,
+    oracle: Option<OracleFn>,
+    replication: Option<usize>,
+}
+
+impl std::fmt::Debug for Request {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Request")
+            .field("tenant", &self.tenant)
+            .field("payload", &self.payload)
+            .field("deadline", &self.deadline)
+            .field("oracle", &self.oracle.is_some())
+            .field("replication", &self.replication)
+            .finish()
+    }
+}
+
+impl Request {
+    /// A request running an inline logical plan.
+    #[must_use]
+    pub fn new(tenant: impl Into<String>, plan: LogicalPlan) -> Request {
+        Request {
+            tenant: tenant.into(),
+            payload: Payload::Plan(plan),
+            deadline: None,
+            oracle: None,
+            replication: None,
+        }
+    }
+
+    /// A request running a script previously installed with
+    /// [`GenesisServer::register_script`], by name.
+    #[must_use]
+    pub fn script(tenant: impl Into<String>, name: impl Into<String>) -> Request {
+        Request {
+            tenant: tenant.into(),
+            payload: Payload::Script(name.into()),
+            deadline: None,
+            oracle: None,
+            replication: None,
+        }
+    }
+
+    /// A request running an already-compiled pipeline (bypasses the
+    /// compile cache — the plan is compiled; there is nothing to save).
+    #[must_use]
+    pub fn precompiled(tenant: impl Into<String>, plan: PipelinePlan) -> Request {
+        Request {
+            tenant: tenant.into(),
+            payload: Payload::Compiled(Box::new(plan)),
+            deadline: None,
+            oracle: None,
+            replication: None,
+        }
+    }
+
+    /// Deadline measured **from submission**: time spent queued counts.
+    /// A job still queued when its deadline passes is dropped at dispatch
+    /// (`server.deadline.misses`), and [`Ticket::wait`] stops blocking at
+    /// the deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Request {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Installs a software fallback, as
+    /// [`crate::host::JobSpec::with_oracle`].
+    #[must_use]
+    pub fn with_oracle(
+        mut self,
+        oracle: impl FnOnce() -> Result<Table, CoreError> + Send + 'static,
+    ) -> Request {
+        self.oracle = Some(Box::new(oracle));
+        self
+    }
+
+    /// Overrides the cost model's replication factor (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_replication(mut self, factor: usize) -> Request {
+        self.replication = Some(factor);
+        self
+    }
+}
+
+/// A queued, admitted job.
+struct QueuedJob {
+    id: u64,
+    prepared: Result<PreparedJob, CoreError>,
+    oracle: Option<OracleFn>,
+    deadline: Option<Duration>,
+    submitted: Instant,
+    reconfig_penalty: u64,
+}
+
+/// Everything the workers and tickets share.
+struct ServerCore {
+    state: Mutex<ServerState>,
+    /// Signalled when work arrives, the server resumes, or shutdown.
+    work: Condvar,
+    /// Signalled when a job result is installed.
+    done: Condvar,
+    metrics: Arc<MetricsRegistry>,
+    devices: Vec<DeviceConfig>,
+    inherit_job_config: bool,
+    epoch: Instant,
+}
+
+struct ServerState {
+    queue: FairQueue<QueuedJob>,
+    results: HashMap<u64, Result<(Table, AccelStats), CoreError>>,
+    tenants: HashMap<u64, String>,
+    schedule: Vec<DispatchRecord>,
+    /// `(ts_us, depth)` samples for the trace's queue-depth counter track.
+    depth_samples: Vec<(u64, u64)>,
+    /// Modeled busy time per pool device (simulated cycles / device clock)
+    /// — the throughput metric a 1-core host can still measure honestly.
+    modeled_busy: Vec<Duration>,
+    /// EWMA of wall-clock service time, for deadline-aware admission.
+    ewma_service: Duration,
+    completed: u64,
+    paused: bool,
+    shutdown: bool,
+}
+
+impl ServerCore {
+    fn lock(&self) -> MutexGuard<'_, ServerState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn sample_depth(&self, st: &mut ServerState) {
+        let depth = st.queue.len() as u64;
+        st.depth_samples.push((self.now_us(), depth));
+        self.metrics.histogram("server.queue_depth").observe(depth);
+    }
+}
+
+/// A submitted job's claim ticket: poll with [`Ticket::is_done`], collect
+/// with [`Ticket::wait`]. Tickets are `Send` and outlive the server (the
+/// pool drains its queue on shutdown, so every admitted job gets a
+/// result).
+pub struct Ticket {
+    core: Arc<ServerCore>,
+    id: u64,
+    tenant: String,
+    submitted: Instant,
+    deadline: Option<Duration>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("id", &self.id)
+            .field("tenant", &self.tenant)
+            .field("deadline", &self.deadline)
+            .finish()
+    }
+}
+
+impl Ticket {
+    /// The server-assigned job id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The submitting tenant.
+    #[must_use]
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// True once the job's result is available. Never blocks.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.core.lock().results.contains_key(&self.id)
+    }
+
+    /// Blocks until the job completes and returns its result, consuming
+    /// the ticket.
+    ///
+    /// # Errors
+    ///
+    /// The job's own error (after the oracle, if any, also failed), or a
+    /// [`CoreError::Host`] deadline error when the request's
+    /// submit-anchored deadline passes first.
+    pub fn wait(self) -> Result<(Table, AccelStats), CoreError> {
+        let deadline_at = self.deadline.map(|d| self.submitted + d);
+        let mut st = self.core.lock();
+        loop {
+            if let Some(result) = st.results.remove(&self.id) {
+                return result;
+            }
+            match deadline_at {
+                None => {
+                    st = self.core.done.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(at) => {
+                    let now = Instant::now();
+                    if now >= at {
+                        return Err(CoreError::Host(format!(
+                            "job {} for tenant {} exceeded its {:?} deadline \
+                             (clock started at submit)",
+                            self.id,
+                            self.tenant,
+                            self.deadline.unwrap_or_default()
+                        )));
+                    }
+                    let (guard, _) = self
+                        .core
+                        .done
+                        .wait_timeout(st, at - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    st = guard;
+                }
+            }
+        }
+    }
+}
+
+/// The multi-tenant serving front door. See the module docs for the
+/// architecture; `examples/serve.rs` for a three-tenant walkthrough.
+pub struct GenesisServer {
+    core: Arc<ServerCore>,
+    cache: Mutex<PipelineCache>,
+    scripts: Mutex<HashMap<String, LogicalPlan>>,
+    compiler: Compiler,
+    cfg: ServerConfig,
+    next_id: Mutex<u64>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for GenesisServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GenesisServer")
+            .field("devices", &self.cfg.devices.len())
+            .field("cache", &self.cache_stats())
+            .field("queue_depth", &self.queue_depth())
+            .finish()
+    }
+}
+
+impl GenesisServer {
+    /// Starts a server with its own metrics registry.
+    #[must_use]
+    pub fn new(cfg: ServerConfig) -> GenesisServer {
+        GenesisServer::with_metrics(cfg, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Starts a server publishing into an existing registry (the embedded
+    /// server behind [`crate::host::GenesisHost::submit`] shares the
+    /// host's, so `server.*` metrics appear in the host snapshot).
+    #[must_use]
+    pub fn with_metrics(cfg: ServerConfig, metrics: Arc<MetricsRegistry>) -> GenesisServer {
+        let devices = if cfg.devices.is_empty() {
+            vec![DeviceConfig::default()]
+        } else {
+            cfg.devices.clone()
+        };
+        let n = devices.len();
+        let core = Arc::new(ServerCore {
+            state: Mutex::new(ServerState {
+                queue: FairQueue::new(),
+                results: HashMap::new(),
+                tenants: HashMap::new(),
+                schedule: Vec::new(),
+                depth_samples: Vec::new(),
+                modeled_busy: vec![Duration::ZERO; n],
+                ewma_service: Duration::ZERO,
+                completed: 0,
+                paused: cfg.paused,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            metrics,
+            devices: devices.clone(),
+            inherit_job_config: cfg.inherit_job_config,
+            epoch: Instant::now(),
+        });
+        let workers = (0..n)
+            .map(|device| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("genesis-serve-{device}"))
+                    .spawn(move || worker_loop(&core, device))
+                    .expect("spawn server worker")
+            })
+            .collect();
+        let compiler = Compiler::new(devices[0].clone());
+        GenesisServer {
+            core,
+            cache: Mutex::new(PipelineCache::new(cfg.cache_capacity)),
+            scripts: Mutex::new(HashMap::new()),
+            compiler,
+            cfg,
+            next_id: Mutex::new(0),
+            workers,
+        }
+    }
+
+    /// Installs a named SQL script tenants can submit by name
+    /// ([`Request::script`]). The script is parsed and reduced to its
+    /// final `INSERT` plan now; compilation happens per submit through the
+    /// cache.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Unsupported`] on parse failure.
+    pub fn register_script(&self, name: impl Into<String>, src: &str) -> Result<(), CoreError> {
+        let plan = script_to_plan(src)?;
+        self.scripts
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(name.into(), plan);
+        Ok(())
+    }
+
+    /// Submits one request: resolves the plan, compiles through the LRU
+    /// cache (a miss pays [`ServerConfig::reconfig_penalty_cycles`]),
+    /// binds it to `catalog`'s data on the calling thread, and queues the
+    /// job for the device pool. Returns immediately with a [`Ticket`].
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Overloaded`] when admission rejects the job (queue
+    ///   full, or a deadline the estimated backlog cannot meet).
+    /// * [`CoreError::Plan`] / [`CoreError::Unsupported`] when the plan
+    ///   does not compile, or [`CoreError::Host`] for an unknown script
+    ///   name.
+    ///
+    /// A plan that compiles but fails to *bind* (e.g. a scanned table
+    /// missing from this catalog) does not error here: the failure
+    /// surfaces at [`Ticket::wait`], unless the request's oracle rescues
+    /// it — matching `GenesisHost::submit`.
+    pub fn submit(&self, req: Request, catalog: &Catalog) -> Result<Ticket, CoreError> {
+        let Request { tenant, payload, deadline, oracle, replication } = req;
+        let (plan, reconfig_penalty) = self.resolve_pipeline(payload, catalog)?;
+        let factor = replication.unwrap_or_else(|| plan.replication().factor);
+        // Serialize the scans now, while we still hold the (non-`Send`)
+        // catalog; a bind failure is deferred to the worker so the oracle
+        // can rescue it.
+        let prepared = plan.prepare_job(catalog, factor);
+        let submitted = Instant::now();
+
+        let mut st = self.core.lock();
+        self.admit(&st, &tenant, deadline)?;
+        let id = {
+            let mut next = self.next_id.lock().unwrap_or_else(PoisonError::into_inner);
+            let id = *next;
+            *next += 1;
+            id
+        };
+        st.queue.push(&tenant, QueuedJob {
+            id,
+            prepared,
+            oracle,
+            deadline,
+            submitted,
+            reconfig_penalty,
+        });
+        st.tenants.insert(id, tenant.clone());
+        self.core.sample_depth(&mut st);
+        self.core
+            .metrics
+            .histogram(&format!("server.tenant.{tenant}.queue_depth"))
+            .observe(st.queue.depth(&tenant) as u64);
+        drop(st);
+        self.core.work.notify_all();
+        Ok(Ticket { core: Arc::clone(&self.core), id, tenant, submitted, deadline })
+    }
+
+    /// Resolves a payload to a compiled pipeline, through the cache for
+    /// plan/script payloads. Returns the pipeline and the reconfiguration
+    /// penalty this job owes (non-zero exactly on a cache miss).
+    fn resolve_pipeline(
+        &self,
+        payload: Payload,
+        catalog: &Catalog,
+    ) -> Result<(Arc<PipelinePlan>, u64), CoreError> {
+        let plan = match payload {
+            Payload::Compiled(plan) => return Ok((Arc::new(*plan), 0)),
+            Payload::Plan(plan) => plan,
+            Payload::Script(name) => {
+                let scripts = self.scripts.lock().unwrap_or_else(PoisonError::into_inner);
+                scripts.get(&name).cloned().ok_or_else(|| {
+                    let mut reason = format!("unknown script `{name}`");
+                    if let Some(s) =
+                        crate::env::suggest(&name, scripts.keys().map(String::as_str))
+                    {
+                        reason.push_str(&format!(" (did you mean `{s}`?)"));
+                    }
+                    CoreError::Host(reason)
+                })?
+            }
+        };
+        let key = fingerprint(&plan, catalog);
+        let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(hit) = cache.get(key) {
+            self.core.metrics.counter("server.cache.hits").inc();
+            return Ok((hit, 0));
+        }
+        self.core.metrics.counter("server.cache.misses").inc();
+        drop(cache); // compile outside the cache lock
+        let start = Instant::now();
+        let compiled = Arc::new(self.compiler.compile(&plan, catalog)?);
+        self.core.metrics.observe_duration("server.compile_ns", start.elapsed());
+        let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+        let before = cache.stats().evictions;
+        cache.insert(key, Arc::clone(&compiled));
+        let evicted = cache.stats().evictions - before;
+        if evicted > 0 {
+            self.core.metrics.counter("server.cache.evictions").add(evicted);
+        }
+        Ok((compiled, self.cfg.reconfig_penalty_cycles))
+    }
+
+    /// Admission control: bounded queue, and deadline feasibility against
+    /// the EWMA service-time estimate when there is a backlog. An empty
+    /// queue always admits — even an impossibly tight deadline gets its
+    /// chance to run (the dispatch-time check is the backstop).
+    fn admit(
+        &self,
+        st: &ServerState,
+        tenant: &str,
+        deadline: Option<Duration>,
+    ) -> Result<(), CoreError> {
+        let queued = st.queue.len();
+        if queued >= self.cfg.max_pending {
+            self.core.metrics.counter("server.admission.rejected").inc();
+            return Err(CoreError::Overloaded {
+                tenant: tenant.to_owned(),
+                queued,
+                limit: self.cfg.max_pending,
+                reason: "queue full".to_owned(),
+            });
+        }
+        if let Some(deadline) = deadline {
+            if queued > 0 && !st.ewma_service.is_zero() {
+                let waves = queued.div_ceil(self.core.devices.len()) as u32;
+                let est_wait = st.ewma_service * waves;
+                if est_wait > deadline {
+                    self.core.metrics.counter("server.admission.rejected").inc();
+                    return Err(CoreError::Overloaded {
+                        tenant: tenant.to_owned(),
+                        queued,
+                        limit: self.cfg.max_pending,
+                        reason: format!(
+                            "deadline {deadline:?} cannot be met: estimated queue wait \
+                             {est_wait:?} at current service times"
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Pauses dispatch: queued and newly submitted jobs wait until
+    /// [`GenesisServer::resume`]. In-flight jobs finish normally.
+    pub fn pause(&self) {
+        self.core.lock().paused = true;
+    }
+
+    /// Resumes dispatch after [`GenesisServer::pause`] (or a
+    /// [`ServerConfig::paused`] start).
+    pub fn resume(&self) {
+        self.core.lock().paused = false;
+        self.core.work.notify_all();
+    }
+
+    /// Number of pool devices.
+    #[must_use]
+    pub fn devices(&self) -> usize {
+        self.core.devices.len()
+    }
+
+    /// Jobs currently queued (excluding in-flight).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.core.lock().queue.len()
+    }
+
+    /// Jobs completed since start.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.core.lock().completed
+    }
+
+    /// Compiled-pipeline cache counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner).stats()
+    }
+
+    /// The dispatch log so far, in dispatch order. The `(tenant, job_id)`
+    /// sequence is deterministic for a fixed submission order (see
+    /// [`crate::sched`]).
+    #[must_use]
+    pub fn schedule_log(&self) -> Vec<DispatchRecord> {
+        self.core.lock().schedule.clone()
+    }
+
+    /// Modeled busy time per pool device: simulated cycles over the device
+    /// clock, accumulated per dispatched job. The pool's modeled makespan
+    /// (the max entry) is the throughput denominator a single-core host
+    /// can still measure honestly — wall clock cannot show device-pool
+    /// scaling without host cores to back it.
+    #[must_use]
+    pub fn modeled_device_time(&self) -> Vec<Duration> {
+        self.core.lock().modeled_busy.clone()
+    }
+
+    /// The server's metrics registry (`server.*` names; shared with the
+    /// host when constructed via [`GenesisServer::with_metrics`]).
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.core.metrics
+    }
+
+    /// A point-in-time snapshot of every metric in the registry.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.core.metrics.snapshot()
+    }
+
+    /// Writes the server Chrome trace (`<path>.server.json`: one thread
+    /// track per device, a span per job run, a queue-depth counter track)
+    /// and returns the path. `None` when tracing is off or has no path.
+    /// Also called automatically on drop.
+    pub fn export_trace(&self) -> Option<PathBuf> {
+        let base = self.cfg.trace.path.as_ref().filter(|_| self.cfg.trace.enabled)?;
+        let mut path = base.clone().into_os_string();
+        path.push(".server.json");
+        let path = PathBuf::from(path);
+        let st = self.core.lock();
+        let mut trace = ChromeTrace::new();
+        trace.process_name(1, "genesis-server");
+        for device in 0..self.core.devices.len() {
+            trace.thread_name(1, device as u32 + 1, &format!("device {device}"));
+        }
+        for rec in &st.schedule {
+            let tid = rec.device as u32 + 1;
+            let name = format!("{}#{}", rec.tenant, rec.job_id);
+            if rec.start_us > rec.queued_us {
+                trace.complete(
+                    1,
+                    tid,
+                    &name,
+                    "queued",
+                    rec.queued_us,
+                    rec.start_us - rec.queued_us,
+                );
+            }
+            let end = rec.end_us.max(rec.start_us);
+            trace.complete(1, tid, &name, "run", rec.start_us, end - rec.start_us);
+        }
+        for &(ts, depth) in &st.depth_samples {
+            trace.counter(1, "server queue", "depth", ts, depth);
+        }
+        drop(st);
+        trace.write_to(&path).ok()?;
+        Some(path)
+    }
+}
+
+impl Drop for GenesisServer {
+    fn drop(&mut self) {
+        {
+            let mut st = self.core.lock();
+            st.shutdown = true;
+            // Unpause so the pool drains the remaining queue: every
+            // admitted job owes its ticket a result.
+            st.paused = false;
+        }
+        self.core.work.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.export_trace();
+    }
+}
+
+/// One pool worker: pops jobs in fair order, runs them on its device,
+/// installs results.
+fn worker_loop(core: &ServerCore, device: usize) {
+    loop {
+        let (tenant, job, seq) = {
+            let mut st = core.lock();
+            loop {
+                if st.shutdown && st.queue.is_empty() {
+                    return;
+                }
+                if !st.paused || st.shutdown {
+                    if let Some((tenant, job)) = st.queue.pop() {
+                        let seq = st.schedule.len() as u64;
+                        let now = core.now_us();
+                        st.schedule.push(DispatchRecord {
+                            seq,
+                            tenant: tenant.clone(),
+                            job_id: job.id,
+                            device,
+                            queued_us: u64::try_from(
+                                job.submitted
+                                    .saturating_duration_since(core.epoch)
+                                    .as_micros(),
+                            )
+                            .unwrap_or(u64::MAX),
+                            start_us: now,
+                            end_us: 0,
+                        });
+                        core.sample_depth(&mut st);
+                        break (tenant, job, seq);
+                    }
+                }
+                st = core.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let id = job.id;
+        let queued_for = job.submitted.elapsed();
+        let run_start = Instant::now();
+        let outcome = run_one(core, device, &tenant, job);
+        let service = run_start.elapsed();
+
+        let faults = outcome.as_ref().ok().map(|(_, stats)| stats.faults);
+        let mut st = core.lock();
+        if let Ok((_, stats)) = &outcome {
+            st.modeled_busy[device] += core.devices[device].cycles_to_time(stats.cycles);
+        }
+        // EWMA with α = 1/4: smooth enough for admission, cheap to update.
+        st.ewma_service = if st.ewma_service.is_zero() {
+            service
+        } else {
+            (st.ewma_service * 3 + service) / 4
+        };
+        if let Some(rec) = st.schedule.get_mut(seq as usize) {
+            rec.end_us = core.now_us();
+        }
+        st.completed += 1;
+        st.results.insert(id, outcome);
+        drop(st);
+        if let Some(report) = faults {
+            crate::host::record_fault_metrics(&core.metrics, report, "server.");
+        }
+        core.metrics
+            .histogram(&format!("server.tenant.{tenant}.latency_ns"))
+            .observe(u64::try_from((queued_for + service).as_nanos()).unwrap_or(u64::MAX));
+        core.metrics.counter(&format!("server.device.{device}.jobs")).inc();
+        core.metrics.counter("server.jobs.completed").inc();
+        core.done.notify_all();
+    }
+}
+
+/// Runs one job on `device`: dispatch-time deadline check, hardware run
+/// with panic containment, oracle rescue, reconfiguration-penalty
+/// accounting.
+fn run_one(
+    core: &ServerCore,
+    device: usize,
+    tenant: &str,
+    job: QueuedJob,
+) -> Result<(Table, AccelStats), CoreError> {
+    if let Some(deadline) = job.deadline {
+        let queued_for = job.submitted.elapsed();
+        if queued_for >= deadline {
+            core.metrics.counter("server.deadline.misses").inc();
+            return Err(CoreError::Host(format!(
+                "job {} for tenant {tenant} missed its {deadline:?} deadline while \
+                 queued ({queued_for:?} in queue; clock started at submit)",
+                job.id
+            )));
+        }
+    }
+    let device_cfg = &core.devices[device];
+    let inherit = core.inherit_job_config;
+    let hw = job.prepared.and_then(|p| {
+        let p = if inherit { p } else { p.with_device(device_cfg) };
+        catch_unwind(AssertUnwindSafe(|| p.run())).unwrap_or_else(|panic| {
+            Err(CoreError::Host(format!(
+                "server job panicked: {}",
+                crate::accel::panic_message(panic.as_ref())
+            )))
+        })
+    });
+    let (table, mut stats) = match hw {
+        Ok(done) => done,
+        Err(e) => {
+            let Some(oracle) = job.oracle else { return Err(e) };
+            let mut stats = AccelStats::default();
+            stats.faults.fallback_batches = 1;
+            stats.faults.fallback_jobs = 1;
+            (oracle()?, stats)
+        }
+    };
+    stats.reconfig_cycles += job.reconfig_penalty;
+    stats.cycles += job.reconfig_penalty;
+    Ok((table, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genesis_sql::ast::{AggFn, ColRef, Expr, SelectItem};
+    use genesis_types::{Column, DataType, Field, Schema};
+
+    fn sum_plan(col: &str) -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Scan { table: "T".into(), partition: None }),
+            items: vec![SelectItem::Agg {
+                func: AggFn::Sum,
+                arg: Some(Expr::Col(ColRef::bare(col))),
+                alias: None,
+            }],
+            group_by: vec![],
+        }
+    }
+
+    fn catalog(rows: u32) -> Catalog {
+        let schema = Schema::new(vec![Field::new("X", DataType::U32)]);
+        let table =
+            Table::from_columns(schema, vec![Column::U32((1..=rows).collect())]).unwrap();
+        let mut catalog = Catalog::new();
+        catalog.register("T", table);
+        catalog
+    }
+
+    fn small_server(devices: usize) -> GenesisServer {
+        GenesisServer::new(
+            ServerConfig::default().with_devices(devices, DeviceConfig::small()),
+        )
+    }
+
+    #[test]
+    fn fingerprint_is_structural() {
+        let cat = catalog(8);
+        let a = fingerprint(&sum_plan("X"), &cat);
+        let b = fingerprint(&sum_plan("X"), &cat);
+        assert_eq!(a, b, "same plan, same catalog, same fingerprint");
+        // Different table data, same schema: fingerprint unchanged.
+        assert_eq!(a, fingerprint(&sum_plan("X"), &catalog(99)));
+        // Different plan: different fingerprint.
+        let scan = LogicalPlan::Scan { table: "T".into(), partition: None };
+        assert_ne!(a, fingerprint(&scan, &cat));
+        // Same plan, different schema: different fingerprint.
+        let mut other = Catalog::new();
+        other.register(
+            "T",
+            Table::from_columns(
+                Schema::new(vec![Field::new("X", DataType::U64)]),
+                vec![Column::U64(vec![1])],
+            )
+            .unwrap(),
+        );
+        assert_ne!(a, fingerprint(&sum_plan("X"), &other));
+    }
+
+    #[test]
+    fn submit_round_trips_and_caches() {
+        let server = small_server(1);
+        let cat = catalog(32);
+        let t1 = server.submit(Request::new("a", sum_plan("X")), &cat).unwrap();
+        let (out, stats) = t1.wait().unwrap();
+        assert_eq!(out.row(0)[0], genesis_types::Value::U64((1..=32u64).sum()));
+        // First submit missed the cache and paid the penalty.
+        assert_eq!(stats.reconfig_cycles, 2_500_000);
+        // Second submit of the same plan hits: no penalty.
+        let (_, stats) = server.submit(Request::new("b", sum_plan("X")), &cat).unwrap().wait().unwrap();
+        assert_eq!(stats.reconfig_cycles, 0);
+        let cache = server.cache_stats();
+        assert_eq!((cache.hits, cache.misses, cache.len), (1, 1, 1));
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.counters["server.cache.hits"], 1);
+        assert_eq!(snap.counters["server.cache.misses"], 1);
+        assert_eq!(snap.counters["server.jobs.completed"], 2);
+    }
+
+    #[test]
+    fn queue_full_rejects_with_overloaded() {
+        let server = GenesisServer::new(
+            ServerConfig::default()
+                .with_devices(1, DeviceConfig::small())
+                .with_max_pending(1)
+                .start_paused(),
+        );
+        let cat = catalog(8);
+        let t1 = server.submit(Request::new("a", sum_plan("X")), &cat).unwrap();
+        let err = server.submit(Request::new("b", sum_plan("X")), &cat).unwrap_err();
+        let CoreError::Overloaded { tenant, queued, limit, .. } = &err else {
+            panic!("expected Overloaded, got {err:?}");
+        };
+        assert_eq!((tenant.as_str(), *queued, *limit), ("b", 1, 1));
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.counters["server.admission.rejected"], 1);
+        server.resume();
+        t1.wait().unwrap();
+    }
+
+    #[test]
+    fn unknown_script_suggests_registered_names() {
+        let server = small_server(1);
+        server
+            .register_script("quality_sum", "INSERT INTO O SELECT SUM(X) FROM T")
+            .unwrap();
+        let err = server
+            .submit(Request::script("a", "quality_sums"), &catalog(4))
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("did you mean `quality_sum`"),
+            "got: {err}"
+        );
+        let (out, _) = server
+            .submit(Request::script("a", "quality_sum"), &catalog(4))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(out.row(0)[0], genesis_types::Value::U64(10));
+    }
+
+    #[test]
+    fn compile_error_surfaces_at_submit() {
+        let server = small_server(1);
+        // A projection of an unknown column fails column resolution during
+        // lowering, i.e. at submit time — before anything is queued.
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Scan { table: "T".into(), partition: None }),
+            items: vec![SelectItem::Expr {
+                expr: Expr::Col(ColRef::bare("BOGUS")),
+                alias: None,
+            }],
+        };
+        let err = server.submit(Request::new("a", plan), &catalog(4)).unwrap_err();
+        assert!(matches!(err, CoreError::Plan { .. }), "got: {err:?}");
+        assert_eq!(server.queue_depth(), 0);
+    }
+
+    #[test]
+    fn schedule_log_is_fair_and_deterministic() {
+        let cat = catalog(8);
+        let mix: Vec<(&str, &str)> =
+            vec![("a", "X"), ("a", "X"), ("b", "X"), ("a", "X"), ("c", "X"), ("b", "X")];
+        let mut logs = Vec::new();
+        for devices in [1, 2, 4] {
+            let server = GenesisServer::new(
+                ServerConfig::default()
+                    .with_devices(devices, DeviceConfig::small())
+                    .start_paused(),
+            );
+            let tickets: Vec<Ticket> = mix
+                .iter()
+                .map(|(t, c)| server.submit(Request::new(*t, sum_plan(c)), &cat).unwrap())
+                .collect();
+            server.resume();
+            for t in tickets {
+                t.wait().unwrap();
+            }
+            let log: Vec<(String, u64)> = server
+                .schedule_log()
+                .into_iter()
+                .map(|r| (r.tenant, r.job_id))
+                .collect();
+            logs.push(log);
+        }
+        let reference: Vec<(String, u64)> = crate::sched::fair_order(
+            &mix.iter()
+                .enumerate()
+                .map(|(i, (t, _))| ((*t).to_owned(), i as u64))
+                .collect::<Vec<_>>(),
+        );
+        for log in &logs {
+            assert_eq!(log, &reference, "schedule must match fair order at any pool size");
+        }
+    }
+
+    #[test]
+    fn modeled_busy_splits_across_devices() {
+        let cat = catalog(64);
+        let server = GenesisServer::new(
+            ServerConfig::default().with_devices(2, DeviceConfig::small()).start_paused(),
+        );
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| {
+                server
+                    .submit(Request::new(format!("t{i}"), sum_plan("X")), &cat)
+                    .unwrap()
+            })
+            .collect();
+        server.resume();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let busy = server.modeled_device_time();
+        assert_eq!(busy.len(), 2);
+        assert!(busy.iter().all(|d| !d.is_zero()), "both devices did work: {busy:?}");
+    }
+}

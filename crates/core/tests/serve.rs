@@ -1,0 +1,243 @@
+//! Integration tests for the multi-tenant serving layer: schedule
+//! determinism and fairness across pool sizes (property-based, mirroring
+//! the engine determinism suite), compiled-pipeline cache eviction order,
+//! hit-after-evict correctness, and deadline-aware admission.
+
+use genesis_core::sched::fair_order;
+use genesis_core::serve::{GenesisServer, Request, ServerConfig};
+use genesis_core::{CoreError, DeviceConfig};
+use genesis_sql::ast::{AggFn, BinOp, ColRef, Expr, SelectItem};
+use genesis_sql::{Catalog, LogicalPlan};
+use genesis_types::{Column, DataType, Field, Schema, Table, Value};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn catalog(rows: u32) -> Catalog {
+    let schema = Schema::new(vec![Field::new("X", DataType::U32)]);
+    let table = Table::from_columns(schema, vec![Column::U32((1..=rows).collect())]).unwrap();
+    let mut cat = Catalog::new();
+    cat.register("T", table);
+    cat
+}
+
+fn scan() -> LogicalPlan {
+    LogicalPlan::Scan { table: "T".into(), partition: None }
+}
+
+/// `SELECT SUM(X) FROM T WHERE X > threshold` — the threshold varies the
+/// plan structure, so distinct thresholds get distinct cache fingerprints.
+fn sum_above(threshold: u64) -> LogicalPlan {
+    LogicalPlan::Aggregate {
+        input: Box::new(LogicalPlan::Filter {
+            input: Box::new(scan()),
+            pred: Expr::Bin {
+                op: BinOp::Gt,
+                lhs: Box::new(Expr::Col(ColRef::bare("X"))),
+                rhs: Box::new(Expr::Number(threshold)),
+            },
+        }),
+        items: vec![SelectItem::Agg {
+            func: AggFn::Sum,
+            arg: Some(Expr::Col(ColRef::bare("X"))),
+            alias: None,
+        }],
+        group_by: vec![],
+    }
+}
+
+fn expected_sum(rows: u32, threshold: u64) -> u64 {
+    (1..=u64::from(rows)).filter(|&x| x > threshold).sum()
+}
+
+fn server(devices: usize, paused: bool) -> GenesisServer {
+    let mut cfg = ServerConfig::default().with_devices(devices, DeviceConfig::small());
+    cfg.paused = paused;
+    GenesisServer::new(cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The dispatch order is a pure function of the submission sequence:
+    /// the same tenant mix yields the identical `(tenant, job_id)`
+    /// schedule — matching the fair-queue reference model — at any device
+    /// pool size, and every job computes the same result.
+    #[test]
+    fn schedule_is_deterministic_at_any_pool_size(
+        mix in proptest::collection::vec(0usize..4, 1..14),
+    ) {
+        let cat = catalog(16);
+        let tenants = ["alice", "bob", "carol", "dave"];
+        let reference = fair_order(
+            &mix.iter()
+                .enumerate()
+                .map(|(i, &t)| (tenants[t].to_owned(), i as u64))
+                .collect::<Vec<_>>(),
+        );
+        for devices in [1, 2, 4] {
+            let srv = server(devices, true);
+            let tickets: Vec<_> = mix
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| {
+                    srv.submit(Request::new(tenants[t], sum_above(i as u64 % 3)), &cat)
+                        .unwrap()
+                })
+                .collect();
+            srv.resume();
+            for (i, ticket) in tickets.into_iter().enumerate() {
+                let (out, _) = ticket.wait().unwrap();
+                prop_assert_eq!(
+                    out.row(0)[0].clone(),
+                    Value::U64(expected_sum(16, i as u64 % 3))
+                );
+            }
+            let log: Vec<(String, u64)> = srv
+                .schedule_log()
+                .into_iter()
+                .map(|r| (r.tenant, r.job_id))
+                .collect();
+            prop_assert!(
+                log == reference,
+                "schedule diverged from the fair-order reference at {} devices: \
+                 {:?} vs {:?}", devices, log, reference
+            );
+        }
+    }
+
+    /// No tenant is starved: in any prefix of the schedule, a tenant with
+    /// jobs still queued is at most one dispatch behind every other
+    /// tenant's count (round-robin bound).
+    #[test]
+    fn fair_queue_bounds_tenant_skew(
+        mix in proptest::collection::vec(0usize..3, 2..14),
+    ) {
+        let cat = catalog(8);
+        let tenants = ["a", "b", "c"];
+        let srv = server(1, true);
+        let tickets: Vec<_> = mix
+            .iter()
+            .map(|&t| srv.submit(Request::new(tenants[t], sum_above(0)), &cat).unwrap())
+            .collect();
+        srv.resume();
+        for ticket in tickets {
+            ticket.wait().unwrap();
+        }
+        let log = srv.schedule_log();
+        let total = |t: &str| mix.iter().filter(|&&i| tenants[i] == t).count();
+        for prefix in 1..=log.len() {
+            let served =
+                |t: &str| log[..prefix].iter().filter(|r| r.tenant == t).count();
+            for a in tenants {
+                for b in tenants {
+                    // While `a` still has queued jobs, `b` cannot get more
+                    // than one full round ahead of it.
+                    if served(a) < total(a) {
+                        prop_assert!(
+                            served(b) <= served(a) + 1,
+                            "tenant {} starved: {} served {} vs {} served {}",
+                            a, b, served(b), a, served(a)
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_evicts_in_lru_order() {
+    let cat = catalog(8);
+    let srv = GenesisServer::new(
+        ServerConfig::default()
+            .with_devices(1, DeviceConfig::small())
+            .with_cache_capacity(2),
+    );
+    let submit = |t: u64| srv.submit(Request::new("a", sum_above(t)), &cat).unwrap().wait();
+    submit(0).unwrap(); // miss: {0}
+    submit(1).unwrap(); // miss: {0,1}
+    submit(0).unwrap(); // hit — refreshes 0, so 1 is now least recent
+    submit(2).unwrap(); // miss: evicts 1 (LRU), not the refreshed 0
+    let stats = srv.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 3, 1));
+    submit(0).unwrap(); // still cached — proof 0 survived the eviction
+    assert_eq!(srv.cache_stats().hits, 2);
+    submit(1).unwrap(); // miss — proof 1 was the victim
+    let stats = srv.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.evictions), (2, 4, 2));
+    assert_eq!(stats.len, 2);
+    assert_eq!(stats.capacity, 2);
+}
+
+#[test]
+fn evicted_plan_recompiles_correctly_and_hits_again() {
+    let rows = 12;
+    let cat = catalog(rows);
+    let srv = GenesisServer::new(
+        ServerConfig::default()
+            .with_devices(1, DeviceConfig::small())
+            .with_cache_capacity(1)
+            .with_reconfig_penalty(1_000),
+    );
+    let run = |t: u64| {
+        let (out, stats) = srv.submit(Request::new("a", sum_above(t)), &cat).unwrap().wait().unwrap();
+        assert_eq!(out.row(0)[0], Value::U64(expected_sum(rows, t)));
+        stats.reconfig_cycles
+    };
+    assert_eq!(run(0), 1_000, "cold: pays the reconfiguration penalty");
+    assert_eq!(run(5), 1_000, "capacity 1: evicts the first plan");
+    // The evicted plan recompiles (penalty again) and computes the same
+    // answer as before eviction...
+    assert_eq!(run(0), 1_000, "re-entry after eviction is a fresh miss");
+    // ...and once re-cached, repeats are free.
+    assert_eq!(run(0), 0, "hit after re-insert");
+    let stats = srv.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 3, 2));
+}
+
+#[test]
+fn admission_rejects_unmeetable_deadline_under_backlog() {
+    let cat = catalog(8);
+    let srv = server(1, false);
+    // Establish a service-time estimate, then build a backlog.
+    srv.submit(Request::new("warm", sum_above(0)), &cat).unwrap().wait().unwrap();
+    srv.pause();
+    for _ in 0..6 {
+        srv.submit(Request::new("bulk", sum_above(0)), &cat).unwrap();
+    }
+    // A deadline far below the estimated queue wait is rejected up front
+    // rather than queued to certain failure...
+    let err = srv
+        .submit(Request::new("late", sum_above(0)).with_deadline(Duration::from_nanos(1)), &cat)
+        .unwrap_err();
+    let CoreError::Overloaded { tenant, queued, reason, .. } = &err else {
+        panic!("expected Overloaded, got {err:?}");
+    };
+    assert_eq!(tenant, "late");
+    assert_eq!(*queued, 6);
+    assert!(reason.contains("deadline"), "got: {reason}");
+    // ...while the same submission without a deadline is admitted.
+    let ok = srv.submit(Request::new("late", sum_above(0)), &cat).unwrap();
+    srv.resume();
+    ok.wait().unwrap();
+    assert_eq!(srv.metrics_snapshot().counters["server.admission.rejected"], 1);
+}
+
+#[test]
+fn per_tenant_latency_histograms_are_published() {
+    let cat = catalog(8);
+    let srv = server(2, false);
+    for tenant in ["alice", "bob"] {
+        for _ in 0..2 {
+            srv.submit(Request::new(tenant, sum_above(0)), &cat).unwrap().wait().unwrap();
+        }
+    }
+    let snap = srv.metrics_snapshot();
+    for tenant in ["alice", "bob"] {
+        let h = &snap.histograms[&format!("server.tenant.{tenant}.latency_ns")];
+        assert_eq!(h.count, 2, "two latency samples for {tenant}");
+        assert!(h.max > 0);
+    }
+    assert!(snap.histograms["server.queue_depth"].count >= 4);
+    assert_eq!(snap.counters["server.jobs.completed"], 4);
+}
