@@ -204,7 +204,7 @@ where
             plane.max_retries + 1
         )))
     };
-    let threads = cfg.resolved_host_threads().min(chunks.len()).max(1);
+    let threads = effective_workers(cfg.resolved_host_threads(), chunks.len());
     let mut results = Vec::with_capacity(jobs.len());
     let mut stats = AccelStats::default();
     let mut traces = Vec::new();
@@ -325,9 +325,72 @@ pub(crate) fn split_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>
     out
 }
 
+/// Effective worker-thread count for a batch run: the configured host
+/// threads, capped by the number of batches (extra workers would have
+/// nothing to steal) and by the machine's actual parallelism (workers
+/// beyond physical cores only add contention — oversubscribing a small
+/// host made N-thread runs *slower* than 1-thread), with a floor of 1.
+/// A result of 1 must take the no-spawn sequential path.
+pub(crate) fn effective_workers(host_threads: usize, batches: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    host_threads.min(batches).min(cores).max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn effective_workers_caps_at_batch_count() {
+        // One batch never justifies a worker pool, no matter how many
+        // threads the device config asks for (the event/Nt regression:
+        // spawning idle workers for a single batch cost more than it won).
+        assert_eq!(effective_workers(8, 1), 1);
+        assert_eq!(effective_workers(1, 8), 1);
+        assert_eq!(effective_workers(0, 5), 1);
+        assert_eq!(effective_workers(4, 0), 1);
+    }
+
+    #[test]
+    fn effective_workers_caps_at_available_parallelism() {
+        let cores =
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        assert!(effective_workers(64, 64) <= cores);
+        assert!(effective_workers(cores, 64) >= 1);
+    }
+
+    #[test]
+    fn single_batch_runs_sequentially_with_many_threads() {
+        // Regression: a 1-batch job set with an oversized thread config
+        // must produce the same results as the sequential path (and not
+        // spawn a pool at all — `effective_workers` returns 1).
+        use crate::device::DeviceConfig;
+        use genesis_hw::modules::sink::StreamSink;
+        use genesis_hw::modules::source::StreamSource;
+        let cfg = DeviceConfig { pipelines: 8, host_threads: 8, ..DeviceConfig::small() };
+        let jobs: Vec<u64> = (0..4).collect();
+        let (outs, stats) = run_batches(
+            &cfg,
+            &jobs,
+            |sys, i, &job| {
+                let q = sys.add_queue(&format!("q{i}"));
+                sys.add_module(Box::new(StreamSource::from_items(
+                    &format!("src{i}"),
+                    q,
+                    &[vec![job]],
+                )));
+                Ok(sys.add_module(Box::new(StreamSink::new(&format!("sink{i}"), q))))
+            },
+            |sys, &h, &job| {
+                let vals = sys.sink_values(h);
+                assert_eq!(vals.len(), 1);
+                Ok(vals[0].val_or_zero() + job)
+            },
+        )
+        .expect("single batch runs");
+        assert_eq!(outs, vec![0, 2, 4, 6]);
+        assert_eq!(stats.invocations, 1, "all jobs fit one batch");
+    }
 
     #[test]
     fn split_ranges_covers_everything() {

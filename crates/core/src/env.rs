@@ -84,8 +84,9 @@ fn edit_distance(a: &str, b: &str) -> usize {
 /// A validated snapshot of the `GENESIS_*` environment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GenesisEnv {
-    /// Simulation engine selection (`GENESIS_ENGINE`): event-driven by
-    /// default, the naive reference engine for differential debugging.
+    /// Simulation engine selection (`GENESIS_ENGINE`): the compiled
+    /// block-step engine by default, the event-driven engine for
+    /// comparison, the naive reference engine for differential debugging.
     pub engine: EngineMode,
     /// Tracing knob (`GENESIS_TRACE`): off, or Chrome-trace export path.
     pub trace: TraceConfig,
@@ -149,9 +150,13 @@ impl GenesisEnv {
     pub fn help() -> String {
         "GENESIS_* environment variables:\n\
          \n\
-         GENESIS_ENGINE        Simulation engine. `event` (default) or\n\
-         \x20                     `reference` (naive tick-everything engine,\n\
-         \x20                     for differential debugging).\n\
+         GENESIS_ENGINE        Simulation engine. `block` (default:\n\
+         \x20                     devirtualized block-step engine), `event`\n\
+         \x20                     (event-driven), or `reference` (naive\n\
+         \x20                     tick-everything, for differential debugging).\n\
+         GENESIS_SIM_THREADS   Positive integer = worker threads for the\n\
+         \x20                     block engine's partitioned lockstep\n\
+         \x20                     simulation; unset or invalid = 1.\n\
          GENESIS_TRACE         Unset/empty/`0`/`off` = no tracing; any other\n\
          \x20                     value enables tracing and is the Chrome-trace\n\
          \x20                     output path (plus `<path>.stalls.txt`).\n\
@@ -171,15 +176,17 @@ impl GenesisEnv {
 }
 
 fn parse_engine(v: Option<String>) -> Result<EngineMode, EnvError> {
-    let Some(v) = v else { return Ok(EngineMode::EventDriven) };
+    let Some(v) = v else { return Ok(EngineMode::Block) };
     let t = v.trim();
-    if t.is_empty() || t.eq_ignore_ascii_case("event") || t.eq_ignore_ascii_case("event-driven") {
+    if t.is_empty() || t.eq_ignore_ascii_case("block") {
+        Ok(EngineMode::Block)
+    } else if t.eq_ignore_ascii_case("event") || t.eq_ignore_ascii_case("event-driven") {
         Ok(EngineMode::EventDriven)
     } else if t.eq_ignore_ascii_case("reference") {
         Ok(EngineMode::Reference)
     } else {
-        let mut reason = "expected `event` or `reference`".to_owned();
-        if let Some(s) = suggest(t, ["event", "event-driven", "reference"]) {
+        let mut reason = "expected `block`, `event` or `reference`".to_owned();
+        if let Some(s) = suggest(t, ["block", "event", "event-driven", "reference"]) {
             reason.push_str(&format!(" (did you mean `{s}`?)"));
         }
         Err(EnvError { var: "GENESIS_ENGINE", value: v, reason })
@@ -242,7 +249,7 @@ mod tests {
     #[test]
     fn empty_environment_is_default() {
         let env = GenesisEnv::from_lookup(|_| None).unwrap();
-        assert_eq!(env.engine, EngineMode::EventDriven);
+        assert_eq!(env.engine, EngineMode::Block);
         assert!(!env.trace.enabled);
         assert_eq!(env.faults, FaultConfig::default());
         assert_eq!(env.host_threads, None);
@@ -298,6 +305,14 @@ mod tests {
     }
 
     #[test]
+    fn block_engine_parses() {
+        let env = GenesisEnv::from_lookup(env_of(&[("GENESIS_ENGINE", "Block")])).unwrap();
+        assert_eq!(env.engine, EngineMode::Block);
+        let err = GenesisEnv::from_lookup(env_of(&[("GENESIS_ENGINE", "blok")])).unwrap_err();
+        assert!(err.reason.contains("did you mean `block`"), "got: {}", err.reason);
+    }
+
+    #[test]
     fn suggest_finds_close_names_only() {
         let cols = ["QUAL", "FLAG", "POS"];
         assert_eq!(suggest("qaul", cols), Some("QUAL".to_owned()));
@@ -318,6 +333,7 @@ mod tests {
         let help = GenesisEnv::help();
         for var in [
             "GENESIS_ENGINE",
+            "GENESIS_SIM_THREADS",
             "GENESIS_TRACE",
             "GENESIS_FAULTS",
             "GENESIS_HOST_THREADS",

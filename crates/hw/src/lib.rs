@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod engine;
 pub mod memory;
 pub mod modules;
 pub mod queue;

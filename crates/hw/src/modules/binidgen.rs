@@ -173,6 +173,10 @@ impl Module for BinIdGen {
         self
     }
 
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+
     fn input_queues(&self) -> Vec<QueueId> {
         vec![self.input, self.flags]
     }

@@ -2,7 +2,7 @@
 
 use super::{try_push, Ctx, Module, ModuleKind, Tick};
 use crate::queue::QueueId;
-use crate::word::{Flit, HwWord};
+use crate::word::{Flit, HwWord, MAX_FIELDS};
 use std::any::Any;
 
 /// Join semantics (paper §III-C): inner discards unmatched flits, left
@@ -84,28 +84,35 @@ impl Joiner {
         }
     }
 
-    fn pad(n: usize) -> Vec<HwWord> {
-        vec![HwWord::Del; n]
-    }
-
     /// Output for an unmatched left flit: key + left data + right padding.
     fn left_padded(&self, f: &Flit) -> Flit {
-        f.concat(&Flit::data(&Self::pad(self.right_data_fields)))
+        let mut fields = [HwWord::Del; MAX_FIELDS];
+        fields[..f.len()].copy_from_slice(f.fields());
+        Flit::data(&fields[..f.len() + self.right_data_fields])
     }
 
     /// Output for an unmatched right flit: key + left padding + right data.
     fn right_padded(&self, f: &Flit) -> Flit {
-        let mut fields = vec![f.field(0)];
-        fields.extend(Self::pad(self.left_data_fields));
-        fields.extend(f.fields().iter().skip(1).copied());
-        Flit::data(&fields)
+        let mut fields = [HwWord::Del; MAX_FIELDS];
+        fields[0] = f.field(0);
+        let mut n = 1 + self.left_data_fields;
+        for &w in f.fields().iter().skip(1) {
+            fields[n] = w;
+            n += 1;
+        }
+        Flit::data(&fields[..n])
     }
 
     /// Merged output for matching keys: key + left data + right data.
     fn merged(l: &Flit, r: &Flit) -> Flit {
-        let mut fields: Vec<HwWord> = l.fields().to_vec();
-        fields.extend(r.fields().iter().skip(1).copied());
-        Flit::data(&fields)
+        let mut fields = [HwWord::Empty; MAX_FIELDS];
+        fields[..l.len()].copy_from_slice(l.fields());
+        let mut n = l.len();
+        for &w in r.fields().iter().skip(1) {
+            fields[n] = w;
+            n += 1;
+        }
+        Flit::data(&fields[..n])
     }
 }
 
@@ -241,6 +248,10 @@ impl Module for Joiner {
     }
 
     fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
         self
     }
 

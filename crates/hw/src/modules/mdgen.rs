@@ -64,8 +64,19 @@ impl MdGen {
         self.outbuf.push_back(Flit::val(u64::from(b)));
     }
 
-    fn emit_number(&mut self, n: u64) {
-        for b in n.to_string().bytes() {
+    fn emit_number(&mut self, mut n: u64) {
+        // Stack-format the decimal digits (u64 needs at most 20).
+        let mut digits = [0u8; 20];
+        let mut i = digits.len();
+        loop {
+            i -= 1;
+            digits[i] = b'0' + (n % 10) as u8;
+            n /= 10;
+            if n == 0 {
+                break;
+            }
+        }
+        for &b in &digits[i..] {
             self.outbuf.push_back(Flit::val(u64::from(b)));
         }
         self.wrote_any_match = true;
@@ -179,6 +190,10 @@ impl Module for MdGen {
     }
 
     fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
         self
     }
 

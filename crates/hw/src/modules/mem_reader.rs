@@ -1,7 +1,7 @@
 //! Memory Reader: streams a column out of device memory (paper §III-C).
 
 use super::{try_push, Ctx, Module, ModuleKind, Tick, Watch};
-use crate::memory::{PortId, LINE_BYTES};
+use crate::memory::{Line, PortId, LINE_BYTES};
 use crate::queue::QueueId;
 use crate::word::Flit;
 use std::any::Any;
@@ -45,7 +45,11 @@ pub struct MemReader {
     out: QueueId,
     next_line: u64,
     end_addr: u64,
-    buf: VecDeque<u8>,
+    /// Whole response lines; elements never cross a line boundary (the
+    /// base is line-aligned and 1/2/4/8 all divide [`LINE_BYTES`]).
+    buf: VecDeque<Line>,
+    /// Consumed bytes of the front line in `buf`.
+    head_off: usize,
     emitted: u64,
     row_left: u64,
     row_idx: usize,
@@ -82,6 +86,7 @@ impl MemReader {
             port,
             out,
             buf: VecDeque::new(),
+            head_off: 0,
             emitted: 0,
             row_left,
             row_idx: 0,
@@ -100,6 +105,11 @@ impl MemReader {
             assert!(guard < 1_000_000, "runaway zero-length row spec");
         }
         reader
+    }
+
+    /// Buffered, not-yet-emitted bytes.
+    fn buffered(&self) -> usize {
+        self.buf.len() * LINE_BYTES - self.head_off
     }
 
     fn advance_row(&mut self) {
@@ -145,9 +155,9 @@ impl Module for MemReader {
             }
         }
         // Accept one response per cycle while buffer space remains.
-        if self.buf.len() < Self::BUF_LIMIT {
+        if self.buffered() < Self::BUF_LIMIT {
             if let Some((_, line)) = ctx.mem.poll_response(self.port) {
-                self.buf.extend(line.iter());
+                self.buf.push_back(line);
                 active = true;
             }
         }
@@ -157,13 +167,21 @@ impl Module for MemReader {
                 self.pending_ends -= 1;
             }
             active = true;
-        } else if self.emitted < self.cfg.total_elems && self.buf.len() >= self.cfg.elem_bytes {
+        } else if self.emitted < self.cfg.total_elems && self.buffered() >= self.cfg.elem_bytes {
             active = true;
             if ctx.queues.get(self.out).can_push() {
+                let line = self.buf.front().expect("buffered bytes checked");
                 let mut v: u64 = 0;
-                for i in 0..self.cfg.elem_bytes {
-                    let b = self.buf.pop_front().expect("buffered bytes checked");
+                for (i, &b) in line[self.head_off..self.head_off + self.cfg.elem_bytes]
+                    .iter()
+                    .enumerate()
+                {
                     v |= u64::from(b) << (8 * i);
+                }
+                self.head_off += self.cfg.elem_bytes;
+                if self.head_off == LINE_BYTES {
+                    self.buf.pop_front();
+                    self.head_off = 0;
                 }
                 ctx.queues.get_mut(self.out).push(Flit::val(v));
                 self.emitted += 1;
@@ -211,6 +229,10 @@ impl Module for MemReader {
     }
 
     fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
         self
     }
 

@@ -4,7 +4,7 @@
 use super::{try_push, Ctx, Module, ModuleKind, Tick};
 use crate::queue::QueueId;
 use crate::spm::SpmId;
-use crate::word::{Flit, HwWord};
+use crate::word::{Flit, HwWord, MAX_FIELDS};
 use std::any::Any;
 
 /// Operating mode of the streaming [`SpmReader`]. The paper's third mode —
@@ -110,12 +110,13 @@ impl SpmReader {
     }
 
     fn read_flit(&self, ctx: &mut Ctx<'_>, pos: u64) -> Flit {
-        let mut fields = vec![HwWord::Val(pos)];
-        for &id in &self.spms {
-            let idx = pos.wrapping_sub(self.addr_offset);
-            fields.push(HwWord::Val(ctx.spms.get_mut(id).read(idx)));
+        let mut fields = [HwWord::Empty; MAX_FIELDS];
+        fields[0] = HwWord::Val(pos);
+        let idx = pos.wrapping_sub(self.addr_offset);
+        for (slot, &id) in fields[1..].iter_mut().zip(&self.spms) {
+            *slot = HwWord::Val(ctx.spms.get_mut(id).read(idx));
         }
-        Flit::data(&fields)
+        Flit::data(&fields[..1 + self.spms.len()])
     }
 }
 
@@ -247,6 +248,14 @@ impl Module for SpmReader {
         self
     }
 
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+
+    fn spm_ids(&self) -> Vec<SpmId> {
+        self.spms.clone()
+    }
+
     fn input_queues(&self) -> Vec<QueueId> {
         let mut qs = self.gates.clone();
         match self.mode {
@@ -316,11 +325,13 @@ impl Module for SpmAddrReader {
             flit
         } else {
             let pos = flit.field(0).val_or_zero();
-            let mut fields = vec![HwWord::Val(pos)];
-            for &id in &self.spms {
-                fields.push(HwWord::Val(ctx.spms.get_mut(id).read(pos.wrapping_sub(self.addr_offset))));
+            let mut fields = [HwWord::Empty; MAX_FIELDS];
+            fields[0] = HwWord::Val(pos);
+            let idx = pos.wrapping_sub(self.addr_offset);
+            for (slot, &id) in fields[1..].iter_mut().zip(&self.spms) {
+                *slot = HwWord::Val(ctx.spms.get_mut(id).read(idx));
             }
-            Flit::data(&fields)
+            Flit::data(&fields[..1 + self.spms.len()])
         };
         if try_push(ctx.queues, self.out, out) {
             ctx.queues.get_mut(self.input).pop();
@@ -334,6 +345,14 @@ impl Module for SpmAddrReader {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+
+    fn spm_ids(&self) -> Vec<SpmId> {
+        self.spms.clone()
     }
 
     fn input_queues(&self) -> Vec<QueueId> {

@@ -9,7 +9,7 @@
 //! doubles as a field projector/reorderer (the pure-column `SELECT` case).
 
 use super::{all_can_push, Ctx, Module, ModuleKind, Tick};
-use crate::queue::QueueId;
+use crate::queue::{QueueId, QueuePool};
 use crate::word::{Flit, HwWord, MAX_FIELDS};
 use std::any::Any;
 
@@ -60,6 +60,64 @@ impl Zip {
         assert!(width <= MAX_FIELDS, "zip output of {width} fields exceeds {MAX_FIELDS}");
         Zip { label: label.to_owned(), inputs, out, done: false }
     }
+
+    /// Number of input queues (the block engine windows a zip only while
+    /// its per-input cursors fit the fixed-size array in `tick_run`).
+    pub(crate) fn fan_in(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Processes `k` ticks' worth of input in one call — the block engine's
+    /// run fast path (see `Filter::tick_run` for the exactness contract:
+    /// every input holds at least `k` flits, the output has at least `k`
+    /// free slots). Delimiter resynchronization can advance the inputs
+    /// unevenly, so each keeps an independent cursor.
+    pub(crate) fn tick_run(&mut self, queues: &mut QueuePool, k: usize, scratch: &mut Vec<Flit>) {
+        scratch.clear();
+        let n_in = self.inputs.len();
+        // The constructor bounds the output width (and thus the input
+        // count) at MAX_FIELDS.
+        let mut off = [0usize; MAX_FIELDS];
+        for _ in 0..k {
+            let mut ends = 0usize;
+            for (i, inp) in self.inputs.iter().enumerate() {
+                let f = queues.get(inp.queue).flit_at(off[i]).expect("run length guaranteed");
+                ends += usize::from(f.is_end_item());
+            }
+            if ends > 0 && ends < n_in {
+                // Misaligned items: consume the delimiter sides alone.
+                for (i, inp) in self.inputs.iter().enumerate() {
+                    let f = queues.get(inp.queue).flit_at(off[i]).expect("checked above");
+                    if f.is_end_item() {
+                        off[i] += 1;
+                    }
+                }
+                continue;
+            }
+            if ends == n_in {
+                scratch.push(Flit::end_item());
+            } else {
+                let mut fields = [HwWord::Empty; MAX_FIELDS];
+                let mut n = 0usize;
+                for (i, inp) in self.inputs.iter().enumerate() {
+                    let head =
+                        *queues.get(inp.queue).flit_at(off[i]).expect("checked above");
+                    for &fi in &inp.fields {
+                        fields[n] = head.field(fi);
+                        n += 1;
+                    }
+                }
+                scratch.push(Flit::data(&fields[..n]));
+            }
+            for o in &mut off[..n_in] {
+                *o += 1;
+            }
+        }
+        for (i, inp) in self.inputs.iter().enumerate() {
+            queues.get_mut(inp.queue).pop_run(off[i]);
+        }
+        queues.get_mut(self.out).push_run(scratch);
+    }
 }
 
 impl Module for Zip {
@@ -80,19 +138,18 @@ impl Module for Zip {
             self.done = true;
             return Tick::Active;
         }
-        let mut heads: Vec<Flit> = Vec::with_capacity(self.inputs.len());
+        let mut ends = 0usize;
         for i in &self.inputs {
             match ctx.queues.get(i.queue).peek() {
-                Some(&f) => heads.push(f),
+                Some(f) => ends += usize::from(f.is_end_item()),
                 // Starved on at least one input; nothing moved.
                 None => return Tick::PARK,
             }
         }
-        let ends = heads.iter().filter(|h| h.is_end_item()).count();
         if ends > 0 && ends < self.inputs.len() {
             // Misaligned items: consume the delimiter sides alone.
-            for (i, h) in self.inputs.iter().zip(&heads) {
-                if h.is_end_item() {
+            for i in &self.inputs {
+                if ctx.queues.get(i.queue).peek().is_some_and(Flit::is_end_item) {
                     ctx.queues.get_mut(i.queue).pop();
                 }
             }
@@ -101,11 +158,18 @@ impl Module for Zip {
         let flit = if ends == self.inputs.len() {
             Flit::end_item()
         } else {
-            let mut fields: Vec<HwWord> = Vec::new();
-            for (input, head) in self.inputs.iter().zip(&heads) {
-                fields.extend(input.fields.iter().map(|&i| head.field(i)));
+            // Every head was peeked non-empty above; the constructor bounds
+            // the total selected width at MAX_FIELDS.
+            let mut fields = [HwWord::Empty; MAX_FIELDS];
+            let mut n = 0usize;
+            for input in &self.inputs {
+                let head = *ctx.queues.get(input.queue).peek().expect("peeked above");
+                for &i in &input.fields {
+                    fields[n] = head.field(i);
+                    n += 1;
+                }
             }
-            Flit::data(&fields)
+            Flit::data(&fields[..n])
         };
         if all_can_push(ctx.queues, &[self.out]) {
             ctx.queues.get_mut(self.out).push(flit);
@@ -124,6 +188,10 @@ impl Module for Zip {
     }
 
     fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
         self
     }
 

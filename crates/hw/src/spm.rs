@@ -9,6 +9,13 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SpmId(u32);
 
+impl SpmId {
+    /// Raw index (stable for the lifetime of the pool).
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// One scratchpad: a word-addressed on-chip buffer.
 #[derive(Debug)]
 pub struct Spm {
@@ -165,6 +172,36 @@ impl SpmPool {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.spms.is_empty()
+    }
+
+    /// Splits off the scratchpads marked in `own` into a new pool for a
+    /// parallel-engine component, leaving zero-capacity placeholders in
+    /// unowned slots so `SpmId` indexing stays valid (see
+    /// `QueuePool::split`).
+    pub(crate) fn split(&mut self, own: &[bool]) -> SpmPool {
+        let placeholder = || Spm {
+            name: String::new(),
+            data: Vec::new(),
+            bits_per_elem: 1,
+            reads: 0,
+            writes: 0,
+        };
+        let mut part = SpmPool::new();
+        for (i, s) in self.spms.iter_mut().enumerate() {
+            let moved = if own[i] { std::mem::replace(s, placeholder()) } else { placeholder() };
+            part.spms.push(moved);
+        }
+        part
+    }
+
+    /// Moves the owned scratchpads of a split-off component pool back
+    /// (inverse of [`SpmPool::split`]).
+    pub(crate) fn absorb(&mut self, part: SpmPool, own: &[bool]) {
+        for (i, s) in part.spms.into_iter().enumerate() {
+            if own[i] {
+                self.spms[i] = s;
+            }
+        }
     }
 }
 

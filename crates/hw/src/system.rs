@@ -1,7 +1,8 @@
 //! Pipeline wiring and the per-cycle simulation engine.
 
+use crate::engine::{partition_modules, run_parallel, EngineCore, EngineParts, ModuleSlot};
 use crate::memory::{MemStats, MemoryConfig, MemorySystem, PortId};
-use crate::modules::{Ctx, Module, ModuleKind, Tick, Watch};
+use crate::modules::{Ctx, Module, ModuleKind};
 use crate::queue::{QueueId, QueuePool};
 use crate::resource::{
     module_cost, pipeline_overhead, queue_bram, ResourceReport, ResourceUsage,
@@ -9,25 +10,29 @@ use crate::resource::{
 use crate::spm::{SpmId, SpmPool};
 use crate::word::HwWord;
 use genesis_obs::{
-    ModuleStall, SpanKind, StallClass, StallCounters, StallReport, TraceBuffer, TraceConfig,
+    ModuleStall, StallCounters, StallReport, TraceBuffer, TraceConfig,
 };
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Which simulation engine [`System::run`] uses.
 ///
-/// Both engines produce bit-identical results — cycle counts, stall
-/// counters, memory traffic, and module outputs all match. The
-/// event-driven engine is the default; the reference engine exists as the
-/// semantic baseline for differential testing and debugging.
+/// All three engines produce bit-identical results — cycle counts, stall
+/// counters, memory traffic, scratchpad contents, and module outputs all
+/// match. The block engine is the default; the others exist as semantic
+/// baselines for differential testing and debugging.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EngineMode {
-    /// Quiescence-aware engine: modules whose [`Tick`] reports that no
-    /// progress is possible are parked and re-ticked only when a watched
-    /// queue changes or a timed wake (memory latency) arrives. Cycles on
-    /// which every live module is parked are skipped in closed form.
+    /// Compiled block-step engine: the event engine's parking plus enum
+    /// (devirtualized) module dispatch, batched *windows* executed over
+    /// contiguous queue storage, and optional graph-partitioned
+    /// multi-threading (see [`System::set_sim_threads`]).
     #[default]
+    Block,
+    /// Quiescence-aware engine: modules whose [`crate::modules::Tick`]
+    /// reports that no progress is possible are parked and re-ticked only
+    /// when a watched queue changes or a timed wake (memory latency)
+    /// arrives. Cycles on which every live module is parked are skipped
+    /// in closed form.
     EventDriven,
     /// The naive engine: every unfinished module ticks every cycle.
     Reference,
@@ -140,51 +145,22 @@ pub struct System {
     stall: Vec<StallCounters>,
     /// Opt-in span/counter tracing (None = disabled, the default).
     trace: Option<TraceState>,
+    /// Worker threads for the block engine (1 = single-threaded).
+    sim_threads: usize,
 }
 
 /// Tracing state while enabled: the recording buffer plus the sampling
 /// cursor for queue-depth counter tracks.
 #[derive(Debug)]
-struct TraceState {
-    buf: TraceBuffer,
+pub(crate) struct TraceState {
+    pub(crate) buf: TraceBuffer,
     /// Last sampled depth per queue (`u64::MAX` = never sampled), so only
     /// changes are recorded.
-    last_depth: Vec<u64>,
+    pub(crate) last_depth: Vec<u64>,
     /// Next cycle at which queue depths are due for a sample.
-    next_sample: u64,
+    pub(crate) next_sample: u64,
     /// Sampling stride in cycles (cached from the config).
-    stride: u64,
-}
-
-/// Per-run span/stall bookkeeping for one `System::run` invocation. Kept
-/// outside the engine loop so every exit path (drain, deadlock, cycle
-/// limit) finalizes identically.
-struct RunObs {
-    /// Cycle at which this run started.
-    base: u64,
-    /// Whether each module is currently parked.
-    parked: Vec<bool>,
-    /// Cycle at which the current park began.
-    park_at: Vec<u64>,
-    /// Classification of the current park.
-    park_class: Vec<StallClass>,
-    /// Start cycle of the current active span (tracing only).
-    span_start: Vec<u64>,
-    /// Stalled cycles accumulated by each module during this run.
-    stalled: Vec<u64>,
-}
-
-impl RunObs {
-    fn new(n: usize, base: u64) -> RunObs {
-        RunObs {
-            base,
-            parked: vec![false; n],
-            park_at: vec![0; n],
-            park_class: vec![StallClass::InputStarved; n],
-            span_start: vec![base; n],
-            stalled: vec![0; n],
-        }
-    }
+    pub(crate) stride: u64,
 }
 
 impl Default for System {
@@ -202,16 +178,25 @@ impl System {
 
     /// Creates a system with an explicit memory configuration.
     ///
-    /// The engine defaults to [`EngineMode::EventDriven`]; setting the
-    /// environment variable `GENESIS_ENGINE=reference` selects the naive
-    /// reference engine instead (handy for differential debugging without
-    /// code changes).
+    /// The engine defaults to [`EngineMode::Block`]; the environment
+    /// variable `GENESIS_ENGINE` (`block`, `event`/`event-driven`, or
+    /// `reference`) selects another engine without code changes (handy
+    /// for differential debugging). `GENESIS_SIM_THREADS` sets the block
+    /// engine's worker-thread count (default 1).
     #[must_use]
     pub fn with_memory(cfg: MemoryConfig) -> System {
         let engine = match std::env::var("GENESIS_ENGINE") {
             Ok(v) if v.eq_ignore_ascii_case("reference") => EngineMode::Reference,
-            _ => EngineMode::EventDriven,
+            Ok(v) if v.eq_ignore_ascii_case("event") || v.eq_ignore_ascii_case("event-driven") => {
+                EngineMode::EventDriven
+            }
+            _ => EngineMode::Block,
         };
+        let sim_threads = std::env::var("GENESIS_SIM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or(1);
         System {
             queues: QueuePool::new(),
             spms: SpmPool::new(),
@@ -222,6 +207,7 @@ impl System {
             engine,
             stall: Vec::new(),
             trace: None,
+            sim_threads,
         }
     }
 
@@ -252,7 +238,7 @@ impl System {
     /// Per-module stall attribution accumulated by [`System::run`]: each
     /// module's simulated cycles split into active / input-starved /
     /// output-backpressured / memory-wait, where the parked classes come
-    /// from the [`Watch`] each park declared. The four buckets sum to
+    /// from the [`crate::modules::Watch`] each park declared. The four buckets sum to
     /// [`StallReport::total_cycles`] for every module (`active` includes
     /// the tail where a finished module sits retired while the rest of the
     /// pipeline drains).
@@ -285,6 +271,23 @@ impl System {
     #[must_use]
     pub fn engine(&self) -> EngineMode {
         self.engine
+    }
+
+    /// Sets the block engine's worker-thread count (clamped to at least
+    /// 1). The module graph is partitioned at queue, scratchpad, and
+    /// memory-channel seams into independent components; with more than
+    /// one thread (and more than one component) the components run on
+    /// scoped worker threads in lockstep 512-cycle segments, preserving
+    /// bit-identity with the single-threaded engines. Ignored by the
+    /// reference and event engines, and while tracing is enabled.
+    pub fn set_sim_threads(&mut self, threads: usize) {
+        self.sim_threads = threads.max(1);
+    }
+
+    /// The block engine's configured worker-thread count.
+    #[must_use]
+    pub fn sim_threads(&self) -> usize {
+        self.sim_threads
     }
 
     /// Adds a queue.
@@ -410,14 +413,13 @@ impl System {
             self.stall.resize(n, StallCounters::default());
         }
         self.init_trace_run();
-        let mut obs = RunObs::new(n, self.cycle);
         let result = match self.engine {
-            EngineMode::Reference => self.run_reference(max_cycles),
-            EngineMode::EventDriven => self.run_event(max_cycles, &mut obs),
+            EngineMode::Reference => self.run_boxed(max_cycles, false),
+            EngineMode::EventDriven => self.run_boxed(max_cycles, true),
+            EngineMode::Block => self.run_block(max_cycles),
         };
-        self.finalize_obs(&obs);
         // Engines construct `Deadlock` with an empty report (stall
-        // accounting is only complete after `finalize_obs`); attach the
+        // accounting is only complete once the run finalizes); attach the
         // real attribution here.
         match result {
             Err(SimError::Deadlock { cycle, stuck, .. }) => Err(SimError::Deadlock {
@@ -427,6 +429,157 @@ impl System {
             }),
             other => other,
         }
+    }
+
+    /// Lends the simulation state to an [`EngineCore`] for one run.
+    fn take_parts(&mut self) -> EngineParts {
+        EngineParts {
+            queues: std::mem::take(&mut self.queues),
+            spms: std::mem::take(&mut self.spms),
+            mem: std::mem::replace(&mut self.mem, MemorySystem::new(MemoryConfig::default())),
+            stall: std::mem::take(&mut self.stall),
+            trace: self.trace.take(),
+            cycle: self.cycle,
+        }
+    }
+
+    fn put_parts(&mut self, parts: EngineParts) {
+        self.queues = parts.queues;
+        self.spms = parts.spms;
+        self.mem = parts.mem;
+        self.stall = parts.stall;
+        self.trace = parts.trace;
+        self.cycle = parts.cycle;
+    }
+
+    /// The reference and event engines: vtable dispatch over the boxed
+    /// module registry, with parking enabled only for the event engine.
+    fn run_boxed(&mut self, max_cycles: u64, park: bool) -> Result<SimStats, SimError> {
+        let modules = std::mem::take(&mut self.modules);
+        let orig_idx = (0..modules.len()).collect();
+        let parts = self.take_parts();
+        let mut core = EngineCore::new(modules, orig_idx, parts, park, false);
+        let result = core.drive(max_cycles);
+        core.finalize_obs();
+        let (modules, parts) = core.into_parts();
+        self.modules = modules;
+        self.put_parts(parts);
+        result.map(|()| self.stats())
+    }
+
+    /// The block engine: devirtualizes modules into [`ModuleSlot`]s and,
+    /// when more than one worker thread is configured and the graph
+    /// splits, runs the components in parallel.
+    fn run_block(&mut self, max_cycles: u64) -> Result<SimStats, SimError> {
+        // Tracing records into one buffer; keep it single-threaded.
+        let threads = if self.trace.is_some() { 1 } else { self.sim_threads };
+        if threads > 1 && self.modules.len() > 1 {
+            let comps = partition_modules(&self.modules, self.queues.len(), self.spms.len());
+            if comps.len() > 1 {
+                return self.run_block_parallel(max_cycles, threads, &comps);
+            }
+        }
+        let boxed = std::mem::take(&mut self.modules);
+        let slots: Vec<ModuleSlot> = boxed.into_iter().map(ModuleSlot::from_module).collect();
+        let orig_idx = (0..slots.len()).collect();
+        let parts = self.take_parts();
+        let mut core = EngineCore::new(slots, orig_idx, parts, true, true);
+        let result = core.drive(max_cycles);
+        core.finalize_obs();
+        let (slots, parts) = core.into_parts();
+        self.modules = slots.into_iter().map(ModuleSlot::into_module).collect();
+        self.put_parts(parts);
+        result.map(|()| self.stats())
+    }
+
+    /// Runs one [`EngineCore`] per graph component on scoped worker
+    /// threads (lockstep segments; see [`run_parallel`]). Each core gets
+    /// the sub-pools of queues/scratchpads its component owns; the real
+    /// memory system goes to the component with the memory modules (the
+    /// rest get inert clones of its configuration), which preserves the
+    /// global memory-request order and thus fault-injection determinism.
+    fn run_block_parallel(
+        &mut self,
+        max_cycles: u64,
+        threads: usize,
+        comps: &[Vec<usize>],
+    ) -> Result<SimStats, SimError> {
+        let n = self.modules.len();
+        let nq = self.queues.len();
+        let ns = self.spms.len();
+        let start = self.cycle;
+        let mut q_own: Vec<Vec<bool>> = comps.iter().map(|_| vec![false; nq]).collect();
+        let mut s_own: Vec<Vec<bool>> = comps.iter().map(|_| vec![false; ns]).collect();
+        let mut mem_comp = 0usize;
+        for (ci, comp) in comps.iter().enumerate() {
+            for &mi in comp {
+                let m = &self.modules[mi];
+                for q in m.input_queues().into_iter().chain(m.output_queues()) {
+                    q_own[ci][q.index()] = true;
+                }
+                for s in m.spm_ids() {
+                    s_own[ci][s.index()] = true;
+                }
+                if matches!(m.kind(), ModuleKind::MemoryReader | ModuleKind::MemoryWriter) {
+                    mem_comp = ci;
+                }
+            }
+        }
+        let boxed = std::mem::take(&mut self.modules);
+        let mut slots: Vec<Option<ModuleSlot>> =
+            boxed.into_iter().map(|m| Some(ModuleSlot::from_module(m))).collect();
+        let mem_cfg = self.mem.config().clone();
+        let mut real_mem =
+            Some(std::mem::replace(&mut self.mem, MemorySystem::new(mem_cfg.clone())));
+        let mut cores: Vec<EngineCore<ModuleSlot>> = Vec::with_capacity(comps.len());
+        for (ci, comp) in comps.iter().enumerate() {
+            let mods: Vec<ModuleSlot> =
+                comp.iter().map(|&mi| slots[mi].take().expect("each module in one component")).collect();
+            let parts = EngineParts {
+                queues: self.queues.split(&q_own[ci]),
+                spms: self.spms.split(&s_own[ci]),
+                mem: if ci == mem_comp {
+                    real_mem.take().expect("real memory assigned once")
+                } else {
+                    MemorySystem::new(mem_cfg.clone())
+                },
+                stall: vec![StallCounters::default(); comp.len()],
+                trace: None,
+                cycle: start,
+            };
+            cores.push(EngineCore::new(mods, comp.clone(), parts, true, true));
+        }
+        let result = run_parallel(&mut cores, threads, max_cycles);
+        // Reassemble: every core lands on the global final cycle so stall
+        // finalization matches the single-threaded engines exactly.
+        let final_cycle = cores.iter().map(|c| c.cycle).max().unwrap_or(start);
+        let mut restored: Vec<Option<Box<dyn Module>>> = (0..n).map(|_| None).collect();
+        for (ci, core) in cores.into_iter().enumerate() {
+            let mut core = core;
+            core.cycle = final_cycle;
+            core.finalize_obs();
+            let (mods, parts) = core.into_parts();
+            for (li, &orig) in comps[ci].iter().enumerate() {
+                let src = &parts.stall[li];
+                let dst = &mut self.stall[orig];
+                dst.active += src.active;
+                dst.input_starved += src.input_starved;
+                dst.backpressured += src.backpressured;
+                dst.memory_wait += src.memory_wait;
+            }
+            self.queues.absorb(parts.queues, &q_own[ci]);
+            self.spms.absorb(parts.spms, &s_own[ci]);
+            if ci == mem_comp {
+                self.mem = parts.mem;
+            }
+            for (slot, &orig) in mods.into_iter().zip(&comps[ci]) {
+                restored[orig] = Some(slot.into_module());
+            }
+        }
+        self.modules =
+            restored.into_iter().map(|m| m.expect("every module restored")).collect();
+        self.cycle = final_cycle;
+        result.map(|()| self.stats())
     }
 
     /// Prepares the trace buffer for a run: installs the module/queue name
@@ -441,443 +594,6 @@ impl System {
         }
         ts.last_depth.resize(self.queues.len(), u64::MAX);
         ts.next_sample = self.cycle;
-    }
-
-    /// Samples every queue's depth when the sampling stride is due,
-    /// recording only depths that changed since their last sample. Inlined
-    /// so the tracing-disabled early-return folds into one predictable
-    /// branch in the engines' per-cycle loops.
-    #[inline]
-    fn sample_queues_if_due(&mut self) {
-        let Some(ts) = &mut self.trace else { return };
-        if self.cycle < ts.next_sample {
-            return;
-        }
-        for (qi, q) in self.queues.iter().enumerate() {
-            let d = q.len() as u64;
-            if ts.last_depth[qi] != d {
-                ts.last_depth[qi] = d;
-                ts.buf.record_sample(qi as u32, self.cycle, d);
-            }
-        }
-        ts.next_sample = self.cycle + ts.stride;
-    }
-
-    /// Classifies a park by the `Watch` it declared: what the module said
-    /// it was waiting on is what the stall is attributed to.
-    fn classify_stall(watch: Watch, ins: &[QueueId], outs: &[QueueId]) -> StallClass {
-        match watch {
-            Watch::Timer => StallClass::MemoryWait,
-            Watch::Inputs => StallClass::InputStarved,
-            Watch::Outputs => StallClass::Backpressured,
-            Watch::Queue(q) => {
-                if outs.contains(&q) && !ins.contains(&q) {
-                    StallClass::Backpressured
-                } else {
-                    StallClass::InputStarved
-                }
-            }
-        }
-    }
-
-    /// Closes module `i`'s current park interval at cycle `now`: charges
-    /// the parked cycles to the park's stall class and, when tracing,
-    /// records the stall span and re-opens the active span.
-    fn note_unpark(
-        stall: &mut [StallCounters],
-        trace: &mut Option<TraceState>,
-        obs: &mut RunObs,
-        i: usize,
-        now: u64,
-    ) {
-        let cycles = now - obs.park_at[i];
-        let class = obs.park_class[i];
-        stall[i].add(class, cycles);
-        obs.stalled[i] += cycles;
-        if let Some(ts) = trace {
-            ts.buf.record_span(i as u32, SpanKind::Stall(class), obs.park_at[i], now);
-        }
-        obs.span_start[i] = now;
-    }
-
-    /// Closes all open span/stall intervals at the end of a run (any exit
-    /// path) and credits each module's non-parked remainder as active.
-    fn finalize_obs(&mut self, obs: &RunObs) {
-        let now = self.cycle;
-        let elapsed = now - obs.base;
-        for i in 0..obs.parked.len() {
-            if obs.parked[i] {
-                let cycles = now - obs.park_at[i];
-                self.stall[i].add(obs.park_class[i], cycles);
-                self.stall[i].active += elapsed - (obs.stalled[i] + cycles);
-                if let Some(ts) = &mut self.trace {
-                    ts.buf.record_span(
-                        i as u32,
-                        SpanKind::Stall(obs.park_class[i]),
-                        obs.park_at[i],
-                        now,
-                    );
-                }
-            } else {
-                self.stall[i].active += elapsed - obs.stalled[i];
-                if let Some(ts) = &mut self.trace {
-                    ts.buf.record_span(i as u32, SpanKind::Active, obs.span_start[i], now);
-                }
-            }
-        }
-    }
-
-    /// The naive engine: tick every unfinished module every cycle. This is
-    /// the semantic baseline the event-driven engine must match bit for
-    /// bit; keep its behavior frozen. Modules never park here, so stall
-    /// attribution reports every cycle as active.
-    fn run_reference(&mut self, max_cycles: u64) -> Result<SimStats, SimError> {
-        let deadlock_window = self.deadlock_window();
-        let mut last_progress_cycle = self.cycle;
-        let mut last_signature = self.progress_signature();
-        while !self.is_done() {
-            if self.cycle >= max_cycles {
-                return Err(SimError::CycleLimit { limit: max_cycles });
-            }
-            self.sample_queues_if_due();
-            self.step();
-            // Progress checks are amortized.
-            if self.cycle.is_multiple_of(512) {
-                let sig = self.progress_signature();
-                if sig != last_signature {
-                    last_signature = sig;
-                    last_progress_cycle = self.cycle;
-                } else if self.cycle - last_progress_cycle > deadlock_window {
-                    return Err(SimError::Deadlock {
-                        cycle: self.cycle,
-                        stuck: self.stuck_labels(),
-                        report: Box::default(),
-                    });
-                }
-            }
-        }
-        Ok(self.stats())
-    }
-
-    /// The quiescence-aware engine.
-    ///
-    /// Modules whose tick returns [`Tick::Park`] are skipped until the
-    /// state they declared themselves blocked on changes: a mutation (any
-    /// `get_mut` counts — a push, pop, close, or refused push) of a queue
-    /// selected by their [`Watch`], or their requested wake cycle
-    /// arriving. Because the park contract requires a parked module's
-    /// ticks to be pure no-ops, skipping them is unobservable: cycle
-    /// counts, stall counters, memory traffic and outputs match the
-    /// reference engine exactly.
-    ///
-    /// Queue touch tracking is enabled only while at least one module is
-    /// parked — with nothing parked there is nobody to wake, so the
-    /// all-active steady state pays no tracking overhead at all.
-    ///
-    /// Wake ordering preserves reference-tick order: touches are drained
-    /// and watchers unparked *after each module's tick*, before the tick's
-    /// own park result is applied. A module later in registration order
-    /// woken mid-scan is therefore ticked in the same cycle (as the
-    /// reference engine would), an earlier one on the next cycle — also
-    /// matching, since its no-op tick this cycle preceded the wake-causing
-    /// mutation.
-    ///
-    /// When every live module is parked, the engine advances the clock in
-    /// closed form to the next timed wake, replaying the reference
-    /// engine's 512-cycle deadlock sampling arithmetic so `Deadlock` and
-    /// `CycleLimit` errors fire at identical cycles.
-    #[allow(clippy::too_many_lines)]
-    fn run_event(&mut self, max_cycles: u64, obs: &mut RunObs) -> Result<SimStats, SimError> {
-        /// Watcher-role bits: how a module relates to a watched queue.
-        const ROLE_INPUT: u8 = 1;
-        const ROLE_OUTPUT: u8 = 2;
-        fn watch_matches(watch: Watch, role: u8, qi: u32) -> bool {
-            match watch {
-                Watch::Inputs => role & ROLE_INPUT != 0,
-                Watch::Outputs => role & ROLE_OUTPUT != 0,
-                Watch::Queue(id) => id.index() == qi as usize,
-                Watch::Timer => false,
-            }
-        }
-        /// Registers (or unregisters) the concrete queues a module's park
-        /// watches, so `get_mut` records touches only for queues some
-        /// parked module actually waits on.
-        fn adjust_watches(
-            queues: &mut QueuePool,
-            ins: &[QueueId],
-            outs: &[QueueId],
-            watch: Watch,
-            add: bool,
-        ) {
-            let qs: &[QueueId] = match watch {
-                Watch::Inputs => ins,
-                Watch::Outputs => outs,
-                Watch::Queue(q) => {
-                    if add {
-                        queues.add_watch(q);
-                    } else {
-                        queues.remove_watch(q);
-                    }
-                    return;
-                }
-                Watch::Timer => return,
-            };
-            for &q in qs {
-                if add {
-                    queues.add_watch(q);
-                } else {
-                    queues.remove_watch(q);
-                }
-            }
-        }
-        let n = self.modules.len();
-        let deadlock_window = self.deadlock_window();
-        // Queue index -> modules watching it, tagged with their role so a
-        // parked module's `Watch` can filter wake-ups; plus each module's
-        // own queue lists for park-time watch registration.
-        let mut watchers: Vec<Vec<(usize, u8)>> = vec![Vec::new(); self.queues.len()];
-        let mut in_qs: Vec<Vec<QueueId>> = Vec::with_capacity(n);
-        let mut out_qs: Vec<Vec<QueueId>> = Vec::with_capacity(n);
-        for (i, m) in self.modules.iter().enumerate() {
-            let ins = m.input_queues();
-            let outs = m.output_queues();
-            for &q in &ins {
-                match watchers[q.index()].iter_mut().find(|(w, _)| *w == i) {
-                    Some(entry) => entry.1 |= ROLE_INPUT,
-                    None => watchers[q.index()].push((i, ROLE_INPUT)),
-                }
-            }
-            for &q in &outs {
-                match watchers[q.index()].iter_mut().find(|(w, _)| *w == i) {
-                    Some(entry) => entry.1 |= ROLE_OUTPUT,
-                    None => watchers[q.index()].push((i, ROLE_OUTPUT)),
-                }
-            }
-            in_qs.push(ins);
-            out_qs.push(outs);
-        }
-        let mut done: Vec<bool> = self.modules.iter().map(|m| m.is_done()).collect();
-        let mut done_count = done.iter().filter(|&&d| d).count();
-        let mut parked_watch = vec![Watch::Inputs; n];
-        let mut parked_count = 0usize;
-        // Bumped on every unpark so stale timed-heap entries are ignored.
-        let mut gen = vec![0u32; n];
-        let mut timed: BinaryHeap<Reverse<(u64, usize, u32)>> = BinaryHeap::new();
-        let mut touched: Vec<u32> = Vec::new();
-        // Local mirror of the pool's tracking flag. Tracking turns on when
-        // the first module parks and off once nothing is parked at a cycle
-        // boundary, so the all-active steady state runs with zero
-        // bookkeeping on `get_mut`.
-        let mut tracking = false;
-        self.queues.set_touch_tracking(false);
-        self.queues.clear_watches();
-        let mut last_progress_cycle = self.cycle;
-        let mut last_signature = self.progress_signature();
-        while done_count < n {
-            if self.cycle >= max_cycles {
-                self.queues.set_touch_tracking(false);
-                return Err(SimError::CycleLimit { limit: max_cycles });
-            }
-            self.sample_queues_if_due();
-            // Timed wakes due this cycle.
-            while let Some(&Reverse((at, i, g))) = timed.peek() {
-                if at > self.cycle {
-                    break;
-                }
-                timed.pop();
-                if g == gen[i] && obs.parked[i] && !done[i] {
-                    obs.parked[i] = false;
-                    parked_count -= 1;
-                    gen[i] = gen[i].wrapping_add(1);
-                    adjust_watches(&mut self.queues, &in_qs[i], &out_qs[i], parked_watch[i], false);
-                    Self::note_unpark(&mut self.stall, &mut self.trace, obs, i, self.cycle);
-                }
-            }
-            if tracking && parked_count == 0 {
-                tracking = false;
-                self.queues.set_touch_tracking(false);
-            }
-            if parked_count + done_count == n {
-                // Every live module is parked: all cycles until the next
-                // timed wake are no-ops. Replay the reference engine's
-                // bookkeeping in closed form.
-                let sig_now = self.progress_signature();
-                // The sample at which the reference loop would record any
-                // progress made since the last 512-cycle sample.
-                let next_sample = (self.cycle / 512 + 1) * 512;
-                let lp = if sig_now == last_signature { last_progress_cycle } else { next_sample };
-                // First sample where `cycle - lp > deadlock_window` holds.
-                let c_dl = ((lp + deadlock_window) / 512 + 1) * 512;
-                // Earliest still-valid timed wake.
-                let wake = loop {
-                    match timed.peek() {
-                        Some(&Reverse((at, i, g))) => {
-                            if g == gen[i] && obs.parked[i] && !done[i] {
-                                break at;
-                            }
-                            timed.pop();
-                        }
-                        None => break u64::MAX,
-                    }
-                };
-                if c_dl <= wake && c_dl <= max_cycles {
-                    self.cycle = c_dl;
-                    self.queues.set_touch_tracking(false);
-                    return Err(SimError::Deadlock {
-                        cycle: c_dl,
-                        stuck: self.stuck_labels(),
-                        report: Box::default(),
-                    });
-                }
-                if wake < max_cycles {
-                    if sig_now != last_signature && next_sample <= wake {
-                        last_signature = sig_now;
-                        last_progress_cycle = next_sample;
-                    }
-                    self.cycle = wake;
-                    continue;
-                }
-                // The reference engine ticks all the way to the budget
-                // before giving up; land the cycle counter on the same
-                // value so post-error `cycle()`/`stats()` agree.
-                self.cycle = max_cycles;
-                self.queues.set_touch_tracking(false);
-                return Err(SimError::CycleLimit { limit: max_cycles });
-            }
-            self.mem.begin_cycle(self.cycle);
-            for i in 0..n {
-                if done[i] || obs.parked[i] {
-                    continue;
-                }
-                let mut ctx = Ctx {
-                    queues: &mut self.queues,
-                    spms: &mut self.spms,
-                    mem: &mut self.mem,
-                    cycle: self.cycle,
-                };
-                let t = self.modules[i].tick(&mut ctx);
-                // Unpark watchers of queues this tick mutated, *before*
-                // applying the tick's own result — a module that parks
-                // after touching its queues (a refused push marks a touch)
-                // must not immediately wake itself. A parked module is
-                // woken only when the touch matches its declared `Watch`.
-                if tracking && self.queues.has_touched() {
-                    self.queues.take_touched(&mut touched);
-                    for &qi in &touched {
-                        // A touch is also a depth-change signal: sample the
-                        // touched queue (deduplicated) when tracing.
-                        if let Some(ts) = &mut self.trace {
-                            let d = self.queues.get(QueueId(qi)).len() as u64;
-                            if ts.last_depth[qi as usize] != d {
-                                ts.last_depth[qi as usize] = d;
-                                ts.buf.record_sample(qi, self.cycle, d);
-                            }
-                        }
-                        for &(w, role) in &watchers[qi as usize] {
-                            if obs.parked[w]
-                                && !done[w]
-                                && watch_matches(parked_watch[w], role, qi)
-                            {
-                                obs.parked[w] = false;
-                                parked_count -= 1;
-                                gen[w] = gen[w].wrapping_add(1);
-                                adjust_watches(
-                                    &mut self.queues,
-                                    &in_qs[w],
-                                    &out_qs[w],
-                                    parked_watch[w],
-                                    false,
-                                );
-                                Self::note_unpark(
-                                    &mut self.stall,
-                                    &mut self.trace,
-                                    obs,
-                                    w,
-                                    self.cycle,
-                                );
-                            }
-                        }
-                    }
-                    touched.clear();
-                }
-                match t {
-                    Tick::Active => {
-                        if self.modules[i].is_done() {
-                            done[i] = true;
-                            done_count += 1;
-                        }
-                    }
-                    Tick::Park { wake_at, watch } => {
-                        obs.parked[i] = true;
-                        parked_watch[i] = watch;
-                        parked_count += 1;
-                        obs.park_at[i] = self.cycle;
-                        obs.park_class[i] = Self::classify_stall(watch, &in_qs[i], &out_qs[i]);
-                        if let Some(ts) = &mut self.trace {
-                            // The park tick itself was a no-op, so the
-                            // active span ends where the stall begins.
-                            ts.buf.record_span(
-                                i as u32,
-                                SpanKind::Active,
-                                obs.span_start[i],
-                                self.cycle,
-                            );
-                        }
-                        adjust_watches(&mut self.queues, &in_qs[i], &out_qs[i], watch, true);
-                        if let Some(at) = wake_at {
-                            timed.push(Reverse((at, i, gen[i])));
-                        }
-                        if !tracking {
-                            // First park: start recording touches. Enabled
-                            // after this tick's (untracked) mutations, which
-                            // is safe — state the parking module saw already
-                            // reflects everything earlier this cycle.
-                            tracking = true;
-                            self.queues.set_touch_tracking(true);
-                        }
-                    }
-                }
-            }
-            self.cycle += 1;
-            if self.cycle.is_multiple_of(512) {
-                let sig = self.progress_signature();
-                if sig != last_signature {
-                    last_signature = sig;
-                    last_progress_cycle = self.cycle;
-                } else if self.cycle - last_progress_cycle > deadlock_window {
-                    self.queues.set_touch_tracking(false);
-                    return Err(SimError::Deadlock {
-                        cycle: self.cycle,
-                        stuck: self.stuck_labels(),
-                        report: Box::default(),
-                    });
-                }
-            }
-        }
-        self.queues.set_touch_tracking(false);
-        Ok(self.stats())
-    }
-
-    /// Cycles without observable progress before a run is declared
-    /// deadlocked. Scales with the *worst-case* memory latency (including
-    /// injected spikes) so fault injection is never misread as a hang.
-    fn deadlock_window(&self) -> u64 {
-        4 * self.mem.config().worst_case_latency_cycles() + 10_000
-    }
-
-    fn stuck_labels(&self) -> Vec<String> {
-        self.modules
-            .iter()
-            .filter(|m| !m.is_done())
-            .map(|m| m.label().to_owned())
-            .collect()
-    }
-
-    fn progress_signature(&self) -> (u64, u64, usize) {
-        let pushed: u64 = self.queues.iter().map(|q| q.total_pushed()).sum();
-        let mem = self.mem.stats();
-        let done = self.modules.iter().filter(|m| m.is_done()).count();
-        (pushed, mem.read_lines + mem.write_lines, done)
     }
 
     /// Statistics for the run so far.

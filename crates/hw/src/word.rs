@@ -157,10 +157,18 @@ impl Flit {
     }
 
     /// Returns a new flit keeping only the selected field indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than [`MAX_FIELDS`] indices are given.
     #[must_use]
     pub fn select(&self, indices: &[usize]) -> Flit {
-        let words: Vec<HwWord> = indices.iter().map(|&i| self.field(i)).collect();
-        Flit::data(&words)
+        assert!(indices.len() <= MAX_FIELDS, "flit supports at most {MAX_FIELDS} fields");
+        let mut f = [HwWord::Empty; MAX_FIELDS];
+        for (slot, &i) in f.iter_mut().zip(indices) {
+            *slot = self.field(i);
+        }
+        Flit { fields: f, len: indices.len() as u8, end_item: false }
     }
 }
 

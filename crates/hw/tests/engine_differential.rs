@@ -1,8 +1,11 @@
-//! Differential tests: the quiescence-aware event engine must be
-//! bit-identical to the naive reference engine — same cycle counts, stall
-//! counters, memory traffic, error cycles, and module outputs — for every
-//! pipeline. These tests build the same system twice, run it once per
-//! [`EngineMode`], and compare everything observable.
+//! Differential tests: the quiescence-aware event engine and the compiled
+//! block-step engine must be bit-identical to the naive reference engine —
+//! same cycle counts, stall counters, memory traffic, error cycles, and
+//! module outputs — for every pipeline. These tests build the same system
+//! once per [`EngineMode`] (the block engine additionally at 1, 2, 4 and 8
+//! worker threads) and compare everything observable, including the
+//! stall-attribution invariant that each module's four buckets tile the
+//! run exactly.
 
 use genesis_hw::modules::filter::{CmpOp, Filter, Predicate};
 use genesis_hw::modules::joiner::{JoinKind, Joiner};
@@ -17,9 +20,13 @@ use genesis_hw::word::{Flit, HwWord};
 use genesis_hw::{EngineMode, System};
 use proptest::prelude::*;
 
-/// Builds the same system under both engines, runs both to `budget`, and
-/// asserts that the run outcome (stats or error), the final cycle counter,
-/// and the caller-observed state all match exactly.
+/// Builds the same system under all three engines (the block engine at 1,
+/// 2, 4 and 8 worker threads), runs each to `budget`, and asserts that the
+/// run outcome (stats or error), the final cycle counter, and the
+/// caller-observed state all match exactly. The event and block engines
+/// must additionally agree on per-module stall attribution (the reference
+/// engine never parks, so its report is all-active by design), and every
+/// engine's stall buckets must tile the simulated cycle span per module.
 fn assert_engines_agree<H, E>(
     budget: u64,
     build: impl Fn(&mut System) -> H,
@@ -27,20 +34,40 @@ fn assert_engines_agree<H, E>(
 ) where
     E: PartialEq + std::fmt::Debug,
 {
-    let run = |mode: EngineMode| {
+    let run = |mode: EngineMode, threads: usize| {
         let mut sys = System::new();
         let handles = build(&mut sys);
         sys.set_engine(mode);
+        sys.set_sim_threads(threads);
         let outcome = sys.run(budget);
         let observed = observe(&sys, &handles);
-        (outcome, sys.cycle(), observed)
+        let report = sys.stall_report();
+        // Span-tiling invariant: active + input-starved + backpressured +
+        // memory-wait per module is exactly the simulated cycle span.
+        for m in &report.modules {
+            assert_eq!(
+                m.counters.total(),
+                sys.cycle(),
+                "stall buckets of {} must tile the {mode:?}/{threads}t run",
+                m.label
+            );
+        }
+        (outcome, sys.cycle(), sys.stats(), observed, report)
     };
-    let reference = run(EngineMode::Reference);
-    let event = run(EngineMode::EventDriven);
+    let reference = run(EngineMode::Reference, 1);
+    let event = run(EngineMode::EventDriven, 1);
     assert_eq!(
-        reference, event,
+        (&reference.0, reference.1, reference.2, &reference.3),
+        (&event.0, event.1, event.2, &event.3),
         "event-driven engine diverged from the reference engine"
     );
+    for threads in [1usize, 2, 4, 8] {
+        let block = run(EngineMode::Block, threads);
+        assert_eq!(
+            event, block,
+            "block engine ({threads} threads) diverged from the event engine"
+        );
+    }
 }
 
 fn sink_flits(sys: &System, id: ModuleId) -> Vec<Flit> {
@@ -236,6 +263,125 @@ fn spm_rmw_pipeline_bit_identical() {
         |sys, &(spm, sink)| {
             (sys.spms().get(spm).contents().to_vec(), sink_flits(sys, sink))
         },
+    );
+}
+
+/// Several fully independent chains in one system: this is the shape the
+/// block engine partitions across worker threads (no shared queues, no
+/// memory modules), so the 2/4/8-thread runs inside
+/// [`assert_engines_agree`] exercise the real lockstep parallel path.
+#[test]
+fn independent_chains_bit_identical_across_threads() {
+    assert_engines_agree(
+        200_000,
+        |sys| {
+            let mut sinks = Vec::new();
+            for p in 0..6u64 {
+                let q_src = sys.add_queue_with_capacity(&format!("src{p}"), 2 + p as usize);
+                let q_out = sys.add_queue_with_capacity(&format!("out{p}"), 2);
+                let items: Vec<Vec<u64>> =
+                    (0..40).map(|i| vec![(i * 7 + p) % 50, i + p]).collect();
+                sys.add_module(Box::new(StreamSource::from_items(
+                    &format!("s{p}"),
+                    q_src,
+                    &items,
+                )));
+                sys.add_module(Box::new(Filter::new(
+                    &format!("f{p}"),
+                    Predicate::field_const(0, CmpOp::Gt, 10 + p),
+                    q_src,
+                    q_out,
+                )));
+                sinks.push(sys.add_module(Box::new(StreamSink::new(&format!("k{p}"), q_out))));
+            }
+            sinks
+        },
+        |sys, sinks| sinks.iter().map(|&s| sink_flits(sys, s)).collect::<Vec<_>>(),
+    );
+}
+
+/// A memory-bound component next to pure-stream components: the component
+/// holding the MemReader/MemWriter keeps the real memory system while the
+/// others run against inert stand-ins, and the merged stats must still be
+/// bit-identical at every thread count.
+#[test]
+fn mixed_memory_and_stream_components_bit_identical() {
+    const ELEMS: u64 = 64;
+    let input: Vec<u8> = (0..ELEMS * 4).map(|i| (i * 13 % 251) as u8).collect();
+    assert_engines_agree(
+        500_000,
+        |sys| {
+            let in_base = sys.alloc_mem(input.len());
+            let out_base = sys.alloc_mem(ELEMS as usize * 8);
+            sys.host_write(in_base, &input);
+            let rd_port = sys.register_mem_port(0);
+            let wr_port = sys.register_mem_port(0);
+            let q_rd = sys.add_queue_with_capacity("rd", 4);
+            sys.add_module(Box::new(MemReader::new(
+                "rd",
+                MemReaderConfig {
+                    base_addr: in_base,
+                    elem_bytes: 4,
+                    total_elems: ELEMS,
+                    rows: RowSpec::Fixed(8),
+                },
+                rd_port,
+                q_rd,
+            )));
+            sys.add_module(Box::new(MemWriter::new(
+                "wr",
+                MemWriterConfig { base_addr: out_base, elem_bytes: 8 },
+                wr_port,
+                q_rd,
+            )));
+            let mut sinks = Vec::new();
+            for p in 0..3u64 {
+                let q_s = sys.add_queue_with_capacity(&format!("sq{p}"), 3);
+                let q_r = sys.add_queue_with_capacity(&format!("rq{p}"), 3);
+                let items: Vec<Vec<u64>> = (0..25).map(|i| vec![i * 3 + p, i]).collect();
+                sys.add_module(Box::new(StreamSource::from_items(
+                    &format!("ss{p}"),
+                    q_s,
+                    &items,
+                )));
+                sys.add_module(Box::new(Reducer::new(
+                    &format!("sr{p}"),
+                    ReduceOp::Sum,
+                    0,
+                    q_s,
+                    q_r,
+                )));
+                sinks.push(sys.add_module(Box::new(StreamSink::new(&format!("sk{p}"), q_r))));
+            }
+            (out_base, sinks)
+        },
+        |sys, (out_base, sinks)| {
+            (
+                sys.host_read(*out_base, ELEMS as usize * 8),
+                sinks.iter().map(|&s| sink_flits(sys, s)).collect::<Vec<_>>(),
+            )
+        },
+    );
+}
+
+/// A deadlock split across independent components must fire at the same
+/// cycle with the same stuck set whether the components run on one thread
+/// or several.
+#[test]
+fn partitioned_deadlock_bit_identical() {
+    assert_engines_agree(
+        u64::MAX >> 2,
+        |sys| {
+            // Component 0 completes; components 1 and 2 starve forever.
+            let q_done = sys.add_queue("done");
+            sys.add_module(Box::new(StreamSource::from_items("src", q_done, &[vec![1, 2]])));
+            sys.add_module(Box::new(StreamSink::new("sink", q_done)));
+            for p in 0..2 {
+                let q = sys.add_queue(&format!("never{p}"));
+                sys.add_module(Box::new(StreamSink::new(&format!("stuck{p}"), q)));
+            }
+        },
+        |_, ()| (),
     );
 }
 
