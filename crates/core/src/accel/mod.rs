@@ -96,9 +96,16 @@ where
             for (i, job) in chunk.iter().enumerate() {
                 handles.push(build(&mut sys, i as u32, job)?);
             }
+            // Tiering binds after the build so the page tables cover every
+            // scratchpad the batch created; an over-capacity working set
+            // fails admission here, before any cycle is simulated.
+            if let Some(t) = cfg.tiers.as_ref() {
+                sys.set_tiers(t.to_params(cfg.clock_hz))?;
+            }
             let run = sys.run(CYCLE_BUDGET)?;
             let report = sys.stall_report();
             let totals = report.totals();
+            let tier = sys.tier_stats().unwrap_or_default();
             let stats = AccelStats {
                 cycles: run.cycles,
                 device_mem_bytes: run.mem.read_bytes() + run.mem.write_bytes(),
@@ -109,6 +116,11 @@ where
                 input_starved_cycles: totals.input_starved,
                 backpressured_cycles: totals.backpressured,
                 memory_wait_cycles: totals.memory_wait,
+                spill_wait_cycles: totals.spill_wait,
+                tier_pages_filled: tier.pages_filled,
+                tier_pages_spilled: tier.pages_spilled,
+                tier_prefetch_hits: tier.prefetch_hits,
+                tier_pcie_bytes: tier.pcie_bytes,
                 faults: FaultReport {
                     mem_spikes: run.mem.latency_spikes,
                     ..FaultReport::default()

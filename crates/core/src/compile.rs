@@ -18,7 +18,10 @@
 //! [`CoreError::Unsupported`] naming the offending node rather than
 //! silently degrading.
 
-use crate::cost::{choose_replication, PipelineProfile, ReplicationChoice, MAX_REPLICATION};
+use crate::cost::{
+    choose_replication, choose_replication_spill, PipelineProfile, ReplicationChoice,
+    SpillProfile, MAX_REPLICATION,
+};
 use crate::device::DeviceConfig;
 use crate::error::CoreError;
 use crate::library::module_for_operator;
@@ -147,7 +150,17 @@ impl Compiler {
             || lowered.as_ref().expect("kernel or lowering").profile.clone(),
             kernel_profile,
         );
-        let replication = choose_replication(&profile, &self.cfg.mem, MAX_REPLICATION);
+        let replication = match self.cfg.tiers.as_ref() {
+            // Tiered memory: the shared PCIe spill link is a third
+            // saturable budget for the replication chooser.
+            Some(t) => choose_replication_spill(
+                &profile,
+                &self.cfg.mem,
+                MAX_REPLICATION,
+                Some(SpillProfile::project(&profile, t, self.cfg.clock_hz)),
+            ),
+            None => choose_replication(&profile, &self.cfg.mem, MAX_REPLICATION),
+        };
         Ok(PipelinePlan {
             plan: plan.clone(),
             kernel,

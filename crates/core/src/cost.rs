@@ -110,8 +110,47 @@ pub enum ReplicationBound {
     /// The FPGA fabric (LUT/register/BRAM) fills first — the BQSR case,
     /// whose per-pipeline covariate scratchpads are BRAM-heavy.
     FpgaArea,
+    /// The tiered-memory PCIe spill link saturates first: every replica
+    /// adds projected spill/fill traffic to one shared link, so replicating
+    /// past its bandwidth only converts compute into spill-wait stalls.
+    PcieLink,
     /// Neither budget binds below the [`MAX_REPLICATION`] policy cap.
     PolicyCap,
+}
+
+/// Projected tiered-memory spill traffic of one pipeline plus the PCIe
+/// link budget all replicas share — the extra input that lets
+/// [`choose_replication_spill`] shrink the factor when the spill link,
+/// not the memory channels or the fabric, is the bottleneck.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SpillProfile {
+    /// Projected spill + fill PCIe traffic of one pipeline in bytes/cycle.
+    pub demand_bytes_per_cycle: f64,
+    /// PCIe link capacity in bytes/cycle, shared by every replica.
+    pub link_bytes_per_cycle: f64,
+}
+
+impl SpillProfile {
+    /// Projects one pipeline's spill traffic under `tiers` at `clock_hz`:
+    /// scratchpad state beyond the modeled SPM misses in proportion to the
+    /// overflow (`1 − spm/working-set`, with the BRAM footprint standing
+    /// in for the working set), and every missed element drags a fill plus
+    /// an eventual dirty write-back across the link.
+    #[must_use]
+    pub fn project(
+        profile: &PipelineProfile,
+        tiers: &crate::device::TierConfig,
+        clock_hz: f64,
+    ) -> SpillProfile {
+        let ws = profile.fabric.bram_bytes as f64;
+        let miss = if ws > 0.0 { ((ws - tiers.spm_bytes as f64) / ws).max(0.0) } else { 0.0 };
+        let port_bytes: usize =
+            profile.read_port_bytes.iter().chain(&profile.write_port_bytes).sum();
+        SpillProfile {
+            demand_bytes_per_cycle: miss * port_bytes as f64 * 2.0,
+            link_bytes_per_cycle: tiers.link_bytes_per_cycle(clock_hz),
+        }
+    }
 }
 
 /// A replication decision with the budgets that produced it.
@@ -123,6 +162,10 @@ pub struct ReplicationChoice {
     pub mem_bound: usize,
     /// Largest factor that fits the VU9P fabric.
     pub area_bound: usize,
+    /// Largest factor the tiered-memory PCIe spill link sustains
+    /// (`usize::MAX`-clamped-to-`4×MAX_REPLICATION` when tiering is off or
+    /// the pipeline projects no spill traffic).
+    pub pcie_bound: usize,
     /// Which budget bound the choice.
     pub limited_by: ReplicationBound,
     /// One pipeline's line demand in lines/cycle.
@@ -133,8 +176,13 @@ impl ReplicationChoice {
     /// Human-readable summary for `explain` output.
     #[must_use]
     pub fn summary(&self) -> String {
+        let pcie = if self.pcie_bound < MAX_REPLICATION * 4 {
+            format!(", pcie bound {}x", self.pcie_bound)
+        } else {
+            String::new()
+        };
         format!(
-            "replication {}x (mem bound {}x, area bound {}x, demand {:.3} lines/cycle, limited by {:?})",
+            "replication {}x (mem bound {}x, area bound {}x{pcie}, demand {:.3} lines/cycle, limited by {:?})",
             self.factor, self.mem_bound, self.area_bound, self.demand_lines_per_cycle, self.limited_by
         )
     }
@@ -171,12 +219,28 @@ fn area_bound(profile: &PipelineProfile) -> usize {
 /// Picks the pipeline replication factor for one pipeline profile under
 /// the channel/arbiter budget of `mem` (paper Figure 8): replicate until
 /// either the global memory channels or the FPGA fabric saturates, round
-/// down to a power of two, and never exceed `cap`.
+/// down to a power of two, and never exceed `cap`. Equivalent to
+/// [`choose_replication_spill`] with no spill profile — the tiers-off
+/// decision.
 #[must_use]
 pub fn choose_replication(
     profile: &PipelineProfile,
     mem: &MemoryConfig,
     cap: usize,
+) -> ReplicationChoice {
+    choose_replication_spill(profile, mem, cap, None)
+}
+
+/// [`choose_replication`] extended with projected tiered-memory spill
+/// traffic: the shared PCIe spill link becomes a third saturable budget,
+/// so a pipeline whose working set overflows the modeled SPM replicates
+/// only as far as the link sustains its spill/fill traffic.
+#[must_use]
+pub fn choose_replication_spill(
+    profile: &PipelineProfile,
+    mem: &MemoryConfig,
+    cap: usize,
+    spill: Option<SpillProfile>,
 ) -> ReplicationChoice {
     let capacity =
         mem.num_channels as f64 * f64::from(mem.channel_requests_per_cycle);
@@ -186,12 +250,20 @@ pub fn choose_replication(
     } else {
         ((capacity / demand).floor() as usize).max(1)
     };
+    let pcie_bound = match spill {
+        Some(s) if s.demand_bytes_per_cycle > 0.0 => {
+            (((s.link_bytes_per_cycle / s.demand_bytes_per_cycle).floor()) as usize).max(1)
+        }
+        _ => usize::MAX,
+    };
     let area = area_bound(profile);
     let cap = cap.clamp(1, MAX_REPLICATION);
-    let raw = mem_bound.min(area).min(cap);
+    let raw = mem_bound.min(area).min(pcie_bound).min(cap);
     let factor = prev_pow2(raw);
     let limited_by = if factor >= prev_pow2(cap) {
         ReplicationBound::PolicyCap
+    } else if pcie_bound < mem_bound.min(area) {
+        ReplicationBound::PcieLink
     } else if mem_bound <= area {
         ReplicationBound::MemoryChannels
     } else {
@@ -201,6 +273,7 @@ pub fn choose_replication(
         factor,
         mem_bound: mem_bound.min(MAX_REPLICATION * 4),
         area_bound: area,
+        pcie_bound: pcie_bound.min(MAX_REPLICATION * 4),
         limited_by,
         demand_lines_per_cycle: demand,
     }
@@ -240,6 +313,45 @@ mod tests {
         let c = choose_replication(&bram, &mem, MAX_REPLICATION);
         assert_eq!(c.factor, 8);
         assert_eq!(c.limited_by, ReplicationBound::FpgaArea);
+    }
+
+    #[test]
+    fn pcie_saturation_shrinks_replication() {
+        use crate::device::TierConfig;
+        let mem = MemoryConfig::default();
+        // A light pipeline whose 256 KiB scratchpad working set is 4× the
+        // modeled 64 KiB SPM: tiers off it replicates to the 16× policy
+        // cap...
+        let profile = PipelineProfile {
+            read_port_bytes: vec![4],
+            write_port_bytes: vec![4],
+            fabric: ResourceUsage { luts: 3_500, registers: 4_900, bram_bytes: 256 << 10 },
+        };
+        let untired = choose_replication(&profile, &mem, MAX_REPLICATION);
+        assert_eq!(untired.factor, 16);
+        // ...but over the default 8 GB/s link at 250 MHz (32 B/cycle), the
+        // projected spill traffic (75% miss × 8 B/cycle × 2 = 12 B/cycle
+        // per replica) saturates the link at 2 replicas.
+        let tiers = TierConfig { spm_bytes: 64 << 10, ..TierConfig::default() };
+        let spill = SpillProfile::project(&profile, &tiers, 250.0e6);
+        assert!((spill.demand_bytes_per_cycle - 12.0).abs() < 1e-9);
+        assert!((spill.link_bytes_per_cycle - 32.0).abs() < 1e-9);
+        let tiered = choose_replication_spill(&profile, &mem, MAX_REPLICATION, Some(spill));
+        assert_eq!(tiered.factor, 2);
+        assert_eq!(tiered.pcie_bound, 2);
+        assert_eq!(tiered.limited_by, ReplicationBound::PcieLink);
+        assert!(tiered.factor < untired.factor);
+        assert!(tiered.summary().contains("pcie bound 2x"), "got: {}", tiered.summary());
+        // A working set that fits the SPM projects no spill traffic and
+        // keeps the tiers-off decision.
+        let small = PipelineProfile {
+            fabric: ResourceUsage { luts: 3_500, registers: 4_900, bram_bytes: 32 << 10 },
+            ..profile.clone()
+        };
+        let s = SpillProfile::project(&small, &tiers, 250.0e6);
+        assert_eq!(s.demand_bytes_per_cycle, 0.0);
+        let c = choose_replication_spill(&small, &mem, MAX_REPLICATION, Some(s));
+        assert_eq!(c.factor, 16);
     }
 
     #[test]

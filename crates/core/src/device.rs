@@ -43,6 +43,87 @@ impl DmaModel {
     }
 }
 
+/// Tiered-memory model in physical units: how much scratchpad state stays
+/// on chip, how much spills to device DRAM, and what the PCIe link to the
+/// host spill pool costs. Converted to the simulator's cycle-domain
+/// [`genesis_hw::TierParams`] via [`TierConfig::to_params`] at system
+/// build time, so the same config means the same physics at any modeled
+/// clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierConfig {
+    /// Modeled on-chip SPM capacity in bytes shared by all paged
+    /// scratchpads (scratchpads that fit entirely are pinned and never
+    /// wait).
+    pub spm_bytes: u64,
+    /// Device DRAM spill capacity in bytes.
+    pub dram_bytes: u64,
+    /// Host DRAM spill pool in bytes; `0` = unbounded (no admission
+    /// failure).
+    pub host_bytes: u64,
+    /// Spill/fill granularity in bytes.
+    pub page_bytes: u64,
+    /// PCIe link bandwidth in bytes per second.
+    pub pcie_bandwidth: f64,
+    /// PCIe per-transfer latency.
+    pub pcie_latency: Duration,
+    /// Device DRAM port bandwidth in bytes per second.
+    pub dram_bandwidth: f64,
+    /// Device DRAM access latency.
+    pub dram_latency: Duration,
+    /// Maximum concurrently in-flight page transfers.
+    pub max_inflight: usize,
+}
+
+impl Default for TierConfig {
+    /// 4 MiB of modeled SPM over 1 GiB of device DRAM, an 8 GB/s / 800 ns
+    /// PCIe link, a 16 GB/s / 400 ns DRAM port, 4 KiB pages — at the
+    /// paper's 250 MHz clock this lands exactly on
+    /// [`genesis_hw::TierParams::default`] (200/32 PCIe, 100/64 DRAM
+    /// cycles/bytes-per-cycle).
+    fn default() -> TierConfig {
+        TierConfig {
+            spm_bytes: 4 << 20,
+            dram_bytes: 1 << 30,
+            host_bytes: 0,
+            page_bytes: 4096,
+            pcie_bandwidth: 8.0e9,
+            pcie_latency: Duration::from_nanos(800),
+            dram_bandwidth: 16.0e9,
+            dram_latency: Duration::from_nanos(400),
+            max_inflight: 8,
+        }
+    }
+}
+
+impl TierConfig {
+    /// Converts this physical-unit config to simulator cycle units at
+    /// `clock_hz`. Bandwidths round to whole bytes/cycle (minimum 1),
+    /// latencies to whole cycles.
+    #[must_use]
+    pub fn to_params(&self, clock_hz: f64) -> genesis_hw::TierParams {
+        let bpc = |bw: f64| ((bw / clock_hz).round() as u64).max(1);
+        let cycles = |d: Duration| (d.as_secs_f64() * clock_hz).round() as u64;
+        genesis_hw::TierParams {
+            page_bytes: self.page_bytes.max(64),
+            spm_bytes: self.spm_bytes,
+            dram_bytes: self.dram_bytes,
+            host_bytes: self.host_bytes,
+            pcie_lat_cycles: cycles(self.pcie_latency),
+            pcie_bytes_per_cycle: bpc(self.pcie_bandwidth),
+            dram_lat_cycles: cycles(self.dram_latency),
+            dram_bytes_per_cycle: bpc(self.dram_bandwidth),
+            max_inflight: self.max_inflight.max(1),
+        }
+    }
+
+    /// PCIe link capacity in bytes/cycle at `clock_hz` — the budget the
+    /// replication chooser divides among replicated pipelines.
+    #[must_use]
+    pub fn link_bytes_per_cycle(&self, clock_hz: f64) -> f64 {
+        self.pcie_bandwidth / clock_hz.max(1.0)
+    }
+}
+
 /// Full device configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeviceConfig {
@@ -74,6 +155,12 @@ pub struct DeviceConfig {
     /// `GENESIS_FAULTS` environment variable (unset/empty/`0`/`off` = the
     /// inert default: no injection, no retries, no fallback).
     pub faults: FaultConfig,
+    /// Tiered-memory model: `None` (the default) keeps every scratchpad
+    /// fully on chip; `Some` bounds on-chip SPM and spills page-granularly
+    /// to device DRAM and the host over the modeled PCIe link. Defaults
+    /// from the `GENESIS_TIERS` environment variable via
+    /// [`DeviceConfig::from_env`].
+    pub tiers: Option<TierConfig>,
 }
 
 impl Default for DeviceConfig {
@@ -88,6 +175,7 @@ impl Default for DeviceConfig {
             host_threads: 0,
             trace: TraceConfig::from_env(),
             faults: FaultConfig::from_env(),
+            tiers: None,
         }
     }
 }
@@ -162,6 +250,14 @@ impl DeviceConfig {
         self
     }
 
+    /// Enables the tiered-memory model (overriding the `GENESIS_TIERS`
+    /// default of no tiering).
+    #[must_use]
+    pub fn with_tiers(mut self, tiers: TierConfig) -> DeviceConfig {
+        self.tiers = Some(tiers);
+        self
+    }
+
     /// Effective host worker-thread count: the `GENESIS_HOST_THREADS`
     /// environment variable when set to a positive integer, otherwise
     /// [`DeviceConfig::host_threads`] when non-zero, otherwise the number
@@ -218,5 +314,28 @@ mod tests {
         let cfg = DeviceConfig::default().with_pipelines(0).with_psize(5);
         assert_eq!(cfg.pipelines, 1);
         assert_eq!(cfg.psize, 5);
+        assert_eq!(cfg.tiers, None);
+        let tiered = cfg.with_tiers(TierConfig::default());
+        assert!(tiered.tiers.is_some());
+    }
+
+    #[test]
+    fn default_tiers_land_on_simulator_defaults_at_250mhz() {
+        // The physical-unit defaults were chosen so the cycle-domain
+        // conversion at the paper's clock reproduces TierParams::default —
+        // one source of truth for "what the tiers cost".
+        let p = TierConfig::default().to_params(250.0e6);
+        assert_eq!(p, genesis_hw::TierParams::default());
+    }
+
+    #[test]
+    fn tier_conversion_scales_with_clock() {
+        let t = TierConfig::default();
+        let fast = t.to_params(500.0e6);
+        // Same physics at twice the clock: twice the latency in cycles,
+        // half the bytes per cycle.
+        assert_eq!(fast.pcie_lat_cycles, 400);
+        assert_eq!(fast.pcie_bytes_per_cycle, 16);
+        assert!((t.link_bytes_per_cycle(250.0e6) - 32.0).abs() < 1e-9);
     }
 }

@@ -1,8 +1,9 @@
 //! Unified `GENESIS_*` environment configuration.
 //!
-//! Five environment variables tune a Genesis process without code changes:
+//! Six environment variables tune a Genesis process without code changes:
 //! `GENESIS_ENGINE`, `GENESIS_TRACE`, `GENESIS_FAULTS`,
-//! `GENESIS_HOST_THREADS` and `GENESIS_DEVICES`. Historically each was
+//! `GENESIS_HOST_THREADS`, `GENESIS_DEVICES` and `GENESIS_TIERS`.
+//! Historically each was
 //! parsed ad hoc at its point of use — with different lenience (a typo'd
 //! engine name silently fell back to the default, a typo'd fault spec
 //! panicked). This module parses and validates all of them in one place:
@@ -14,7 +15,7 @@
 //! unknown/misspelled column references in plan diagnostics
 //! ([`crate::error::CoreError::Plan`]).
 
-use crate::device::DeviceConfig;
+use crate::device::{DeviceConfig, TierConfig};
 use crate::fault::FaultConfig;
 use genesis_hw::EngineMode;
 use genesis_obs::TraceConfig;
@@ -99,6 +100,9 @@ pub struct GenesisEnv {
     /// (`GENESIS_DEVICES`); `None` means the server's own default (one
     /// device).
     pub devices: Option<usize>,
+    /// Tiered-memory model (`GENESIS_TIERS`); `None` means scratchpads
+    /// stay fully on chip.
+    pub tiers: Option<TierConfig>,
 }
 
 impl GenesisEnv {
@@ -129,6 +133,7 @@ impl GenesisEnv {
             faults: parse_faults(lookup("GENESIS_FAULTS"))?,
             host_threads: parse_count(lookup("GENESIS_HOST_THREADS"), "GENESIS_HOST_THREADS")?,
             devices: parse_count(lookup("GENESIS_DEVICES"), "GENESIS_DEVICES")?,
+            tiers: parse_tiers(lookup("GENESIS_TIERS"))?,
         })
     }
 
@@ -140,6 +145,7 @@ impl GenesisEnv {
             trace: self.trace.clone(),
             faults: self.faults.clone(),
             host_threads: self.host_threads.unwrap_or(0),
+            tiers: self.tiers,
             ..DeviceConfig::default()
         }
     }
@@ -170,7 +176,16 @@ impl GenesisEnv {
          \x20                     auto-detect (one per available core).\n\
          GENESIS_DEVICES       Positive integer = simulated accelerator\n\
          \x20                     devices in the GenesisServer pool; unset or\n\
-         \x20                     `0` = one device.\n"
+         \x20                     `0` = one device.\n\
+         GENESIS_TIERS         Tiered scratchpad memory: comma-separated\n\
+         \x20                     `key=value` in physical units, e.g.\n\
+         \x20                     `spm=4MiB,dram=1GiB,pcie=8GiB/s:800ns`.\n\
+         \x20                     Keys: spm, dram, host, page (sizes with\n\
+         \x20                     B/KiB/MiB/GiB suffixes), pcie and ddr\n\
+         \x20                     (`<bandwidth>/s:<latency>` links), inflight\n\
+         \x20                     (max outstanding page transfers). Omitted\n\
+         \x20                     keys take PCIe-3-ish defaults; unset/empty/\n\
+         \x20                     `0`/`off` = no tiering (all state on chip).\n"
             .to_owned()
     }
 }
@@ -216,6 +231,113 @@ fn parse_faults(v: Option<String>) -> Result<FaultConfig, EnvError> {
     })
 }
 
+fn tier_err(value: &str, reason: impl Into<String>) -> EnvError {
+    EnvError { var: "GENESIS_TIERS", value: value.to_owned(), reason: reason.into() }
+}
+
+/// Parses a byte size with an optional binary-unit suffix (`64KiB`,
+/// `4MiB`, `1GiB`, bare bytes otherwise). `KB`/`MB`/`GB` are accepted as
+/// their binary siblings — sizes here describe memories, where powers of
+/// two are what anyone means.
+fn parse_size(t: &str) -> Option<u64> {
+    let t = t.trim();
+    let lower = t.to_ascii_lowercase();
+    let (digits, shift) = if let Some(d) = lower.strip_suffix("gib").or(lower.strip_suffix("gb")) {
+        (d, 30)
+    } else if let Some(d) = lower.strip_suffix("mib").or(lower.strip_suffix("mb")) {
+        (d, 20)
+    } else if let Some(d) = lower.strip_suffix("kib").or(lower.strip_suffix("kb")) {
+        (d, 10)
+    } else {
+        (lower.strip_suffix('b').unwrap_or(&lower), 0)
+    };
+    let n: u64 = digits.trim().parse().ok()?;
+    n.checked_shl(shift)
+}
+
+/// Parses a `<bandwidth>/s:<latency>` link spec (`8GiB/s:800ns`) into
+/// bytes-per-second and a latency duration. Latency suffixes: `ns`, `us`,
+/// `ms`, `s`.
+fn parse_link(t: &str) -> Option<(f64, std::time::Duration)> {
+    let (bw, lat) = t.split_once(':')?;
+    let bw_bytes = parse_size(bw.trim().strip_suffix("/s")?)? as f64;
+    let lat = lat.trim().to_ascii_lowercase();
+    let (digits, scale_ns) = if let Some(d) = lat.strip_suffix("ns") {
+        (d, 1.0)
+    } else if let Some(d) = lat.strip_suffix("us") {
+        (d, 1e3)
+    } else if let Some(d) = lat.strip_suffix("ms") {
+        (d, 1e6)
+    } else if let Some(d) = lat.strip_suffix('s') {
+        (d, 1e9)
+    } else {
+        return None;
+    };
+    let n: f64 = digits.trim().parse().ok()?;
+    Some((bw_bytes, std::time::Duration::from_nanos((n * scale_ns) as u64)))
+}
+
+/// Parses the `GENESIS_TIERS` spec: comma-separated `key=value` in
+/// physical units over [`TierConfig::default`]. Unset/empty/`0`/`off`
+/// disables tiering entirely.
+fn parse_tiers(v: Option<String>) -> Result<Option<TierConfig>, EnvError> {
+    let Some(v) = v else { return Ok(None) };
+    let t = v.trim();
+    if t.is_empty() || t == "0" || t.eq_ignore_ascii_case("off") {
+        return Ok(None);
+    }
+    const KEYS: [&str; 7] = ["spm", "dram", "host", "page", "pcie", "ddr", "inflight"];
+    let mut cfg = TierConfig::default();
+    for part in t.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let Some((key, val)) = part.split_once('=') else {
+            return Err(tier_err(&v, format!("`{part}` is not a key=value pair")));
+        };
+        let (key, val) = (key.trim().to_ascii_lowercase(), val.trim());
+        let bad_size = || {
+            tier_err(&v, format!("`{key}={val}`: expected a size like `4MiB` or `1GiB`"))
+        };
+        match key.as_str() {
+            "spm" => cfg.spm_bytes = parse_size(val).ok_or_else(bad_size)?,
+            "dram" => cfg.dram_bytes = parse_size(val).ok_or_else(bad_size)?,
+            "host" => cfg.host_bytes = parse_size(val).ok_or_else(bad_size)?,
+            "page" => cfg.page_bytes = parse_size(val).ok_or_else(bad_size)?,
+            "pcie" | "ddr" => {
+                let (bw, lat) = parse_link(val).ok_or_else(|| {
+                    tier_err(
+                        &v,
+                        format!(
+                            "`{key}={val}`: expected `<bandwidth>/s:<latency>` \
+                             like `8GiB/s:800ns`"
+                        ),
+                    )
+                })?;
+                if key == "pcie" {
+                    (cfg.pcie_bandwidth, cfg.pcie_latency) = (bw, lat);
+                } else {
+                    (cfg.dram_bandwidth, cfg.dram_latency) = (bw, lat);
+                }
+            }
+            "inflight" => {
+                cfg.max_inflight = val.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(
+                    || tier_err(&v, format!("`{key}={val}`: expected a positive integer")),
+                )?;
+            }
+            other => {
+                let mut reason = format!("unknown key `{other}`");
+                if let Some(s) = suggest(other, KEYS) {
+                    reason.push_str(&format!(" (did you mean `{s}`?)"));
+                }
+                return Err(tier_err(&v, reason));
+            }
+        }
+    }
+    Ok(Some(cfg))
+}
+
 /// Shared parser for the "positive integer, `0`/unset/empty = auto"
 /// count knobs (`GENESIS_HOST_THREADS`, `GENESIS_DEVICES`).
 fn parse_count(v: Option<String>, var: &'static str) -> Result<Option<usize>, EnvError> {
@@ -254,8 +376,10 @@ mod tests {
         assert_eq!(env.faults, FaultConfig::default());
         assert_eq!(env.host_threads, None);
         assert_eq!(env.devices, None);
+        assert_eq!(env.tiers, None);
         let cfg = env.device_config();
         assert_eq!(cfg.host_threads, 0);
+        assert_eq!(cfg.tiers, None);
     }
 
     #[test]
@@ -322,6 +446,57 @@ mod tests {
     }
 
     #[test]
+    fn tiers_spec_parses_physical_units() {
+        let env = GenesisEnv::from_lookup(env_of(&[(
+            "GENESIS_TIERS",
+            "spm=4MiB,dram=1GiB,pcie=8GiB/s:800ns",
+        )]))
+        .unwrap();
+        let t = env.tiers.expect("tiers enabled");
+        assert_eq!(t.spm_bytes, 4 << 20);
+        assert_eq!(t.dram_bytes, 1 << 30);
+        assert!((t.pcie_bandwidth - (8u64 << 30) as f64).abs() < 1.0);
+        assert_eq!(t.pcie_latency, std::time::Duration::from_nanos(800));
+        assert_eq!(env.device_config().tiers, Some(t));
+
+        let env = GenesisEnv::from_lookup(env_of(&[(
+            "GENESIS_TIERS",
+            "spm=64KiB,host=16GiB,page=1KiB,ddr=16GiB/s:400ns,inflight=4",
+        )]))
+        .unwrap();
+        let t = env.tiers.unwrap();
+        assert_eq!(t.spm_bytes, 64 << 10);
+        assert_eq!(t.host_bytes, 16 << 30);
+        assert_eq!(t.page_bytes, 1024);
+        assert_eq!(t.dram_latency, std::time::Duration::from_nanos(400));
+        assert_eq!(t.max_inflight, 4);
+    }
+
+    #[test]
+    fn tiers_off_values_disable() {
+        for off in ["", "0", "off", "OFF"] {
+            let env = GenesisEnv::from_lookup(env_of(&[("GENESIS_TIERS", off)])).unwrap();
+            assert_eq!(env.tiers, None, "GENESIS_TIERS={off:?}");
+        }
+    }
+
+    #[test]
+    fn tiers_errors_name_the_variable_and_suggest() {
+        let err = GenesisEnv::from_lookup(env_of(&[("GENESIS_TIERS", "spm=banana")]))
+            .unwrap_err();
+        assert_eq!(err.var, "GENESIS_TIERS");
+        assert!(err.reason.contains("spm=banana"), "got: {}", err.reason);
+
+        let err = GenesisEnv::from_lookup(env_of(&[("GENESIS_TIERS", "drma=1GiB")]))
+            .unwrap_err();
+        assert!(err.reason.contains("did you mean `dram`"), "got: {}", err.reason);
+
+        let err = GenesisEnv::from_lookup(env_of(&[("GENESIS_TIERS", "pcie=8GiB/s")]))
+            .unwrap_err();
+        assert!(err.reason.contains("800ns"), "got: {}", err.reason);
+    }
+
+    #[test]
     fn zero_threads_means_auto() {
         let env =
             GenesisEnv::from_lookup(env_of(&[("GENESIS_HOST_THREADS", "0")])).unwrap();
@@ -338,6 +513,7 @@ mod tests {
             "GENESIS_FAULTS",
             "GENESIS_HOST_THREADS",
             "GENESIS_DEVICES",
+            "GENESIS_TIERS",
         ] {
             assert!(help.contains(var), "help missing {var}");
         }

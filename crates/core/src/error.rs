@@ -46,6 +46,21 @@ pub enum CoreError {
         /// Why admission failed (queue depth or deadline feasibility).
         reason: String,
     },
+    /// A scratchpad working set larger than the modeled tiered-memory
+    /// capacity (device DRAM plus the bounded host spill pool): the job
+    /// cannot run at any speed, so admission fails naming the scratchpad
+    /// that overflowed. Raised only when `GENESIS_TIERS` bounds the host
+    /// pool (`host=` set and non-zero).
+    TierCapacity {
+        /// Label of the scratchpad whose backing store overflowed.
+        spm: String,
+        /// That scratchpad's backing-store size in bytes.
+        spm_bytes: u64,
+        /// Cumulative working-set bytes up to and including it.
+        need_bytes: u64,
+        /// Total modeled capacity in bytes across all spill tiers.
+        capacity_bytes: u64,
+    },
     /// The accelerated result failed a host-side consistency check.
     Verification(String),
     /// A DMA transfer failed or timed out (retryable).
@@ -71,6 +86,13 @@ impl fmt::Display for CoreError {
                 write!(
                     f,
                     "server overloaded: tenant {tenant}: {reason} ({queued} queued, limit {limit})"
+                )
+            }
+            CoreError::TierCapacity { spm, spm_bytes, need_bytes, capacity_bytes } => {
+                write!(
+                    f,
+                    "tiered memory exhausted: scratchpad {spm} ({spm_bytes} B) pushes the \
+                     working set to {need_bytes} B, over the {capacity_bytes} B modeled capacity"
                 )
             }
             CoreError::Verification(s) => write!(f, "verification failed: {s}"),
@@ -116,6 +138,18 @@ impl From<TypeError> for CoreError {
     }
 }
 
+#[doc(hidden)]
+impl From<genesis_hw::TierOverflow> for CoreError {
+    fn from(e: genesis_hw::TierOverflow) -> CoreError {
+        CoreError::TierCapacity {
+            spm: e.spm,
+            spm_bytes: e.spm_bytes,
+            need_bytes: e.need_bytes,
+            capacity_bytes: e.capacity_bytes,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +178,23 @@ mod tests {
         };
         let text = e.to_string();
         assert!(text.contains("alice") && text.contains("128 queued"), "got: {text}");
+    }
+
+    #[test]
+    fn tier_capacity_names_the_scratchpad() {
+        let e: CoreError = genesis_hw::TierOverflow {
+            spm: "agg.hist".into(),
+            spm_bytes: 8 << 20,
+            need_bytes: 40 << 20,
+            capacity_bytes: 32 << 20,
+        }
+        .into();
+        let text = e.to_string();
+        assert!(text.contains("agg.hist"), "got: {text}");
+        assert!(text.contains("modeled capacity"), "got: {text}");
+        let CoreError::TierCapacity { spm, capacity_bytes, .. } = e else { panic!() };
+        assert_eq!(spm, "agg.hist");
+        assert_eq!(capacity_bytes, 32 << 20);
     }
 
     #[test]

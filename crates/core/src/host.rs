@@ -246,7 +246,7 @@ enum Slot {
     /// `configure_mem` that replaces a running slot orphans the stale
     /// worker instead of being clobbered by it.
     Running { epoch: u64 },
-    Finished(Result<JobOutput, CoreError>),
+    Finished(Box<Result<JobOutput, CoreError>>),
 }
 
 impl std::fmt::Debug for Slot {
@@ -449,13 +449,16 @@ impl GenesisHost {
             });
             metrics.observe_duration(&format!("pipeline.{pipeline_id}.run_ns"), start.elapsed());
             match &result {
-                Ok(out) => record_fault_metrics(&metrics, out.stats.faults, ""),
+                Ok(out) => {
+                    record_fault_metrics(&metrics, out.stats.faults, "");
+                    record_tier_metrics(&metrics, &out.stats, "");
+                }
                 Err(_) => metrics.counter("faults.job_errors").inc(),
             }
             let mut slots = shared.slots.lock().unwrap_or_else(PoisonError::into_inner);
             if matches!(slots.get(&pipeline_id), Some(Slot::Running { epoch: e }) if *e == epoch)
             {
-                slots.insert(pipeline_id, Slot::Finished(result));
+                slots.insert(pipeline_id, Slot::Finished(Box::new(result)));
                 drop(slots);
                 // Wake every waiter; each rechecks its own pipeline.
                 shared.completed.notify_all();
@@ -589,7 +592,10 @@ impl GenesisHost {
     /// The stored job error of a finished pipeline, if any.
     fn finished_error(&self, pipeline_id: u32) -> Result<(), CoreError> {
         match self.lock().get(&pipeline_id) {
-            Some(Slot::Finished(Err(e))) => Err(e.clone()),
+            Some(Slot::Finished(r)) => match r.as_ref() {
+                Err(e) => Err(e.clone()),
+                Ok(_) => Ok(()),
+            },
             _ => Ok(()),
         }
     }
@@ -613,7 +619,7 @@ impl GenesisHost {
         self.wait_until(pipeline_id, None)?;
         let mut slots = self.lock();
         match slots.remove(&pipeline_id) {
-            Some(Slot::Finished(result)) => result,
+            Some(Slot::Finished(result)) => *result,
             Some(other) => {
                 // Lost a race with another flush between wait and remove;
                 // put whatever state appeared back.
@@ -665,6 +671,29 @@ pub(crate) fn record_fault_metrics(metrics: &MetricsRegistry, report: FaultRepor
         ("faults.backoff_ns", report.backoff_ns),
         ("faults.fallback_batches", report.fallback_batches),
         ("faults.fallback_jobs", report.fallback_jobs),
+    ] {
+        if value > 0 {
+            metrics.counter(&format!("{prefix}{name}")).add(value);
+        }
+    }
+}
+
+/// Publishes a job's tiered-memory activity into the registry under
+/// `<prefix>tier.*` counter names — the spill observability surface of
+/// `metrics_snapshot()`. All-zero stats (tiering off, or every scratchpad
+/// pinned on chip) publish nothing, keeping snapshots of untired runs
+/// unchanged.
+pub(crate) fn record_tier_metrics(
+    metrics: &MetricsRegistry,
+    stats: &crate::perf::AccelStats,
+    prefix: &str,
+) {
+    for (name, value) in [
+        ("tier.pages_filled", stats.tier_pages_filled),
+        ("tier.pages_spilled", stats.tier_pages_spilled),
+        ("tier.prefetch_hits", stats.tier_prefetch_hits),
+        ("tier.pcie_bytes", stats.tier_pcie_bytes),
+        ("tier.spill_wait_cycles", stats.spill_wait_cycles),
     ] {
         if value > 0 {
             metrics.counter(&format!("{prefix}{name}")).add(value);

@@ -66,7 +66,7 @@ pub mod sched;
 pub mod serve;
 
 pub use compile::{Compiler, PipelinePlan};
-pub use device::DeviceConfig;
+pub use device::{DeviceConfig, TierConfig};
 pub use env::{EnvError, GenesisEnv};
 pub use error::CoreError;
 pub use fault::{FaultConfig, FaultReport};

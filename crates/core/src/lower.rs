@@ -55,6 +55,18 @@ const MARKER_DEL: u64 = u64::MAX - 1;
 /// histogram (the paper's BQSR covariate tables are bounded the same way).
 pub(crate) const MAX_GROUP_DOMAIN: u64 = 1 << 16;
 
+/// The lifted group-domain cap when the device models tiered memory
+/// (`GENESIS_TIERS`): histograms no longer need to fit on chip — pages
+/// spill to device DRAM and host DRAM — so the bound guards only against
+/// absurd allocations, not BRAM capacity.
+pub(crate) const MAX_GROUP_DOMAIN_TIERED: u64 = 1 << 27;
+
+/// The group-domain cap in force for `cfg`: lifted when tiered memory
+/// backs the scratchpads.
+pub(crate) fn group_domain_cap(cfg: &DeviceConfig) -> u64 {
+    if cfg.tiers.is_some() { MAX_GROUP_DOMAIN_TIERED } else { MAX_GROUP_DOMAIN }
+}
+
 /// Table name the merged hardware output is registered under when the
 /// host-side epilogue (`ORDER BY`/`LIMIT`) re-enters the software engine.
 const HW_OUT: &str = "__genesis_hw_out";
@@ -193,10 +205,18 @@ struct BuildCtx<'a> {
     writes: Vec<usize>,
     uniq: usize,
     summary: Vec<String>,
+    /// Largest dense GROUP BY key domain this device admits
+    /// ([`MAX_GROUP_DOMAIN`], lifted to [`MAX_GROUP_DOMAIN_TIERED`] when
+    /// tiered memory backs the scratchpads).
+    group_domain_cap: u64,
 }
 
 impl<'a> BuildCtx<'a> {
-    fn new(prepared: &'a [PreparedScan], spine_range: Range<usize>) -> BuildCtx<'a> {
+    fn new(
+        prepared: &'a [PreparedScan],
+        spine_range: Range<usize>,
+        group_domain_cap: u64,
+    ) -> BuildCtx<'a> {
         BuildCtx {
             prepared,
             next_scan: 0,
@@ -205,6 +225,7 @@ impl<'a> BuildCtx<'a> {
             writes: Vec::new(),
             uniq: 0,
             summary: Vec::new(),
+            group_domain_cap,
         }
     }
 
@@ -482,7 +503,7 @@ pub(crate) fn analyze(
     prepare_scans(core, catalog, &mut prepared)?;
     let spine_rows = prepared[0].rows;
     let mut sys = System::with_memory(cfg.mem.clone());
-    let mut ctx = BuildCtx::new(&prepared, 0..spine_rows);
+    let mut ctx = BuildCtx::new(&prepared, 0..spine_rows, group_domain_cap(cfg));
     let mut b = PipelineBuilder::new(&mut sys, 0);
     let built = build_core(&mut b, &mut ctx, core)?;
     let kind = match &built.sink {
@@ -592,7 +613,8 @@ impl PreparedJob {
             &run_cfg,
             &ranges,
             |sys, group, range| {
-                let mut ctx = BuildCtx::new(prepared, range.clone());
+                let mut ctx =
+                    BuildCtx::new(prepared, range.clone(), group_domain_cap(&self.cfg));
                 let mut b = PipelineBuilder::new(sys, group);
                 build_core(&mut b, &mut ctx, core)
             },
@@ -1551,13 +1573,16 @@ fn build_grouped_agg(
             format!("group key {} has no derivable domain bound", kcol.name),
         ))
     };
-    if max_key >= MAX_GROUP_DOMAIN {
+    if max_key >= ctx.group_domain_cap {
+        let cap = ctx.group_domain_cap;
+        let hint = if cap == MAX_GROUP_DOMAIN {
+            " (enable tiered memory via GENESIS_TIERS to spill larger histograms)"
+        } else {
+            ""
+        };
         return Err(CoreError::unsupported(
             "Aggregate(GROUP BY)",
-            format!(
-                "key domain {} exceeds the {MAX_GROUP_DOMAIN}-entry scratchpad budget",
-                max_key + 1
-            ),
+            format!("key domain {} exceeds the {cap}-entry scratchpad budget{hint}", max_key + 1),
         ));
     }
     let domain = (max_key + 1).max(1) as usize;

@@ -34,6 +34,18 @@ pub struct AccelStats {
     pub backpressured_cycles: u64,
     /// Module-cycles parked inside a device-memory latency window.
     pub memory_wait_cycles: u64,
+    /// Module-cycles parked waiting for tiered-memory page spills/fills
+    /// (zero when `GENESIS_TIERS` is off or every scratchpad fits on
+    /// chip).
+    pub spill_wait_cycles: u64,
+    /// Tiered-memory pages filled into SPM (demand misses + prefetches).
+    pub tier_pages_filled: u64,
+    /// Tiered-memory pages evicted out of SPM.
+    pub tier_pages_spilled: u64,
+    /// Demand touches absorbed by an earlier prefetch.
+    pub tier_prefetch_hits: u64,
+    /// Bytes moved across the modeled PCIe spill link.
+    pub tier_pcie_bytes: u64,
     /// Cycles charged for FPGA reconfiguration by the serving layer's
     /// compiled-pipeline cache on a cache miss (zero when the job hit the
     /// cache or bypassed the server). Included in `cycles`.
@@ -58,21 +70,27 @@ impl AccelStats {
         self.input_starved_cycles += other.input_starved_cycles;
         self.backpressured_cycles += other.backpressured_cycles;
         self.memory_wait_cycles += other.memory_wait_cycles;
+        self.spill_wait_cycles += other.spill_wait_cycles;
+        self.tier_pages_filled += other.tier_pages_filled;
+        self.tier_pages_spilled += other.tier_pages_spilled;
+        self.tier_prefetch_hits += other.tier_prefetch_hits;
+        self.tier_pcie_bytes += other.tier_pcie_bytes;
         self.reconfig_cycles += other.reconfig_cycles;
         self.faults.absorb(other.faults);
     }
 
     /// Fraction of module-cycles spent in each stall class, as
-    /// `(active, input-starved, backpressured, memory-wait)`; all zeros
-    /// before any run.
+    /// `(active, input-starved, backpressured, memory-wait, spill-wait)`;
+    /// all zeros before any run.
     #[must_use]
-    pub fn stall_fractions(&self) -> [f64; 4] {
+    pub fn stall_fractions(&self) -> [f64; 5] {
         let t = self.active_cycles
             + self.input_starved_cycles
             + self.backpressured_cycles
-            + self.memory_wait_cycles;
+            + self.memory_wait_cycles
+            + self.spill_wait_cycles;
         if t == 0 {
-            return [0.0; 4];
+            return [0.0; 5];
         }
         let t = t as f64;
         [
@@ -80,18 +98,19 @@ impl AccelStats {
             self.input_starved_cycles as f64 / t,
             self.backpressured_cycles as f64 / t,
             self.memory_wait_cycles as f64 / t,
+            self.spill_wait_cycles as f64 / t,
         ]
     }
 }
 
 impl fmt::Display for AccelStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let [a, i, b, m] = self.stall_fractions();
+        let [a, i, b, m, s] = self.stall_fractions();
         write!(
             f,
             "cycles {} | dma {} B in / {} B out ({} transfers) | device mem {} B | \
              invocations {} | flits {} | backpressure stalls {} | \
-             module-cycles: active {:.1}% input {:.1}% backpr {:.1}% mem {:.1}%",
+             module-cycles: active {:.1}% input {:.1}% backpr {:.1}% mem {:.1}% spill {:.1}%",
             self.cycles,
             self.dma_in_bytes,
             self.dma_out_bytes,
@@ -104,7 +123,18 @@ impl fmt::Display for AccelStats {
             i * 100.0,
             b * 100.0,
             m * 100.0,
+            s * 100.0,
         )?;
+        if self.tier_pages_filled + self.tier_pages_spilled + self.tier_pcie_bytes > 0 {
+            write!(
+                f,
+                " | tier: {} filled / {} spilled / {} prefetch hits / {} PCIe B",
+                self.tier_pages_filled,
+                self.tier_pages_spilled,
+                self.tier_prefetch_hits,
+                self.tier_pcie_bytes,
+            )?;
+        }
         if self.reconfig_cycles > 0 {
             write!(f, " | reconfig {} cycles", self.reconfig_cycles)?;
         }
@@ -202,7 +232,30 @@ mod tests {
         assert!(text.contains("input 25.0%"));
         let f = s.stall_fractions();
         assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        assert_eq!(AccelStats::default().stall_fractions(), [0.0; 4]);
+        assert_eq!(AccelStats::default().stall_fractions(), [0.0; 5]);
+    }
+
+    #[test]
+    fn display_appends_tier_traffic_only_when_present() {
+        let clean = AccelStats { cycles: 1, ..AccelStats::default() };
+        assert!(!clean.to_string().contains("tier:"));
+        let spilled = AccelStats {
+            cycles: 100,
+            active_cycles: 60,
+            spill_wait_cycles: 40,
+            tier_pages_filled: 12,
+            tier_pages_spilled: 9,
+            tier_prefetch_hits: 3,
+            tier_pcie_bytes: 49_152,
+            ..AccelStats::default()
+        };
+        let text = spilled.to_string();
+        assert!(text.contains("spill 40.0%"), "got: {text}");
+        assert!(text.contains("tier: 12 filled / 9 spilled"), "got: {text}");
+        let mut merged = clean;
+        merged.absorb(spilled);
+        assert_eq!(merged.spill_wait_cycles, 40);
+        assert_eq!(merged.tier_pcie_bytes, 49_152);
     }
 
     #[test]

@@ -921,7 +921,7 @@ fn worker_loop(core: &ServerCore, device: usize) {
         let outcome = run_one(core, device, &tenant, job);
         let service = run_start.elapsed();
 
-        let faults = outcome.as_ref().ok().map(|(_, stats)| stats.faults);
+        let run_stats = outcome.as_ref().ok().map(|(_, stats)| *stats);
         let mut st = core.lock();
         if let Ok((_, stats)) = &outcome {
             st.modeled_busy[device] += core.devices[device].cycles_to_time(stats.cycles);
@@ -938,8 +938,9 @@ fn worker_loop(core: &ServerCore, device: usize) {
         st.completed += 1;
         st.results.insert(id, outcome);
         drop(st);
-        if let Some(report) = faults {
-            crate::host::record_fault_metrics(&core.metrics, report, "server.");
+        if let Some(stats) = run_stats {
+            crate::host::record_fault_metrics(&core.metrics, stats.faults, "server.");
+            crate::host::record_tier_metrics(&core.metrics, &stats, "server.");
         }
         core.metrics
             .histogram(&format!("server.tenant.{tenant}.latency_ns"))

@@ -28,10 +28,11 @@
 //! no parked module watching them, the `k` per-cycle interleavings
 //! commute into per-module batches: no stall, park, wake, or
 //! close-visibility difference is observable, so cycle counts, stall
-//! attribution, memory traffic, and outputs stay bit-identical. The one
-//! knowing divergence is each queue's transient high-water mark (a batch
-//! deposits `k` flits before the consumer's batch drains them), which no
-//! simulation statistic or report consumes.
+//! attribution, memory traffic, and outputs stay bit-identical. (Queues
+//! deliberately do not track a transient high-water mark: a window batch
+//! deposits `k` flits before the consumer's batch drains them, so any
+//! such occupancy statistic would be the one window-visible divergence —
+//! it was dropped rather than special-cased in window admission.)
 
 /// Total simulated cycles executed through windows (diagnostic: lets
 /// tests assert the fast path actually engages, and `--nocapture` runs
@@ -426,7 +427,7 @@ fn watch_matches(watch: Watch, role: u8, qi: u32) -> bool {
         Watch::Inputs => role & ROLE_INPUT != 0,
         Watch::Outputs => role & ROLE_OUTPUT != 0,
         Watch::Queue(id) => id.index() == qi as usize,
-        Watch::Timer => false,
+        Watch::Timer | Watch::Spill => false,
     }
 }
 
@@ -445,7 +446,7 @@ fn adjust_watches(queues: &mut QueuePool, ins: &[QueueId], outs: &[QueueId], wat
             }
             return;
         }
-        Watch::Timer => return,
+        Watch::Timer | Watch::Spill => return,
     };
     for &q in qs {
         if add {
@@ -461,6 +462,7 @@ fn adjust_watches(queues: &mut QueuePool, ins: &[QueueId], outs: &[QueueId], wat
 fn classify_stall(watch: Watch, ins: &[QueueId], outs: &[QueueId]) -> StallClass {
     match watch {
         Watch::Timer => StallClass::MemoryWait,
+        Watch::Spill => StallClass::SpillWait,
         Watch::Inputs => StallClass::InputStarved,
         Watch::Outputs => StallClass::Backpressured,
         Watch::Queue(q) => {
@@ -621,11 +623,13 @@ impl<T: Tickable> EngineCore<T> {
     pub(crate) fn signature(&self) -> (u64, u64, usize) {
         let pushed: u64 = self.queues.iter().map(crate::queue::Queue::total_pushed).sum();
         let mem = self.mem.stats();
-        (pushed, mem.read_lines + mem.write_lines, self.done_count)
+        (pushed, mem.read_lines + mem.write_lines + self.spms.tier_ops(), self.done_count)
     }
 
     fn deadlock_window(&self) -> u64 {
-        4 * self.mem.config().worst_case_latency_cycles() + 10_000
+        4 * self.mem.config().worst_case_latency_cycles()
+            + 4 * self.spms.tier_worst_wait()
+            + 10_000
     }
 
     fn stuck_labels(&self) -> Vec<String> {
@@ -1022,7 +1026,7 @@ impl<T: Tickable> EngineCore<T> {
                 }
                 let marked = |q: &QueueId| self.qmark[q.index()] == self.win_stamp;
                 let woken = match self.parked_watch[w] {
-                    Watch::Timer => false,
+                    Watch::Timer | Watch::Spill => false,
                     Watch::Inputs => self.in_qs[w].iter().any(marked),
                     Watch::Outputs => self.out_qs[w].iter().any(marked),
                     Watch::Queue(q) => marked(&q),
@@ -1075,7 +1079,18 @@ impl<T: Tickable> EngineCore<T> {
 /// member indices in registration order. Unknown module types collapse
 /// everything into one component — the partitioner cannot see what they
 /// touch.
-pub(crate) fn partition_modules(modules: &[Box<dyn Module>], nq: usize, ns: usize) -> Vec<Vec<usize>> {
+///
+/// `tiered` flags (per scratchpad index) which scratchpads are paged by
+/// the tier layer: their users all share the PCIe/DRAM link schedules, so
+/// every module touching any tiered scratchpad is folded into a single
+/// component (the tier state then moves wholesale with that component's
+/// scratchpad sub-pool).
+pub(crate) fn partition_modules(
+    modules: &[Box<dyn Module>],
+    nq: usize,
+    ns: usize,
+    tiered: &[bool],
+) -> Vec<Vec<usize>> {
     let n = modules.len();
     if n == 0 {
         return Vec::new();
@@ -1100,6 +1115,7 @@ pub(crate) fn partition_modules(modules: &[Box<dyn Module>], nq: usize, ns: usiz
     let mut q_owner = vec![usize::MAX; nq];
     let mut s_owner = vec![usize::MAX; ns];
     let mut mem_owner = usize::MAX;
+    let mut tier_owner = usize::MAX;
     for (i, m) in modules.iter().enumerate() {
         for q in m.input_queues().into_iter().chain(m.output_queues()) {
             if q_owner[q.index()] == usize::MAX {
@@ -1113,6 +1129,13 @@ pub(crate) fn partition_modules(modules: &[Box<dyn Module>], nq: usize, ns: usiz
                 s_owner[s.index()] = i;
             } else {
                 union(&mut parent, s_owner[s.index()], i);
+            }
+            if tiered.get(s.index()).copied().unwrap_or(false) {
+                if tier_owner == usize::MAX {
+                    tier_owner = i;
+                } else {
+                    union(&mut parent, tier_owner, i);
+                }
             }
         }
         if matches!(
@@ -1408,7 +1431,7 @@ mod tests {
             mods.push(Box::new(StreamSource::from_items(&format!("s{p}"), q, &[vec![1, 2]])));
             mods.push(Box::new(StreamSink::new(&format!("k{p}"), q)));
         }
-        let comps = partition_modules(&mods, 3, 0);
+        let comps = partition_modules(&mods, 3, 0, &[]);
         assert_eq!(comps.len(), 3);
         assert_eq!(comps[0], vec![0, 1]);
         assert_eq!(comps[1], vec![2, 3]);
@@ -1426,7 +1449,7 @@ mod tests {
             Box::new(StreamAlu::new("add", AluOp::Add, qa, AluRhs::Queue(qb), qo)),
             Box::new(StreamSink::new("k", qo)),
         ];
-        let comps = partition_modules(&mods, 3, 0);
+        let comps = partition_modules(&mods, 3, 0, &[]);
         assert_eq!(comps.len(), 1);
         assert_eq!(comps[0], vec![0, 1, 2, 3]);
     }

@@ -16,6 +16,9 @@
 //!   granularity, per-channel service rate, fixed latency) with the local /
 //!   global arbiter tree of paper Figure 8.
 //! * [`spm`] — on-chip scratchpad memories.
+//! * [`tier`] — tiered memory: page-granular SPM ↔ device DRAM ↔ host DRAM
+//!   spill/fill over a PCIe link model, so oversized scratchpads become
+//!   timed waits instead of capacity errors.
 //! * [`modules`] — the module library itself.
 //! * [`system`] — pipeline wiring and the per-cycle simulation engine.
 //! * [`resource`] — the analytical FPGA resource model behind Table IV.
@@ -62,6 +65,7 @@ pub mod queue;
 pub mod resource;
 pub mod spm;
 pub mod system;
+pub mod tier;
 pub mod word;
 
 pub use memory::{LatencyFaults, MemoryConfig, MemorySystem};
@@ -69,6 +73,7 @@ pub use queue::{QueueId, QueuePool};
 pub use resource::{ResourceReport, ResourceUsage};
 pub use spm::{SpmId, SpmPool};
 pub use system::{EngineMode, SimError, SimStats, System};
+pub use tier::{TierOverflow, TierParams, TierStats};
 pub use word::{Flit, HwWord};
 
 // Observability vocabulary used by `System::set_trace` / `stall_report`,

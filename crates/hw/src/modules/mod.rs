@@ -119,6 +119,11 @@ pub enum Watch {
     /// No queue event can help; only the timed `wake_at` (a pending memory
     /// response) unblocks the module.
     Timer,
+    /// Like [`Watch::Timer`], but the wait is a tiered-memory page
+    /// spill/fill (`SpmPool::tier_wait` returned a ready cycle). Stall
+    /// attribution lands in the `stall:spill` bucket instead of
+    /// `stall:memory`.
+    Spill,
 }
 
 impl Tick {

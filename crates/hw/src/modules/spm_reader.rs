@@ -1,11 +1,23 @@
 //! SPM Reader: address, range, and drain reads from scratchpads
 //! (paper §III-C).
 
-use super::{try_push, Ctx, Module, ModuleKind, Tick};
+use super::{try_push, Ctx, Module, ModuleKind, Tick, Watch};
 use crate::queue::QueueId;
 use crate::spm::SpmId;
 use crate::word::{Flit, HwWord, MAX_FIELDS};
 use std::any::Any;
+
+/// Gates an SPM access on tiered-memory residency: parks on a timed
+/// [`Watch::Spill`] wake when the touched page is still spilling/filling.
+/// Free (a single branch) when tiering is disabled.
+macro_rules! tier_gate {
+    ($ctx:expr, $spms:expr, $idx:expr, $write:expr) => {
+        if let Some(at) = $ctx.spms.tier_wait($spms, $idx, $write, $ctx.cycle) {
+            return Tick::Park { wake_at: Some(at), watch: Watch::Spill };
+        }
+    };
+}
+pub(crate) use tier_gate;
 
 /// Operating mode of the streaming [`SpmReader`]. The paper's third mode —
 /// one lookup per input address — is provided by [`SpmAddrReader`].
@@ -155,6 +167,7 @@ impl Module for SpmReader {
                         return Tick::Active;
                     }
                     if ctx.queues.get(self.out).can_push() {
+                        tier_gate!(ctx, &self.spms, pos.wrapping_sub(self.addr_offset), false);
                         let flit = self.read_flit(ctx, pos);
                         ctx.queues.get_mut(self.out).push(flit);
                         self.cur = Some((pos + 1, stop));
@@ -228,6 +241,7 @@ impl Module for SpmReader {
                     return Tick::Active;
                 }
                 if ctx.queues.get(self.out).can_push() {
+                    tier_gate!(ctx, &self.spms, self.drain_cursor, false);
                     let pos = self.drain_cursor + self.addr_offset;
                     let flit = self.read_flit(ctx, pos);
                     ctx.queues.get_mut(self.out).push(flit);
@@ -328,6 +342,7 @@ impl Module for SpmAddrReader {
             let mut fields = [HwWord::Empty; MAX_FIELDS];
             fields[0] = HwWord::Val(pos);
             let idx = pos.wrapping_sub(self.addr_offset);
+            tier_gate!(ctx, &self.spms, idx, false);
             for (slot, &id) in fields[1..].iter_mut().zip(&self.spms) {
                 *slot = HwWord::Val(ctx.spms.get_mut(id).read(idx));
             }

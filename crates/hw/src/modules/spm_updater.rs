@@ -1,7 +1,8 @@
 //! SPM Updater: sequential / random / read-modify-write scratchpad writes
 //! with the RAW hazard interlock (paper §III-C).
 
-use super::{try_push, Ctx, Module, ModuleKind, Tick};
+use super::spm_reader::tier_gate;
+use super::{try_push, Ctx, Module, ModuleKind, Tick, Watch};
 use crate::queue::QueueId;
 use crate::spm::SpmId;
 use std::any::Any;
@@ -152,6 +153,31 @@ impl Module for SpmUpdater {
             }
             return Tick::PARK;
         };
+        // Tiered-memory gate: the touched page must be resident before the
+        // flit can be consumed. Checked before the cascade-space check so
+        // that re-ticks during a spill wait stay pure no-ops (no stall
+        // counters move) in every engine.
+        if !flit.is_end_item() {
+            match self.mode {
+                SpmUpdateMode::Sequential { .. } => {
+                    tier_gate!(ctx, &[self.spm], self.seq_cursor, true);
+                }
+                SpmUpdateMode::Random | SpmUpdateMode::Rmw { .. } => {
+                    let addr = flit.field(self.addr_field);
+                    if !addr.is_marker() {
+                        // RAW interlock first: hazard cycles are counted
+                        // per blocked cycle, so the module keeps ticking.
+                        if matches!(self.mode, SpmUpdateMode::Rmw { .. })
+                            && self.inflight.iter().any(|&(_, a)| a == addr.val_or_zero())
+                        {
+                            self.hazard_stalls += 1;
+                            return Tick::Active;
+                        }
+                        tier_gate!(ctx, &[self.spm], addr.val_or_zero(), true);
+                    }
+                }
+            }
+        }
         // The cascade must accept the flit in the same cycle we consume it.
         if let Some(fq) = self.forward {
             if !ctx.queues.get(fq).can_push() {
@@ -185,15 +211,9 @@ impl Module for SpmUpdater {
             SpmUpdateMode::Rmw { op } => {
                 let addr = flit.field(self.addr_field);
                 if !addr.is_marker() {
+                    // The RAW interlock already ran in the pre-consume
+                    // gate above, so the address is hazard-free here.
                     let a = addr.val_or_zero();
-                    // RAW interlock: an address already in the 3-stage
-                    // pipeline blocks the incoming flit.
-                    if self.inflight.iter().any(|&(_, addr)| addr == a) {
-                        // Hazard stalls are counted per blocked cycle, so
-                        // the module must keep ticking.
-                        self.hazard_stalls += 1;
-                        return Tick::Active;
-                    }
                     let spm = ctx.spms.get_mut(self.spm);
                     let old = spm.read(a);
                     let v = flit.field(self.value_field).val_or_zero();

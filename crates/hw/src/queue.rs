@@ -29,8 +29,6 @@ pub struct Queue {
     pushed: u64,
     /// Cycles on which a push was refused for lack of space.
     full_stalls: u64,
-    /// Highest occupancy ever reached (buffer-sizing feedback).
-    high_water: usize,
 }
 
 impl Queue {
@@ -42,7 +40,6 @@ impl Queue {
             closed: false,
             pushed: 0,
             full_stalls: 0,
-            high_water: 0,
         }
     }
 
@@ -75,7 +72,6 @@ impl Queue {
         assert!(self.can_push(), "push to full queue {}", self.name);
         self.buf.push_back(flit);
         self.pushed += 1;
-        self.high_water = self.high_water.max(self.buf.len());
     }
 
     /// Records that a producer wanted to push but could not.
@@ -93,10 +89,11 @@ impl Queue {
     /// SoA block-queue fast path: one bounds check and one counter update
     /// per run instead of per flit).
     ///
-    /// `high_water` is updated once at the end of the run, so under
-    /// run-batched execution it reports a conservative upper bound of the
-    /// flit-at-a-time peak (it remains a buffer-sizing diagnostic, not part
-    /// of the engines' bit-identity contract).
+    /// Queues deliberately track no transient occupancy peak: a windowed
+    /// run deposits a whole batch before the consumer's batch drains it,
+    /// so a high-water mark would be the one statistic visible to the
+    /// window transformation. Every statistic a queue does keep is part of
+    /// the engines' bit-identity contract.
     ///
     /// # Panics
     ///
@@ -107,7 +104,6 @@ impl Queue {
         assert!(flits.len() <= self.space(), "run overflows queue {}", self.name);
         self.buf.extend(flits.iter().copied());
         self.pushed += flits.len() as u64;
-        self.high_water = self.high_water.max(self.buf.len());
     }
 
     /// The longest contiguous run of buffered flits starting at the head
@@ -191,11 +187,6 @@ impl Queue {
         self.full_stalls
     }
 
-    /// Highest occupancy the queue ever reached.
-    #[must_use]
-    pub fn high_water(&self) -> usize {
-        self.high_water
-    }
 }
 
 /// All queues of a simulated system, addressed by [`QueueId`].
@@ -464,13 +455,14 @@ mod tests {
     }
 
     #[test]
-    fn high_water_tracks_peak_occupancy() {
+    fn per_queue_stats_survive_push_pop() {
         let mut pool = QueuePool::new();
         let q = pool.add("q");
         pool.get_mut(q).push(Flit::val(1));
         pool.get_mut(q).push(Flit::val(2));
         pool.get_mut(q).pop();
         pool.get_mut(q).push(Flit::val(3));
-        assert_eq!(pool.get(q).high_water(), 2);
+        assert_eq!(pool.get(q).total_pushed(), 3);
+        assert_eq!(pool.get(q).total_full_stalls(), 0);
     }
 }

@@ -100,12 +100,20 @@ impl Spm {
     pub fn total_writes(&self) -> u64 {
         self.writes
     }
+
+    /// Packed element width in bits (tier page-geometry input).
+    pub(crate) fn bits(&self) -> usize {
+        self.bits_per_elem
+    }
 }
 
 /// All scratchpads of a simulated system.
 #[derive(Debug, Default)]
 pub struct SpmPool {
     spms: Vec<Spm>,
+    /// Tiered-memory paging state; `None` (the default) means every
+    /// scratchpad is fully resident and accesses are free.
+    pub(crate) tiers: Option<Box<crate::tier::TierState>>,
 }
 
 impl SpmPool {
@@ -162,6 +170,11 @@ impl SpmPool {
         self.spms.iter().map(Spm::byte_size).sum()
     }
 
+    /// Iterates the scratchpads in creation (id) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Spm> {
+        self.spms.iter()
+    }
+
     /// Number of scratchpads.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -191,16 +204,26 @@ impl SpmPool {
             let moved = if own[i] { std::mem::replace(s, placeholder()) } else { placeholder() };
             part.spms.push(moved);
         }
+        // Tier state travels with the component owning the paged
+        // scratchpads (the partitioner keeps them in one component, so the
+        // whole state moves wholesale or not at all).
+        let tiered = self.tiered_flags();
+        if own.iter().zip(&tiered).any(|(&o, &t)| o && t) {
+            part.tiers = self.tiers.take();
+        }
         part
     }
 
     /// Moves the owned scratchpads of a split-off component pool back
     /// (inverse of [`SpmPool::split`]).
-    pub(crate) fn absorb(&mut self, part: SpmPool, own: &[bool]) {
-        for (i, s) in part.spms.into_iter().enumerate() {
+    pub(crate) fn absorb(&mut self, mut part: SpmPool, own: &[bool]) {
+        for (i, s) in part.spms.drain(..).enumerate() {
             if own[i] {
                 self.spms[i] = s;
             }
+        }
+        if part.tiers.is_some() {
+            self.tiers = part.tiers;
         }
     }
 }

@@ -96,8 +96,8 @@ impl fmt::Display for SimError {
                     let c = m.counters;
                     write!(
                         f,
-                        "; most stalled: {} (starved {}, backpressured {}, memory {})",
-                        m.label, c.input_starved, c.backpressured, c.memory_wait
+                        "; most stalled: {} (starved {}, backpressured {}, memory {}, spill {})",
+                        m.label, c.input_starved, c.backpressured, c.memory_wait, c.spill_wait
                     )?;
                 }
                 Ok(())
@@ -237,11 +237,11 @@ impl System {
 
     /// Per-module stall attribution accumulated by [`System::run`]: each
     /// module's simulated cycles split into active / input-starved /
-    /// output-backpressured / memory-wait, where the parked classes come
-    /// from the [`crate::modules::Watch`] each park declared. The four buckets sum to
-    /// [`StallReport::total_cycles`] for every module (`active` includes
-    /// the tail where a finished module sits retired while the rest of the
-    /// pipeline drains).
+    /// output-backpressured / memory-wait / spill-wait, where the parked
+    /// classes come from the [`crate::modules::Watch`] each park declared.
+    /// The five buckets sum to [`StallReport::total_cycles`] for every
+    /// module (`active` includes the tail where a finished module sits
+    /// retired while the rest of the pipeline drains).
     ///
     /// Attribution is event-based (updated at park/unpark, not per cycle),
     /// so it is always on. Under [`EngineMode::Reference`] modules never
@@ -303,6 +303,30 @@ impl System {
     /// Adds a scratchpad.
     pub fn add_spm(&mut self, name: &str, len: usize, elem_bytes: usize) -> SpmId {
         self.spms.add(name, len, elem_bytes)
+    }
+
+    /// Enables tiered memory over the scratchpad pool (see
+    /// [`SpmPool::set_tiers`]): scratchpads that fit the SPM quota stay
+    /// pinned; the rest are paged against device DRAM and host DRAM, and
+    /// accesses to non-resident pages become timed `stall:spill` waits.
+    /// Call after all scratchpads are added, before [`System::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::tier::TierOverflow`] when the combined scratchpad
+    /// working set exceeds the total capacity of all three tiers.
+    pub fn set_tiers(
+        &mut self,
+        params: crate::tier::TierParams,
+    ) -> Result<(), crate::tier::TierOverflow> {
+        self.spms.set_tiers(params)
+    }
+
+    /// Tier activity counters (pages spilled/filled, prefetch hits, PCIe
+    /// bytes), when tiering is enabled.
+    #[must_use]
+    pub fn tier_stats(&self) -> Option<crate::tier::TierStats> {
+        self.spms.tier_stats()
     }
 
     /// Registers a memory port in local-arbiter group `group`.
@@ -474,7 +498,12 @@ impl System {
         // Tracing records into one buffer; keep it single-threaded.
         let threads = if self.trace.is_some() { 1 } else { self.sim_threads };
         if threads > 1 && self.modules.len() > 1 {
-            let comps = partition_modules(&self.modules, self.queues.len(), self.spms.len());
+            let comps = partition_modules(
+                &self.modules,
+                self.queues.len(),
+                self.spms.len(),
+                &self.spms.tiered_flags(),
+            );
             if comps.len() > 1 {
                 return self.run_block_parallel(max_cycles, threads, &comps);
             }
@@ -566,6 +595,7 @@ impl System {
                 dst.input_starved += src.input_starved;
                 dst.backpressured += src.backpressured;
                 dst.memory_wait += src.memory_wait;
+                dst.spill_wait += src.spill_wait;
             }
             self.queues.absorb(parts.queues, &q_own[ci]);
             self.spms.absorb(parts.spms, &s_own[ci]);

@@ -1,10 +1,11 @@
 //! Stall attribution: where every simulated cycle of every module went.
 //!
-//! Each module's timeline is partitioned into four disjoint buckets that
+//! Each module's timeline is partitioned into five disjoint buckets that
 //! always sum to the total simulated cycles (the invariant the hw tests
-//! enforce): `active` plus the three parked classes. Classification comes
+//! enforce): `active` plus the four parked classes. Classification comes
 //! from the park's `Watch`: a module starved on its inputs, backpressured
-//! on its outputs, or waiting out a device-memory latency window.
+//! on its outputs, waiting out a device-memory latency window, or waiting
+//! for a scratchpad page to be filled from a lower memory tier.
 
 use std::fmt;
 
@@ -18,6 +19,9 @@ pub enum StallClass {
     Backpressured,
     /// Waiting on a device-memory response (timed wake only).
     MemoryWait,
+    /// Waiting for a scratchpad page to spill/fill across the memory
+    /// tiers (device DRAM or host DRAM over PCIe; timed wake only).
+    SpillWait,
 }
 
 impl StallClass {
@@ -28,11 +32,12 @@ impl StallClass {
             StallClass::InputStarved => "stall:input",
             StallClass::Backpressured => "stall:backpressure",
             StallClass::MemoryWait => "stall:memory",
+            StallClass::SpillWait => "stall:spill",
         }
     }
 }
 
-/// Per-module cycle accounting. All four buckets are disjoint and sum to
+/// Per-module cycle accounting. All five buckets are disjoint and sum to
 /// the cycles the module was simulated for.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StallCounters {
@@ -46,6 +51,8 @@ pub struct StallCounters {
     pub backpressured: u64,
     /// Cycles parked inside a memory latency window.
     pub memory_wait: u64,
+    /// Cycles parked waiting on a tiered-memory page spill/fill.
+    pub spill_wait: u64,
 }
 
 impl StallCounters {
@@ -55,16 +62,17 @@ impl StallCounters {
             StallClass::InputStarved => self.input_starved += cycles,
             StallClass::Backpressured => self.backpressured += cycles,
             StallClass::MemoryWait => self.memory_wait += cycles,
+            StallClass::SpillWait => self.spill_wait += cycles,
         }
     }
 
-    /// Total parked cycles across the three stall classes.
+    /// Total parked cycles across the four stall classes.
     #[must_use]
     pub fn parked(&self) -> u64 {
-        self.input_starved + self.backpressured + self.memory_wait
+        self.input_starved + self.backpressured + self.memory_wait + self.spill_wait
     }
 
-    /// Total accounted cycles (all four buckets).
+    /// Total accounted cycles (all five buckets).
     #[must_use]
     pub fn total(&self) -> u64 {
         self.active + self.parked()
@@ -76,6 +84,7 @@ impl StallCounters {
         self.input_starved += other.input_starved;
         self.backpressured += other.backpressured;
         self.memory_wait += other.memory_wait;
+        self.spill_wait += other.spill_wait;
     }
 }
 
@@ -136,20 +145,21 @@ impl StallReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<24} {:>12} {:>8} {:>8} {:>8} {:>8}",
-            "module", "cycles", "active%", "input%", "backpr%", "mem%"
+            "{:<24} {:>12} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "module", "cycles", "active%", "input%", "backpr%", "mem%", "spill%"
         );
         for m in rows.iter().take(n) {
             let t = m.counters.total().max(1) as f64;
             let _ = writeln!(
                 out,
-                "{:<24} {:>12} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+                "{:<24} {:>12} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
                 m.label,
                 m.counters.total(),
                 100.0 * m.counters.active as f64 / t,
                 100.0 * m.counters.input_starved as f64 / t,
                 100.0 * m.counters.backpressured as f64 / t,
                 100.0 * m.counters.memory_wait as f64 / t,
+                100.0 * m.counters.spill_wait as f64 / t,
             );
         }
         if self.modules.len() > n {
@@ -177,6 +187,7 @@ mod tests {
                 input_starved: i,
                 backpressured: b,
                 memory_wait: m,
+                spill_wait: 0,
             },
         }
     }
@@ -186,9 +197,10 @@ mod tests {
         let mut c = StallCounters::default();
         c.add(StallClass::InputStarved, 5);
         c.add(StallClass::MemoryWait, 2);
+        c.add(StallClass::SpillWait, 4);
         c.active += 3;
-        assert_eq!(c.parked(), 7);
-        assert_eq!(c.total(), 10);
+        assert_eq!(c.parked(), 11);
+        assert_eq!(c.total(), 14);
     }
 
     #[test]
@@ -219,6 +231,17 @@ mod tests {
         let starved_at = table.find("starved").unwrap();
         assert!(starved_at < busy_at, "most-stalled module first:\n{table}");
         assert!(table.contains("90.0%"));
+    }
+
+    #[test]
+    fn flame_table_has_spill_column() {
+        let mut m = mk("spiller", 10, 0, 0, 0);
+        m.counters.spill_wait = 90;
+        let r = StallReport { total_cycles: 100, modules: vec![m] };
+        let table = r.flame_table(10);
+        assert!(table.contains("spill%"), "header names the spill bucket:\n{table}");
+        assert!(table.contains("90.0%"));
+        assert_eq!(StallClass::SpillWait.name(), "stall:spill");
     }
 
     #[test]

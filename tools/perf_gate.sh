@@ -1,38 +1,26 @@
 #!/bin/sh
 # Engine-throughput regression gate.
 #
-# Re-runs the engine_throughput bench and compares each row's throughput
-# (Mflit/s) against the committed BENCH_engine.json snapshot. A row more
-# than 15% BELOW the snapshot fails the gate — a real perf regression on
-# the same machine. A row more than 15% ABOVE only warns: the snapshot is
-# stale and should be refreshed (re-run the bench, commit the new file).
+# Re-runs the engine_throughput and tier_overhead benches and compares
+# each row's throughput (Mflit/s) against the committed BENCH_engine.json
+# / BENCH_tier.json snapshots. A row more than 15% BELOW the snapshot
+# fails the gate — a real perf regression on the same machine. A row more
+# than 15% ABOVE only warns: the snapshot is stale and should be
+# refreshed (re-run the bench, commit the new file).
 #
-#   sh tools/perf_gate.sh          # gate; snapshot file left untouched
-#   sh tools/perf_gate.sh --keep   # gate; keep the fresh numbers in
-#                                  # BENCH_engine.json on pass
+#   sh tools/perf_gate.sh          # gate; snapshot files left untouched
+#   sh tools/perf_gate.sh --keep   # gate; keep the fresh numbers in the
+#                                  # snapshot files on pass
 #
 # Wall-clock on a loaded host wobbles; the 15% band absorbs normal jitter
 # while catching the step-function regressions this gate exists for. The
-# bench itself reports a median of three runs per row for the same reason.
+# benches themselves report a median per row for the same reason.
 set -eu
 root=$(cd "$(dirname "$0")/.." && pwd)
-snap="$root/BENCH_engine.json"
 keep=${1:-}
+fail=0
 
-if [ ! -f "$snap" ]; then
-    echo "perf_gate: no BENCH_engine.json snapshot to gate against;" >&2
-    echo "run: cargo bench --offline -p genesis-bench --bench engine_throughput" >&2
-    exit 1
-fi
-
-old=$(mktemp)
-cp "$snap" "$old"
-trap 'rm -f "$old"' EXIT
-
-echo "perf_gate: running engine_throughput bench (median of 3 per row)..."
-(cd "$root" && cargo bench --offline -p genesis-bench --bench engine_throughput >/dev/null 2>&1)
-
-# One "label value" pair per sample row of the snapshot JSON.
+# One "label value" pair per sample row of a snapshot JSON.
 rows() {
     awk -F'"' '/"label"/ {
         label = $4
@@ -44,39 +32,64 @@ rows() {
     }' "$1"
 }
 
-fresh_rows=$(mktemp)
-rows "$snap" > "$fresh_rows"
-fail=0
-while read -r label fresh; do
-    base=$(rows "$old" | awk -v l="$label" '$1 == l { print $2 }')
-    if [ -z "$base" ]; then
-        echo "  $label: new row at $fresh Mflit/s (no baseline)"
-        continue
+# gate <bench-name> <snapshot-file>: re-run the bench, compare each row.
+gate() {
+    bench=$1
+    snap=$2
+    if [ ! -f "$snap" ]; then
+        echo "perf_gate: no $(basename "$snap") snapshot to gate against;" >&2
+        echo "run: cargo bench --offline -p genesis-bench --bench $bench" >&2
+        exit 1
     fi
-    # awk exits 1 on a >15% regression; the loop keeps going so the
-    # report always covers every row.
-    awk -v l="$label" -v b="$base" -v f="$fresh" 'BEGIN {
-        r = f / b
-        if (r < 0.85) {
-            printf "  FAIL %-14s %.2f -> %.2f Mflit/s (%.0f%% regression)\n", l, b, f, (1 - r) * 100
-            exit 1
-        } else if (r > 1.15) {
-            printf "  warn %-14s %.2f -> %.2f Mflit/s (%.0f%% faster; snapshot stale)\n", l, b, f, (r - 1) * 100
-        } else {
-            printf "  ok   %-14s %.2f -> %.2f Mflit/s\n", l, b, f
-        }
-    }' || fail=1
-done < "$fresh_rows"
-rm -f "$fresh_rows"
+    old=$(mktemp)
+    cp "$snap" "$old"
+
+    echo "perf_gate: running $bench bench..."
+    (cd "$root" && cargo bench --offline -p genesis-bench --bench "$bench" >/dev/null 2>&1)
+
+    fresh_rows=$(mktemp)
+    rows "$snap" > "$fresh_rows"
+    bench_fail=0
+    while read -r label fresh; do
+        base=$(rows "$old" | awk -v l="$label" '$1 == l { print $2 }')
+        if [ -z "$base" ]; then
+            echo "  $label: new row at $fresh Mflit/s (no baseline)"
+            continue
+        fi
+        # awk exits 1 on a >15% regression; the loop keeps going so the
+        # report always covers every row.
+        awk -v l="$label" -v b="$base" -v f="$fresh" 'BEGIN {
+            r = f / b
+            if (r < 0.85) {
+                printf "  FAIL %-22s %.2f -> %.2f Mflit/s (%.0f%% regression)\n", l, b, f, (1 - r) * 100
+                exit 1
+            } else if (r > 1.15) {
+                printf "  warn %-22s %.2f -> %.2f Mflit/s (%.0f%% faster; snapshot stale)\n", l, b, f, (r - 1) * 100
+            } else {
+                printf "  ok   %-22s %.2f -> %.2f Mflit/s\n", l, b, f
+            }
+        }' || bench_fail=1
+    done < "$fresh_rows"
+    rm -f "$fresh_rows"
+
+    if [ "$bench_fail" -ne 0 ] || [ "$keep" != "--keep" ]; then
+        cp "$old" "$snap"
+    fi
+    rm -f "$old"
+    if [ "$bench_fail" -ne 0 ]; then
+        fail=1
+    fi
+}
+
+gate engine_throughput "$root/BENCH_engine.json"
+gate tier_overhead "$root/BENCH_tier.json"
 
 if [ "$fail" -ne 0 ]; then
-    cp "$old" "$snap"
-    echo "perf_gate: FAILED (snapshot restored)" >&2
+    echo "perf_gate: FAILED (snapshots restored)" >&2
     exit 1
 fi
 if [ "$keep" = "--keep" ]; then
-    echo "perf_gate: passed; fresh numbers kept in BENCH_engine.json"
+    echo "perf_gate: passed; fresh numbers kept in the snapshot files"
 else
-    cp "$old" "$snap"
-    echo "perf_gate: passed (snapshot restored; --keep to adopt fresh numbers)"
+    echo "perf_gate: passed (snapshots restored; --keep to adopt fresh numbers)"
 fi
