@@ -16,8 +16,19 @@
 //!    are snapshotted alongside for reference. Gate: ≥ 2× modeled job
 //!    throughput at 4 devices.
 //!
+//! 3. **Serving under load.** A closed/open-loop load generator
+//!    (`genesis_bench::load`) drives ≥ 100 k synthetic requests:
+//!    closed-loop rows compare unsharded vs. 4-shard scatter-gather on a
+//!    4-device pool (gate: sharding ≥ 2× modeled goodput — a sequential
+//!    request stream serializes whole jobs onto one device, while shards
+//!    fan every request out across the pool), and an open-loop row
+//!    overloads a 1-device server against a deadline SLO to show load
+//!    shedding (admission rejections + queued-deadline prunes) while
+//!    in-SLO goodput holds.
+//!
 //! Results land in `BENCH_serve.json`.
 
+use genesis_bench::load::{self, LoadReport};
 use genesis_core::serve::{GenesisServer, Request, ServerConfig};
 use genesis_core::DeviceConfig;
 use genesis_sql::ast::{AggFn, BinOp, ColRef, Expr, SelectItem};
@@ -182,6 +193,96 @@ fn pool_run(devices: usize) -> PoolRun {
     }
 }
 
+/// Rows in the load-generator catalog: 4 chromosomes × 1024 positions,
+/// spanning several PSIZE windows so 4-way sharding has clean
+/// (chromosome, window) boundaries to split on.
+const LOAD_ROWS: u32 = 4_096;
+/// Requests per closed-loop row (two rows) and for the open-loop row;
+/// together ≥ 100 k requests through the serving layer.
+const CLOSED_REQUESTS: usize = 12_000;
+const OPEN_REQUESTS: usize = 80_000;
+
+/// A reads-shaped table for the load rows (CHR/POS/X).
+fn load_catalog() -> Catalog {
+    let n = LOAD_ROWS;
+    let chr: Vec<u8> = (0..n).map(|i| (i / (n / 4)) as u8).collect();
+    let pos: Vec<u32> = (0..n).map(|i| (i % (n / 4)) * 2_500).collect();
+    let x: Vec<u32> = (0..n).map(|i| i.wrapping_mul(2654435761) % 10_000).collect();
+    let table = Table::from_columns(
+        Schema::new(vec![
+            Field::new("CHR", DataType::U8),
+            Field::new("POS", DataType::U32),
+            Field::new("X", DataType::U32),
+        ]),
+        vec![Column::U8(chr), Column::U32(pos), Column::U32(x)],
+    )
+    .unwrap();
+    let mut cat = Catalog::new();
+    cat.register("R", table);
+    cat
+}
+
+/// `SELECT SUM(X) FROM R WHERE POS > 500_000` — one scalar-aggregate
+/// request, the cheapest shape to gather so the load rows measure the
+/// serving path rather than the merge.
+fn load_plan() -> LogicalPlan {
+    LogicalPlan::Aggregate {
+        input: Box::new(LogicalPlan::Scan { table: "R".into(), partition: None }),
+        items: vec![SelectItem::Agg { func: AggFn::Sum, arg: Some(col("X")), alias: None }],
+        group_by: vec![],
+    }
+}
+
+/// Runs the three load rows and gates the sharding goodput gain.
+fn load_runs() -> (Vec<LoadReport>, f64) {
+    let cat = load_catalog();
+    let plan = load_plan();
+
+    // Closed loop, one client: requests arrive sequentially, so the
+    // unsharded server runs every whole job on the first idle device —
+    // sharding is the only way this stream can use the pool.
+    let unsharded = GenesisServer::new(
+        ServerConfig::default()
+            .with_devices(4, DeviceConfig::small())
+            .with_reconfig_penalty(0),
+    );
+    let row_unsharded = load::closed_loop(
+        &unsharded, &cat, &plan, 1, CLOSED_REQUESTS, "closed unsharded 4dev",
+    );
+    let sharded = GenesisServer::new(
+        ServerConfig::default()
+            .with_devices(4, DeviceConfig::small())
+            .with_reconfig_penalty(0)
+            .with_shards(4),
+    );
+    let row_sharded = load::closed_loop(
+        &sharded, &cat, &plan, 1, CLOSED_REQUESTS, "closed sharded 4dev",
+    );
+
+    // Open loop against one device: offered load far beyond capacity,
+    // 20 ms deadline SLO. The server must shed (reject + prune expired)
+    // while in-SLO completions keep flowing.
+    let overloaded = GenesisServer::new(
+        ServerConfig::default()
+            .with_devices(1, DeviceConfig::small())
+            .with_reconfig_penalty(0)
+            .with_max_pending(256),
+    );
+    let row_open = load::open_loop(
+        &overloaded,
+        &cat,
+        &plan,
+        4,
+        OPEN_REQUESTS,
+        Duration::from_millis(20),
+        "open overload 1dev",
+    );
+
+    let gain = row_sharded.modeled_goodput_per_sec
+        / row_unsharded.modeled_goodput_per_sec.max(1e-12);
+    (vec![row_unsharded, row_sharded, row_open], gain)
+}
+
 fn main() {
     let repo_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
 
@@ -225,6 +326,34 @@ fn main() {
         "4-device pool must deliver >= 2x modeled job throughput, got {pool_gain:.1}x"
     );
 
+    println!();
+    let (load_rows, shard_gain) = load_runs();
+    let total_requests: usize = load_rows.iter().map(|r| r.requests).sum();
+    for r in &load_rows {
+        println!(
+            "  {:<22} [{}] {:>6} req: {:>6} ok / {:>5} rejected / {:>5} missed, \
+             p50 {:>9.1?} p99 {:>9.1?}, {:>7.0} ok/s wall, {:>9.0} ok/modeled-sec",
+            r.label, r.mode, r.requests, r.completed, r.rejected, r.failed,
+            r.p50, r.p99, r.goodput_per_sec, r.modeled_goodput_per_sec,
+        );
+    }
+    println!(
+        "\n  load generator drove {total_requests} requests (gate: >= 100k); \
+         4-shard modeled goodput gain over unsharded: {shard_gain:.1}x (gate: >= 2x)"
+    );
+    assert!(
+        total_requests >= 100_000,
+        "load generator must drive >= 100k requests, drove {total_requests}"
+    );
+    assert!(
+        shard_gain >= 2.0,
+        "4-way sharding must deliver >= 2x modeled goodput for a sequential \
+         request stream on a 4-device pool, got {shard_gain:.1}x"
+    );
+    let open = load_rows.last().expect("open-loop row");
+    assert!(open.rejected > 0, "overload row must shed load at admission");
+    assert!(open.completed > 0, "overload row must complete in-SLO requests");
+
     let mut json = String::from("{\n  \"bench\": \"serve_throughput\",\n");
     let _ = writeln!(
         json,
@@ -264,7 +393,31 @@ fn main() {
         );
         json.push_str(if i == 0 { ",\n" } else { "\n" });
     }
-    let _ = writeln!(json, "  ],\n  \"pool_modeled_throughput_gain\": {pool_gain:.1}\n}}");
+    let _ = writeln!(json, "  ],\n  \"pool_modeled_throughput_gain\": {pool_gain:.1},");
+    json.push_str("  \"load\": [\n");
+    let n_load = load_rows.len();
+    for (i, r) in load_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"label\": \"{}\", \"mode\": \"{}\", \"requests\": {}, \
+             \"completed\": {}, \"rejected\": {}, \"deadline_missed\": {}, \
+             \"wall_ms\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"goodput_per_sec\": {:.0}, \"modeled_goodput_per_sec\": {:.0}}}",
+            r.label,
+            r.mode,
+            r.requests,
+            r.completed,
+            r.rejected,
+            r.failed,
+            r.wall.as_secs_f64() * 1e3,
+            r.p50.as_secs_f64() * 1e6,
+            r.p99.as_secs_f64() * 1e6,
+            r.goodput_per_sec,
+            r.modeled_goodput_per_sec,
+        );
+        json.push_str(if i + 1 < n_load { ",\n" } else { "\n" });
+    }
+    let _ = writeln!(json, "  ],\n  \"shard_modeled_goodput_gain\": {shard_gain:.1}\n}}");
     let out = repo_root.join("BENCH_serve.json");
     std::fs::write(&out, &json).expect("write BENCH_serve.json");
     println!("\nsnapshot written to {}", out.display());

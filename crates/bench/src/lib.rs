@@ -9,6 +9,8 @@
 
 #![warn(missing_docs)]
 
+pub mod load;
+
 use genesis_core::accel::bqsr::accelerated_bqsr_table;
 use genesis_core::accel::markdup::accelerated_mark_duplicates;
 use genesis_core::accel::metadata::accelerated_metadata_update;

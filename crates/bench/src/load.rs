@@ -1,0 +1,326 @@
+//! Closed- and open-loop load generators for the serving layer.
+//!
+//! Both drivers push synthetic requests at a shared [`GenesisServer`] and
+//! summarize the run as a [`LoadReport`]:
+//!
+//! - [`closed_loop`]: a fixed number of client threads, each submitting
+//!   the next request only after its previous one completed. Measures
+//!   end-to-end request latency (p50/p99) and goodput at a bounded
+//!   concurrency — the classic latency-under-load probe.
+//! - [`open_loop`]: submits every request up front regardless of
+//!   completions (arrival rate decoupled from service rate), each with a
+//!   deadline SLO, then drains the admitted tickets. Under overload the
+//!   server must shed load — reject at admission or prune expired queued
+//!   jobs — and the report counts both, so goodput-under-overload is
+//!   directly observable.
+//!
+//! Reports carry two goodput figures: **wall** goodput (completions per
+//! wall-clock second, noisy on a shared host) and **modeled** goodput
+//! (completions per second of modeled device makespan — simulated cycles
+//! over the device clock, busiest device — which is deterministic for a
+//! fixed request mix and is what the benchmark gates compare).
+
+use genesis_core::serve::{GenesisServer, Request, Ticket};
+use genesis_sql::{Catalog, LogicalPlan};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Summary of one load-generator run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Row label for reports and snapshots.
+    pub label: String,
+    /// `"closed"` or `"open"`.
+    pub mode: &'static str,
+    /// Requests the generator attempted to submit.
+    pub requests: usize,
+    /// Requests that completed successfully.
+    pub completed: usize,
+    /// Requests rejected at admission (queue bound or deadline screen).
+    pub rejected: usize,
+    /// Requests admitted but failed afterwards — dominated by queued jobs
+    /// pruned at their deadline under overload.
+    pub failed: usize,
+    /// Wall-clock duration of the whole run (submission + drain).
+    pub wall: Duration,
+    /// Median completed-request latency (submit to result).
+    pub p50: Duration,
+    /// 99th-percentile completed-request latency.
+    pub p99: Duration,
+    /// Completions per wall-clock second.
+    pub goodput_per_sec: f64,
+    /// Modeled device makespan this run added (busiest device).
+    pub modeled_makespan: Duration,
+    /// Completions per second of modeled device makespan.
+    pub modeled_goodput_per_sec: f64,
+}
+
+/// Nearest-rank percentile over an unsorted latency sample.
+fn percentile(latencies: &mut [Duration], p: f64) -> Duration {
+    if latencies.is_empty() {
+        return Duration::ZERO;
+    }
+    latencies.sort_unstable();
+    let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+    latencies[idx]
+}
+
+/// Modeled per-device busy-time deltas between two
+/// [`GenesisServer::modeled_device_time`] snapshots, reduced to the
+/// busiest device (the makespan the device model predicts for this run).
+fn modeled_delta(before: &[Duration], after: &[Duration]) -> Duration {
+    after
+        .iter()
+        .zip(before.iter())
+        .map(|(a, b)| a.saturating_sub(*b))
+        .max()
+        .unwrap_or_default()
+}
+
+/// Raw run outcome before percentile/goodput reduction.
+struct RawRun {
+    label: String,
+    mode: &'static str,
+    requests: usize,
+    latencies: Vec<Duration>,
+    rejected: usize,
+    failed: usize,
+    wall: Duration,
+    modeled_makespan: Duration,
+}
+
+impl RawRun {
+    fn report(mut self) -> LoadReport {
+        let completed = self.latencies.len();
+        let p50 = percentile(&mut self.latencies, 0.50);
+        let p99 = percentile(&mut self.latencies, 0.99);
+        LoadReport {
+            label: self.label,
+            mode: self.mode,
+            requests: self.requests,
+            completed,
+            rejected: self.rejected,
+            failed: self.failed,
+            wall: self.wall,
+            p50,
+            p99,
+            goodput_per_sec: completed as f64 / self.wall.as_secs_f64().max(1e-12),
+            modeled_makespan: self.modeled_makespan,
+            modeled_goodput_per_sec: completed as f64
+                / self.modeled_makespan.as_secs_f64().max(1e-12),
+        }
+    }
+}
+
+/// Drives `requests` total requests through `server` from `clients`
+/// closed-loop client threads: each client submits, waits for the result,
+/// and only then submits its next request, so at most `clients` requests
+/// are in flight at once. Each client is its own tenant (`c0`, `c1`, …).
+///
+/// # Panics
+///
+/// Panics if a latency sample cannot be recorded (poisoned mutex).
+pub fn closed_loop(
+    server: &GenesisServer,
+    catalog: &Catalog,
+    plan: &LogicalPlan,
+    clients: usize,
+    requests: usize,
+    label: &str,
+) -> LoadReport {
+    let before = server.modeled_device_time();
+    let next = AtomicUsize::new(0);
+    let all_latencies = Mutex::new(Vec::with_capacity(requests));
+    let rejected = AtomicUsize::new(0);
+    let failed = AtomicUsize::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients.max(1) {
+            let next = &next;
+            let all_latencies = &all_latencies;
+            let rejected = &rejected;
+            let failed = &failed;
+            scope.spawn(move || {
+                let tenant = format!("c{client}");
+                let mut latencies = Vec::new();
+                while next.fetch_add(1, Ordering::Relaxed) < requests {
+                    let t0 = Instant::now();
+                    match server.submit(Request::new(tenant.clone(), plan.clone()), catalog) {
+                        Ok(ticket) => match ticket.wait() {
+                            Ok(_) => latencies.push(t0.elapsed()),
+                            Err(_) => {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        },
+                        Err(_) => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                all_latencies.lock().expect("latency sink").extend(latencies);
+            });
+        }
+    });
+    RawRun {
+        label: label.to_owned(),
+        mode: "closed",
+        requests,
+        latencies: all_latencies.into_inner().expect("latency sink"),
+        rejected: rejected.into_inner(),
+        failed: failed.into_inner(),
+        wall: start.elapsed(),
+        modeled_makespan: modeled_delta(&before, &server.modeled_device_time()),
+    }
+    .report()
+}
+
+/// Submits all `requests` as fast as the submission path allows (open
+/// loop: the arrival process does not wait for completions), spread
+/// round-robin over `tenants` tenants and each carrying `deadline` as
+/// its SLO. Run this against an under-provisioned server to measure
+/// load shedding: `rejected` counts admission-time rejections (queue
+/// bound and deadline screening), `failed` counts admitted jobs that
+/// missed the SLO — pruned from the queue at their deadline — and
+/// goodput counts only in-SLO completions.
+///
+/// A concurrent drainer thread waits on admitted tickets in submission
+/// order, so the recorded latency tracks submit-to-completion closely
+/// (per-tenant FIFO plus fair rotation completes jobs in near-submission
+/// order); in particular every recorded latency is bounded by the
+/// deadline SLO plus wait-wakeup overhead.
+pub fn open_loop(
+    server: &GenesisServer,
+    catalog: &Catalog,
+    plan: &LogicalPlan,
+    tenants: usize,
+    requests: usize,
+    deadline: Duration,
+    label: &str,
+) -> LoadReport {
+    let before = server.modeled_device_time();
+    let latencies = Mutex::new(Vec::new());
+    let failed = AtomicUsize::new(0);
+    let mut rejected = 0usize;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let (tx, rx) = std::sync::mpsc::channel::<(Instant, Ticket)>();
+        let latencies = &latencies;
+        let failed = &failed;
+        scope.spawn(move || {
+            while let Ok((submitted, ticket)) = rx.recv() {
+                match ticket.wait() {
+                    Ok(_) => latencies
+                        .lock()
+                        .expect("latency sink")
+                        .push(submitted.elapsed()),
+                    Err(_) => {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        });
+        for i in 0..requests {
+            let tenant = format!("t{}", i % tenants.max(1));
+            let request = Request::new(tenant, plan.clone()).with_deadline(deadline);
+            match server.submit(request, catalog) {
+                Ok(ticket) => tx.send((Instant::now(), ticket)).expect("drainer alive"),
+                Err(_) => rejected += 1,
+            }
+        }
+        drop(tx);
+    });
+    RawRun {
+        label: label.to_owned(),
+        mode: "open",
+        requests,
+        latencies: latencies.into_inner().expect("latency sink"),
+        rejected,
+        failed: failed.into_inner(),
+        wall: start.elapsed(),
+        modeled_makespan: modeled_delta(&before, &server.modeled_device_time()),
+    }
+    .report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genesis_core::serve::ServerConfig;
+    use genesis_core::DeviceConfig;
+    use genesis_sql::ast::{AggFn, SelectItem};
+    use genesis_types::{Column, DataType, Field, Schema, Table};
+
+    fn tiny_catalog() -> Catalog {
+        let table = Table::from_columns(
+            Schema::new(vec![Field::new("X", DataType::U32)]),
+            vec![Column::U32((0..64).collect())],
+        )
+        .unwrap();
+        let mut cat = Catalog::new();
+        cat.register("T", table);
+        cat
+    }
+
+    fn sum_plan() -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Scan { table: "T".into(), partition: None }),
+            items: vec![SelectItem::Agg {
+                func: AggFn::Sum,
+                arg: Some(genesis_sql::ast::Expr::Col(
+                    genesis_sql::ast::ColRef::bare("X"),
+                )),
+                alias: None,
+            }],
+            group_by: vec![],
+        }
+    }
+
+    #[test]
+    fn closed_loop_completes_every_request() {
+        let server = GenesisServer::new(
+            ServerConfig::default().with_devices(2, DeviceConfig::small()),
+        );
+        let report =
+            closed_loop(&server, &tiny_catalog(), &sum_plan(), 2, 40, "smoke");
+        assert_eq!(report.completed, 40);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.failed, 0);
+        assert!(report.p99 >= report.p50);
+        assert!(report.goodput_per_sec > 0.0);
+        assert!(report.modeled_goodput_per_sec > 0.0);
+    }
+
+    #[test]
+    fn open_loop_sheds_load_under_overload() {
+        let server = GenesisServer::new(
+            ServerConfig::default()
+                .with_devices(1, DeviceConfig::small())
+                .with_max_pending(4),
+        );
+        let report = open_loop(
+            &server,
+            &tiny_catalog(),
+            &sum_plan(),
+            2,
+            400,
+            Duration::from_millis(50),
+            "smoke-open",
+        );
+        assert_eq!(
+            report.completed + report.rejected + report.failed,
+            report.requests
+        );
+        assert!(report.rejected > 0, "tiny queue bound must shed load");
+        assert!(report.completed > 0, "some requests must land in SLO");
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut lat: Vec<Duration> =
+            (1..=100).map(Duration::from_micros).collect();
+        assert_eq!(percentile(&mut lat, 0.50), Duration::from_micros(51));
+        assert_eq!(percentile(&mut lat, 0.99), Duration::from_micros(99));
+        assert_eq!(percentile(&mut [], 0.5), Duration::ZERO);
+    }
+}

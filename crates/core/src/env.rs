@@ -1,8 +1,9 @@
 //! Unified `GENESIS_*` environment configuration.
 //!
-//! Six environment variables tune a Genesis process without code changes:
+//! Seven environment variables tune a Genesis process without code changes:
 //! `GENESIS_ENGINE`, `GENESIS_TRACE`, `GENESIS_FAULTS`,
-//! `GENESIS_HOST_THREADS`, `GENESIS_DEVICES` and `GENESIS_TIERS`.
+//! `GENESIS_HOST_THREADS`, `GENESIS_DEVICES`, `GENESIS_SHARDS` and
+//! `GENESIS_TIERS`.
 //! Historically each was
 //! parsed ad hoc at its point of use — with different lenience (a typo'd
 //! engine name silently fell back to the default, a typo'd fault spec
@@ -100,6 +101,11 @@ pub struct GenesisEnv {
     /// (`GENESIS_DEVICES`); `None` means the server's own default (one
     /// device).
     pub devices: Option<usize>,
+    /// Scatter-gather shard count for [`crate::serve::GenesisServer`]
+    /// (`GENESIS_SHARDS`): each submitted job is split into up to this
+    /// many (chromosome, `PSIZE`-window)-aligned shard jobs fanned out
+    /// across the device pool; `None` means unsharded (one shard).
+    pub shards: Option<usize>,
     /// Tiered-memory model (`GENESIS_TIERS`); `None` means scratchpads
     /// stay fully on chip.
     pub tiers: Option<TierConfig>,
@@ -133,6 +139,7 @@ impl GenesisEnv {
             faults: parse_faults(lookup("GENESIS_FAULTS"))?,
             host_threads: parse_count(lookup("GENESIS_HOST_THREADS"), "GENESIS_HOST_THREADS")?,
             devices: parse_count(lookup("GENESIS_DEVICES"), "GENESIS_DEVICES")?,
+            shards: parse_count(lookup("GENESIS_SHARDS"), "GENESIS_SHARDS")?,
             tiers: parse_tiers(lookup("GENESIS_TIERS"))?,
         })
     }
@@ -177,6 +184,10 @@ impl GenesisEnv {
          GENESIS_DEVICES       Positive integer = simulated accelerator\n\
          \x20                     devices in the GenesisServer pool; unset or\n\
          \x20                     `0` = one device.\n\
+         GENESIS_SHARDS        Positive integer = scatter-gather shards per\n\
+         \x20                     GenesisServer job, split on (chromosome,\n\
+         \x20                     PSIZE-window) boundaries and merged in\n\
+         \x20                     partition order; unset or `0` = unsharded.\n\
          GENESIS_TIERS         Tiered scratchpad memory: comma-separated\n\
          \x20                     `key=value` in physical units, e.g.\n\
          \x20                     `spm=4MiB,dram=1GiB,pcie=8GiB/s:800ns`.\n\
@@ -376,6 +387,7 @@ mod tests {
         assert_eq!(env.faults, FaultConfig::default());
         assert_eq!(env.host_threads, None);
         assert_eq!(env.devices, None);
+        assert_eq!(env.shards, None);
         assert_eq!(env.tiers, None);
         let cfg = env.device_config();
         assert_eq!(cfg.host_threads, 0);
@@ -390,6 +402,7 @@ mod tests {
             ("GENESIS_FAULTS", "dma=0.25,seed=9"),
             ("GENESIS_HOST_THREADS", "3"),
             ("GENESIS_DEVICES", "4"),
+            ("GENESIS_SHARDS", "8"),
         ]))
         .unwrap();
         assert_eq!(env.engine, EngineMode::Reference);
@@ -397,6 +410,7 @@ mod tests {
         assert_eq!(env.faults.seed, 9);
         assert_eq!(env.host_threads, Some(3));
         assert_eq!(env.devices, Some(4));
+        assert_eq!(env.shards, Some(8));
         assert_eq!(env.device_config().host_threads, 3);
     }
 
@@ -513,6 +527,7 @@ mod tests {
             "GENESIS_FAULTS",
             "GENESIS_HOST_THREADS",
             "GENESIS_DEVICES",
+            "GENESIS_SHARDS",
             "GENESIS_TIERS",
         ] {
             assert!(help.contains(var), "help missing {var}");

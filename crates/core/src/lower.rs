@@ -588,49 +588,184 @@ pub(crate) struct PreparedJob {
     factor: usize,
 }
 
+/// Raw output of one shard of a [`PreparedJob`]: the per-batch sink
+/// payloads (merged later, in shard order, by [`PreparedJob::gather`])
+/// plus the shard's accelerator stats. `Send`, so shards run on
+/// independent device-worker threads.
+#[derive(Debug)]
+pub(crate) struct ShardOut {
+    outs: Vec<(JobOut, Vec<ColInfo>)>,
+    stats: AccelStats,
+}
+
+impl ShardOut {
+    /// The shard's accelerator stats (the serving layer attributes them
+    /// to the device that ran the shard).
+    pub(crate) fn stats(&self) -> &AccelStats {
+        &self.stats
+    }
+}
+
 impl PreparedJob {
-    /// Re-targets the job at a different device configuration — the
-    /// serving layer binds a queued job to whichever pool device
-    /// dispatches it.
-    pub(crate) fn with_device(mut self, cfg: &DeviceConfig) -> PreparedJob {
-        self.cfg = cfg.clone();
-        self
+    /// Rows of the spine scan (the table the pipeline streams over).
+    pub(crate) fn spine_rows(&self) -> usize {
+        self.prepared[0].rows
     }
 
-    /// Runs the job: splits the spine scan across the replication factor,
-    /// simulates the batches, merges per-job results and replays host
-    /// epilogues through the software engine.
-    pub(crate) fn run(self) -> Result<(Table, AccelStats), CoreError> {
-        let spine_rows = self.prepared[0].rows;
-        let mut ranges = split_ranges(spine_rows, self.factor);
-        if ranges.is_empty() {
-            ranges.push(0..0);
+    /// The device configuration baked into the job at prepare time (used
+    /// when the serving layer inherits per-job configs instead of binding
+    /// to a pool device).
+    pub(crate) fn device(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// FNV-1a hash of every scanned column's shape and data — two jobs
+    /// with equal plan fingerprints *and* equal content hashes run the
+    /// same pipeline over the same bytes, so their results are
+    /// interchangeable (the batching coalesce key).
+    pub(crate) fn content_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |byte: u64| {
+            h ^= byte;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        for scan in &self.prepared {
+            for b in scan.table.bytes() {
+                mix(u64::from(b));
+            }
+            mix(scan.rows as u64);
+            for col in &scan.cols {
+                for b in col.name.bytes() {
+                    mix(u64::from(b));
+                }
+                mix(col.elem_bytes as u64);
+                for v in &col.vals {
+                    mix(*v);
+                }
+            }
         }
-        let run_cfg = self.cfg.clone().with_pipelines(self.factor);
+        mix(self.factor as u64);
+        h
+    }
+
+    /// Splits the spine scan into at most `shards` contiguous ascending
+    /// row ranges, aligned to the paper's (chromosome, `PSIZE`-window)
+    /// partitions when the spine carries `CHR` + `POS`/`REFPOS` columns
+    /// (a shard boundary never splits a run of rows sharing a partition
+    /// key); tables without genomic coordinates fall back to an equal
+    /// row split. Always covers `0..spine_rows` exactly, so gathering
+    /// the shard outputs in range order reproduces the unsharded merge.
+    pub(crate) fn shard_ranges(&self, shards: usize) -> Vec<Range<usize>> {
+        let n = self.spine_rows();
+        if shards <= 1 || n < 2 {
+            return std::iter::once(0..n).collect();
+        }
+        let spine = &self.prepared[0];
+        let chr = spine.cols.iter().find(|c| c.name == "CHR");
+        let pos = spine.cols.iter().find(|c| c.name == "POS" || c.name == "REFPOS");
+        let (Some(chr), Some(pos)) = (chr, pos) else {
+            return split_ranges(n, shards);
+        };
+        if chr.vals.len() != n || pos.vals.len() != n {
+            return split_ranges(n, shards);
+        }
+        let psize = u64::from(self.cfg.psize.max(1));
+        let key = |i: usize| (chr.vals[i], pos.vals[i] / psize);
+        // Candidate cut points: row indices where the partition key
+        // changes between consecutive rows.
+        let mut out = Vec::with_capacity(shards);
+        let target = n.div_ceil(shards);
+        let mut start = 0;
+        let mut prev = key(0);
+        for i in 1..n {
+            let k = key(i);
+            let boundary = k != prev;
+            prev = k;
+            if boundary && i - start >= target && out.len() + 1 < shards {
+                out.push(start..i);
+                start = i;
+            }
+        }
+        out.push(start..n);
+        out
+    }
+
+    /// Runs one shard of the job on `cfg`: splits `range` of the spine
+    /// scan across the replication factor, simulates the batches, and
+    /// returns the raw sink payloads plus stats. Merging and host
+    /// epilogues happen once, over all shards, in [`PreparedJob::gather`]
+    /// — applying an epilogue (e.g. `LIMIT`) per shard would corrupt the
+    /// result.
+    pub(crate) fn run_range(
+        &self,
+        cfg: &DeviceConfig,
+        range: Range<usize>,
+    ) -> Result<ShardOut, CoreError> {
+        let mut ranges: Vec<Range<usize>> = split_ranges(range.len(), self.factor)
+            .into_iter()
+            .map(|r| range.start + r.start..range.start + r.end)
+            .collect();
+        if ranges.is_empty() {
+            ranges.push(range.start..range.start);
+        }
+        let run_cfg = cfg.clone().with_pipelines(self.factor);
         let core = &self.lowering.core;
         let prepared = &self.prepared;
         let (outs, mut stats) = run_batches(
             &run_cfg,
             &ranges,
-            |sys, group, range| {
-                let mut ctx =
-                    BuildCtx::new(prepared, range.clone(), group_domain_cap(&self.cfg));
+            |sys, group, r| {
+                let mut ctx = BuildCtx::new(prepared, r.clone(), group_domain_cap(cfg));
                 let mut b = PipelineBuilder::new(sys, group);
                 build_core(&mut b, &mut ctx, core)
             },
             |sys, built, _| extract_job(sys, built),
         )?;
+        // DMA-in: the shard streams its share of the spine scan plus
+        // every non-spine scan in full (join right sides replay per
+        // shard). For the whole-spine range this is exactly the
+        // unsharded job's transfer volume.
         let dma_in: u64 = prepared
             .iter()
-            .map(|p| p.cols.iter().map(|c| (c.vals.len() * c.elem_bytes) as u64).sum::<u64>())
+            .enumerate()
+            .map(|(idx, p)| {
+                let rows = if idx == 0 { range.len() } else { p.rows };
+                p.cols.iter().map(|c| (rows * c.elem_bytes) as u64).sum::<u64>()
+            })
             .sum();
         stats.dma_in_bytes += dma_in;
         stats.dma_transfers += outs.len() as u64 * 2;
+        Ok(ShardOut { outs, stats })
+    }
+
+    /// Gathers shard outputs (in shard-range order), merges them exactly
+    /// as the unsharded run merges its per-batch outputs, sums the
+    /// stats, and replays host epilogues through the software engine.
+    /// The merge is invariant under any partition of the spine into
+    /// ascending contiguous ranges — stream sinks concatenate in order,
+    /// scalar and grouped sinks combine associatively — so the gathered
+    /// table is bit-identical to the unsharded run's.
+    pub(crate) fn gather(&self, parts: Vec<ShardOut>) -> Result<(Table, AccelStats), CoreError> {
+        let mut stats = AccelStats::default();
+        let mut outs = Vec::new();
+        for part in parts {
+            stats.absorb(part.stats);
+            outs.extend(part.outs);
+        }
         let cols = rebuild_cols(&self.lowering.cols_names, &outs);
         let merged = self.lowering.merge(outs, &cols)?;
         stats.dma_out_bytes += merged.byte_size();
         let table = self.lowering.apply_epilogues(merged)?;
         Ok((table, stats))
+    }
+
+    /// Runs the job unsharded: splits the spine scan across the
+    /// replication factor, simulates the batches, merges per-job results
+    /// and replays host epilogues through the software engine.
+    pub(crate) fn run(self) -> Result<(Table, AccelStats), CoreError> {
+        let whole = 0..self.spine_rows();
+        let part = self.run_range(&self.cfg.clone(), whole)?;
+        self.gather(vec![part])
     }
 }
 

@@ -72,6 +72,32 @@ impl<T> FairQueue<T> {
     pub fn depth(&self, tenant: &str) -> usize {
         self.lanes.get(tenant).map_or(0, VecDeque::len)
     }
+
+    /// Removes every queued job matching `pred` and returns them with
+    /// their tenants, lanes visited in rotation order and FIFO within a
+    /// lane (the order coalesced requests fan results out in). Tenants
+    /// whose lanes drain leave the rotation; the relative rotation order
+    /// of the remaining tenants is preserved, so fairness of the
+    /// untouched jobs is unaffected.
+    pub fn drain_matching(&mut self, mut pred: impl FnMut(&T) -> bool) -> Vec<(String, T)> {
+        let mut out = Vec::new();
+        for tenant in self.rotation.iter() {
+            let lane = self.lanes.get_mut(tenant).expect("rotation names a live lane");
+            let mut kept = VecDeque::with_capacity(lane.len());
+            for job in lane.drain(..) {
+                if pred(&job) {
+                    out.push((tenant.clone(), job));
+                } else {
+                    kept.push_back(job);
+                }
+            }
+            *lane = kept;
+        }
+        let lanes = &self.lanes;
+        self.rotation.retain(|t| lanes.get(t).is_some_and(|l| !l.is_empty()));
+        self.len -= out.len();
+        out
+    }
 }
 
 /// One dispatched job in the server's schedule log.
@@ -96,6 +122,10 @@ pub struct DispatchRecord {
     pub start_us: u64,
     /// Microseconds from server start to completion (0 while in flight).
     pub end_us: u64,
+    /// Shard ordinal of this dispatch within its job (0 when unsharded).
+    pub shard: usize,
+    /// Total shards the job was split into (1 when unsharded).
+    pub shards: usize,
 }
 
 /// Reference model of the fair-queue dispatch order: given `(tenant,
@@ -154,6 +184,42 @@ mod tests {
         assert_eq!(q.pop(), Some(("b".to_owned(), 2)));
         assert_eq!(q.pop(), Some(("a".to_owned(), 3)));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn drain_matching_extracts_in_rotation_order() {
+        let mut q = FairQueue::new();
+        for (t, j) in [("a", 1), ("a", 2), ("b", 10), ("c", 20), ("b", 12)] {
+            q.push(t, j);
+        }
+        // Even jobs leave; odd jobs keep their fair order.
+        let drained = q.drain_matching(|j| j % 2 == 0);
+        let got: Vec<(String, u32)> = drained;
+        assert_eq!(
+            got,
+            vec![
+                ("a".to_owned(), 2),
+                ("b".to_owned(), 10),
+                ("b".to_owned(), 12),
+                ("c".to_owned(), 20)
+            ]
+        );
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.depth("b"), 0);
+        assert_eq!(drain(&mut q), vec![("a".to_owned(), 1)]);
+    }
+
+    #[test]
+    fn drain_matching_preserves_rotation_of_survivors() {
+        let mut q = FairQueue::new();
+        for (t, j) in [("a", 1), ("b", 2), ("c", 3), ("a", 4)] {
+            q.push(t, j);
+        }
+        // Drain all of b's jobs; a and c keep their relative order.
+        let drained = q.drain_matching(|&j| j == 2);
+        assert_eq!(drained, vec![("b".to_owned(), 2)]);
+        let order: Vec<u32> = drain(&mut q).into_iter().map(|(_, j)| j).collect();
+        assert_eq!(order, vec![1, 3, 4]);
     }
 
     #[test]

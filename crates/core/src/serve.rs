@@ -21,10 +21,29 @@
 //!   ([`crate::sched::FairQueue`]) across N simulated devices
 //!   ([`ServerConfig::devices`], env `GENESIS_DEVICES`). Admission is
 //!   bounded: a full queue — or a submit-time deadline the current backlog
-//!   provably cannot meet — is rejected with a structured
-//!   [`CoreError::Overloaded`] instead of queueing unboundedly. Each
-//!   device run reuses the PR 3 recovery machinery (retry/backoff inside
-//!   `run_batches`, oracle fallback, panic containment).
+//!   (queued *and* in-flight) provably cannot meet — is rejected with a
+//!   structured [`CoreError::Overloaded`] instead of queueing unboundedly,
+//!   and a queued job whose deadline lapses is pruned at scheduling time,
+//!   before it charges any reconfiguration or device time
+//!   (`server.deadline.misses`). Each device run reuses the PR 3 recovery
+//!   machinery (retry/backoff inside `run_batches`, oracle fallback, panic
+//!   containment).
+//! * **Async admission/dispatch.** One scheduler thread owns the queue and
+//!   hands work to condvar-driven device workers through per-device
+//!   mailboxes, so a queued tenant costs a [`Ticket`] and a queue slot —
+//!   no thread, no stack — and tens of thousands of pending requests are
+//!   cheap. Compilation is single-flight: concurrent submits that miss on
+//!   the same fingerprint compile once and share the result
+//!   (`server.cache.compiles` counts actual compiles).
+//! * **Scatter-gather sharding.** With [`ServerConfig::default_shards`] >
+//!   1 (env `GENESIS_SHARDS`), each job's spine scan is split on the
+//!   paper's (chromosome, PSIZE-window) partition boundaries into shard
+//!   runs that fan out across the pool and merge in partition order —
+//!   bit-identical to the unsharded run, including stats.
+//! * **Cross-request batching.** With [`ServerConfig::batching`], queued
+//!   requests whose plan fingerprint *and* bound data match the job being
+//!   scheduled coalesce into that one device run; every waiting ticket
+//!   receives an identical result (`server.batch.coalesced`).
 //!
 //! Everything is observable: per-tenant latency histograms, queue-depth
 //! gauges, and cache counters land in the shared
@@ -39,7 +58,7 @@ use crate::compile::{script_to_plan, Compiler, PipelinePlan};
 use crate::device::DeviceConfig;
 use crate::error::CoreError;
 use crate::host::OracleFn;
-use crate::lower::PreparedJob;
+use crate::lower::{PreparedJob, ShardOut};
 use crate::perf::AccelStats;
 use crate::sched::{DispatchRecord, FairQueue};
 use genesis_obs::chrome::ChromeTrace;
@@ -47,7 +66,8 @@ use genesis_obs::metrics::{MetricsRegistry, MetricsSnapshot};
 use genesis_obs::trace::TraceConfig;
 use genesis_sql::{Catalog, LogicalPlan};
 use genesis_types::Table;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -76,6 +96,18 @@ pub struct ServerConfig {
     /// single-device server behind `GenesisHost::submit` sets this so the
     /// consolidated front door preserves per-job configs).
     pub inherit_job_config: bool,
+    /// Scatter-gather shard count per job (env `GENESIS_SHARDS`): each
+    /// job's spine scan is split on (chromosome, PSIZE-window) partition
+    /// boundaries into up to this many shard runs that fan out across the
+    /// pool and merge in partition order, bit-identical to the unsharded
+    /// run. `1` (the default) disables sharding.
+    pub default_shards: usize,
+    /// Coalesce queued requests whose plan fingerprint *and* bound data
+    /// match the job being scheduled into one device run, fanning the
+    /// result out to every waiting ticket. Off by default: coalescing
+    /// collapses same-plan jobs, which changes the one-record-per-job
+    /// schedule log that the determinism tests pin.
+    pub batching: bool,
     /// Start with dispatch paused; queued jobs wait until
     /// [`GenesisServer::resume`]. Determinism tests use this to submit a
     /// full tenant mix before any worker races for the queue.
@@ -94,6 +126,8 @@ impl Default for ServerConfig {
             reconfig_penalty_cycles: 2_500_000,
             max_pending: 256,
             inherit_job_config: false,
+            default_shards: 1,
+            batching: false,
             paused: false,
             trace: TraceConfig::off(),
         }
@@ -129,6 +163,22 @@ impl ServerConfig {
         self
     }
 
+    /// Sets the scatter-gather shard count (clamped to ≥ 1; see
+    /// [`ServerConfig::default_shards`]).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> ServerConfig {
+        self.default_shards = shards.max(1);
+        self
+    }
+
+    /// Enables or disables cross-request batching (see
+    /// [`ServerConfig::batching`]).
+    #[must_use]
+    pub fn with_batching(mut self, on: bool) -> ServerConfig {
+        self.batching = on;
+        self
+    }
+
     /// Starts the server paused (see [`ServerConfig::paused`]).
     #[must_use]
     pub fn start_paused(mut self) -> ServerConfig {
@@ -137,7 +187,8 @@ impl ServerConfig {
     }
 
     /// Defaults from the validated `GENESIS_*` environment:
-    /// `GENESIS_DEVICES` sizes the pool and each device takes the
+    /// `GENESIS_DEVICES` sizes the pool, `GENESIS_SHARDS` sets the
+    /// scatter-gather shard count, and each device takes the
     /// trace / fault / host-thread settings of
     /// [`crate::env::GenesisEnv::device_config`].
     ///
@@ -150,6 +201,7 @@ impl ServerConfig {
         let n = env.devices.unwrap_or(1);
         Ok(ServerConfig {
             trace: device.trace.clone(),
+            default_shards: env.shards.unwrap_or(1).max(1),
             ..ServerConfig::default().with_devices(n, device)
         })
     }
@@ -378,6 +430,14 @@ impl Request {
     }
 }
 
+/// The compile cache plus the set of fingerprints currently compiling
+/// (single-flight: a thread that misses on an in-flight key waits on
+/// `GenesisServer::compile_cv` instead of compiling a duplicate).
+struct CacheInner {
+    lru: PipelineCache,
+    inflight: HashSet<u64>,
+}
+
 /// A queued, admitted job.
 struct QueuedJob {
     id: u64,
@@ -386,13 +446,63 @@ struct QueuedJob {
     deadline: Option<Duration>,
     submitted: Instant,
     reconfig_penalty: u64,
+    /// Coalesce key when [`ServerConfig::batching`] is on: plan
+    /// fingerprint mixed with the bound data's content hash, so only
+    /// jobs that would produce identical results coalesce.
+    batch_key: Option<u64>,
 }
 
-/// Everything the workers and tickets share.
+/// A request that coalesced onto another job's device run; it receives a
+/// clone of that run's result (or its own oracle rescue on failure).
+struct Follower {
+    id: u64,
+    tenant: String,
+    submitted: Instant,
+    reconfig_penalty: u64,
+    oracle: Mutex<Option<OracleFn>>,
+}
+
+/// The scheduler-promoted form of a job, shared by its shard assignments.
+struct JobShared {
+    id: u64,
+    tenant: String,
+    prepared: Result<Arc<PreparedJob>, CoreError>,
+    oracle: Mutex<Option<OracleFn>>,
+    submitted: Instant,
+    reconfig_penalty: u64,
+    /// Total shards this job was split into.
+    shards: usize,
+    /// Batched same-fingerprint requests riding this run.
+    followers: Vec<Follower>,
+}
+
+/// One shard run handed to a device worker through its mailbox.
+struct Assignment {
+    job: Arc<JobShared>,
+    range: Range<usize>,
+    shard: usize,
+    /// Index into the schedule log, set at dispatch.
+    seq: u64,
+}
+
+/// Per-job scatter-gather rendezvous: shard outputs accumulate here; the
+/// worker that delivers the last one runs the merge.
+struct Gather {
+    parts: Vec<Option<ShardOut>>,
+    remaining: usize,
+    /// First shard error wins; the merge is skipped.
+    err: Option<CoreError>,
+}
+
+/// Everything the scheduler, workers, and tickets share.
 struct ServerCore {
     state: Mutex<ServerState>,
-    /// Signalled when work arrives, the server resumes, or shutdown.
+    /// Signalled when work arrives, a device frees up, the server
+    /// resumes, or shutdown — wakes the scheduler.
     work: Condvar,
+    /// Signalled when an assignment lands in a device mailbox (or the
+    /// pool drains) — wakes device workers.
+    mail: Condvar,
     /// Signalled when a job result is installed.
     done: Condvar,
     metrics: Arc<MetricsRegistry>,
@@ -403,8 +513,19 @@ struct ServerCore {
 
 struct ServerState {
     queue: FairQueue<QueuedJob>,
+    /// Promoted shard assignments awaiting an idle device.
+    ready: VecDeque<Assignment>,
+    /// One mailbox per device; `Some` exactly while `busy` and the worker
+    /// has not yet picked the assignment up.
+    mailboxes: Vec<Option<Assignment>>,
+    /// Devices with an assignment dispatched and not yet completed.
+    busy: Vec<bool>,
+    /// Scatter-gather rendezvous, keyed by job id, for in-flight jobs.
+    gathers: HashMap<u64, Gather>,
+    /// Jobs promoted out of the queue and not yet finalized — the
+    /// in-flight count deadline admission must include.
+    inflight: usize,
     results: HashMap<u64, Result<(Table, AccelStats), CoreError>>,
-    tenants: HashMap<u64, String>,
     schedule: Vec<DispatchRecord>,
     /// `(ts_us, depth)` samples for the trace's queue-depth counter track.
     depth_samples: Vec<(u64, u64)>,
@@ -416,6 +537,9 @@ struct ServerState {
     completed: u64,
     paused: bool,
     shutdown: bool,
+    /// Set by the scheduler once shutdown has drained the queue; device
+    /// workers exit when they see it with an empty mailbox.
+    drained: bool,
 }
 
 impl ServerCore {
@@ -521,7 +645,9 @@ impl Ticket {
 /// architecture; `examples/serve.rs` for a three-tenant walkthrough.
 pub struct GenesisServer {
     core: Arc<ServerCore>,
-    cache: Mutex<PipelineCache>,
+    cache: Mutex<CacheInner>,
+    /// Signalled when an in-flight compile finishes (single-flight).
+    compile_cv: Condvar,
     scripts: Mutex<HashMap<String, LogicalPlan>>,
     compiler: Compiler,
     cfg: ServerConfig,
@@ -560,8 +686,12 @@ impl GenesisServer {
         let core = Arc::new(ServerCore {
             state: Mutex::new(ServerState {
                 queue: FairQueue::new(),
+                ready: VecDeque::new(),
+                mailboxes: (0..n).map(|_| None).collect(),
+                busy: vec![false; n],
+                gathers: HashMap::new(),
+                inflight: 0,
                 results: HashMap::new(),
-                tenants: HashMap::new(),
                 schedule: Vec::new(),
                 depth_samples: Vec::new(),
                 modeled_busy: vec![Duration::ZERO; n],
@@ -569,27 +699,43 @@ impl GenesisServer {
                 completed: 0,
                 paused: cfg.paused,
                 shutdown: false,
+                drained: false,
             }),
             work: Condvar::new(),
+            mail: Condvar::new(),
             done: Condvar::new(),
             metrics,
             devices: devices.clone(),
             inherit_job_config: cfg.inherit_job_config,
             epoch: Instant::now(),
         });
-        let workers = (0..n)
-            .map(|device| {
-                let core = Arc::clone(&core);
+        let mut workers = Vec::with_capacity(n + 1);
+        let batching = cfg.batching;
+        let shards = cfg.default_shards.max(1);
+        workers.push({
+            let core = Arc::clone(&core);
+            std::thread::Builder::new()
+                .name("genesis-serve-sched".to_owned())
+                .spawn(move || scheduler_loop(&core, batching, shards))
+                .expect("spawn server scheduler")
+        });
+        for device in 0..n {
+            let core = Arc::clone(&core);
+            workers.push(
                 std::thread::Builder::new()
                     .name(format!("genesis-serve-{device}"))
                     .spawn(move || worker_loop(&core, device))
-                    .expect("spawn server worker")
-            })
-            .collect();
+                    .expect("spawn server worker"),
+            );
+        }
         let compiler = Compiler::new(devices[0].clone());
         GenesisServer {
             core,
-            cache: Mutex::new(PipelineCache::new(cfg.cache_capacity)),
+            cache: Mutex::new(CacheInner {
+                lru: PipelineCache::new(cfg.cache_capacity),
+                inflight: HashSet::new(),
+            }),
+            compile_cv: Condvar::new(),
             scripts: Mutex::new(HashMap::new()),
             compiler,
             cfg,
@@ -640,6 +786,17 @@ impl GenesisServer {
         // catalog; a bind failure is deferred to the worker so the oracle
         // can rescue it.
         let prepared = plan.prepare_job(catalog, factor);
+        // The coalesce key ties the plan's structure to the bound data:
+        // two requests batch only when they would compute the same result.
+        let batch_key = if self.cfg.batching {
+            prepared.as_ref().ok().map(|p| {
+                fingerprint(plan.plan(), catalog)
+                    .wrapping_mul(0x0000_0100_0000_01b3)
+                    ^ p.content_hash()
+            })
+        } else {
+            None
+        };
         let submitted = Instant::now();
 
         let mut st = self.core.lock();
@@ -657,8 +814,8 @@ impl GenesisServer {
             deadline,
             submitted,
             reconfig_penalty,
+            batch_key,
         });
-        st.tenants.insert(id, tenant.clone());
         self.core.sample_depth(&mut st);
         self.core
             .metrics
@@ -695,19 +852,32 @@ impl GenesisServer {
         };
         let key = fingerprint(&plan, catalog);
         let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
-        if let Some(hit) = cache.get(key) {
-            self.core.metrics.counter("server.cache.hits").inc();
-            return Ok((hit, 0));
+        // Single-flight: if another thread is already compiling this
+        // fingerprint, wait for it instead of compiling a duplicate — a
+        // stampede of same-plan submits compiles exactly once.
+        loop {
+            if let Some(hit) = cache.lru.get(key) {
+                self.core.metrics.counter("server.cache.hits").inc();
+                return Ok((hit, 0));
+            }
+            if cache.inflight.insert(key) {
+                break;
+            }
+            cache = self.compile_cv.wait(cache).unwrap_or_else(PoisonError::into_inner);
         }
         self.core.metrics.counter("server.cache.misses").inc();
         drop(cache); // compile outside the cache lock
         let start = Instant::now();
-        let compiled = Arc::new(self.compiler.compile(&plan, catalog)?);
-        self.core.metrics.observe_duration("server.compile_ns", start.elapsed());
+        let compiled = self.compiler.compile(&plan, catalog).map(Arc::new);
         let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
-        let before = cache.stats().evictions;
-        cache.insert(key, Arc::clone(&compiled));
-        let evicted = cache.stats().evictions - before;
+        cache.inflight.remove(&key);
+        self.compile_cv.notify_all();
+        let compiled = compiled?;
+        self.core.metrics.observe_duration("server.compile_ns", start.elapsed());
+        self.core.metrics.counter("server.cache.compiles").inc();
+        let before = cache.lru.stats().evictions;
+        cache.lru.insert(key, Arc::clone(&compiled));
+        let evicted = cache.lru.stats().evictions - before;
         if evicted > 0 {
             self.core.metrics.counter("server.cache.evictions").add(evicted);
         }
@@ -715,9 +885,10 @@ impl GenesisServer {
     }
 
     /// Admission control: bounded queue, and deadline feasibility against
-    /// the EWMA service-time estimate when there is a backlog. An empty
-    /// queue always admits — even an impossibly tight deadline gets its
-    /// chance to run (the dispatch-time check is the backstop).
+    /// the EWMA service-time estimate when there is a backlog (queued or
+    /// in-flight). An idle server always admits — even an impossibly
+    /// tight deadline gets its chance to run (the scheduling-time prune
+    /// is the backstop).
     fn admit(
         &self,
         st: &ServerState,
@@ -735,8 +906,13 @@ impl GenesisServer {
             });
         }
         if let Some(deadline) = deadline {
-            if queued > 0 && !st.ewma_service.is_zero() {
-                let waves = queued.div_ceil(self.core.devices.len()) as u32;
+            // The backlog ahead of this job is everything queued plus
+            // everything already promoted onto the pool: a saturated pool
+            // with an empty queue still makes a new job wait a full
+            // service time.
+            let backlog = queued + st.inflight;
+            if backlog > 0 && !st.ewma_service.is_zero() {
+                let waves = backlog.div_ceil(self.core.devices.len()) as u32;
                 let est_wait = st.ewma_service * waves;
                 if est_wait > deadline {
                     self.core.metrics.counter("server.admission.rejected").inc();
@@ -745,8 +921,9 @@ impl GenesisServer {
                         queued,
                         limit: self.cfg.max_pending,
                         reason: format!(
-                            "deadline {deadline:?} cannot be met: estimated queue wait \
-                             {est_wait:?} at current service times"
+                            "deadline {deadline:?} cannot be met: estimated wait \
+                             {est_wait:?} for {backlog} queued/in-flight jobs at \
+                             current service times"
                         ),
                     });
                 }
@@ -789,7 +966,7 @@ impl GenesisServer {
     /// Compiled-pipeline cache counters.
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().unwrap_or_else(PoisonError::into_inner).stats()
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner).lru.stats()
     }
 
     /// The dispatch log so far, in dispatch order. The `(tenant, job_id)`
@@ -840,7 +1017,11 @@ impl GenesisServer {
         }
         for rec in &st.schedule {
             let tid = rec.device as u32 + 1;
-            let name = format!("{}#{}", rec.tenant, rec.job_id);
+            let name = if rec.shards > 1 {
+                format!("{}#{}/s{}", rec.tenant, rec.job_id, rec.shard)
+            } else {
+                format!("{}#{}", rec.tenant, rec.job_id)
+            };
             if rec.start_us > rec.queued_us {
                 trace.complete(
                     1,
@@ -873,6 +1054,7 @@ impl Drop for GenesisServer {
             st.paused = false;
         }
         self.core.work.notify_all();
+        self.core.mail.notify_all();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -880,120 +1062,344 @@ impl Drop for GenesisServer {
     }
 }
 
-/// One pool worker: pops jobs in fair order, runs them on its device,
-/// installs results.
-fn worker_loop(core: &ServerCore, device: usize) {
+/// The single scheduler thread: promotes queued jobs in fair order
+/// (pruning expired deadlines, coalescing batches, splitting shards) and
+/// hands shard assignments to idle device workers through their
+/// mailboxes. Owning promotion in one thread is what makes the dispatch
+/// order deterministic at any pool size — workers never race for the
+/// queue.
+fn scheduler_loop(core: &Arc<ServerCore>, batching: bool, shards: usize) {
+    let mut st = core.lock();
     loop {
-        let (tenant, job, seq) = {
-            let mut st = core.lock();
-            loop {
-                if st.shutdown && st.queue.is_empty() {
-                    return;
-                }
-                if !st.paused || st.shutdown {
-                    if let Some((tenant, job)) = st.queue.pop() {
-                        let seq = st.schedule.len() as u64;
-                        let now = core.now_us();
-                        st.schedule.push(DispatchRecord {
-                            seq,
-                            tenant: tenant.clone(),
-                            job_id: job.id,
-                            device,
-                            queued_us: u64::try_from(
-                                job.submitted
-                                    .saturating_duration_since(core.epoch)
-                                    .as_micros(),
-                            )
-                            .unwrap_or(u64::MAX),
-                            start_us: now,
-                            end_us: 0,
-                        });
-                        core.sample_depth(&mut st);
-                        break (tenant, job, seq);
-                    }
-                }
-                st = core.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+        if st.shutdown && st.queue.is_empty() && st.ready.is_empty() {
+            st.drained = true;
+            drop(st);
+            core.mail.notify_all();
+            return;
+        }
+        let mut progress = false;
+        if !st.paused || st.shutdown {
+            // Keep at most one job's shards in flight toward the pool so
+            // the promotion order (= the fair-queue pop order) is exactly
+            // the dispatch order in the schedule log.
+            if st.ready.is_empty()
+                && !st.queue.is_empty()
+                && st.busy.iter().any(|&b| !b)
+            {
+                progress |= promote(core, &mut st, batching, shards);
             }
-        };
-        let id = job.id;
-        let queued_for = job.submitted.elapsed();
-        let run_start = Instant::now();
-        let outcome = run_one(core, device, &tenant, job);
-        let service = run_start.elapsed();
-
-        let run_stats = outcome.as_ref().ok().map(|(_, stats)| *stats);
-        let mut st = core.lock();
-        if let Ok((_, stats)) = &outcome {
-            st.modeled_busy[device] += core.devices[device].cycles_to_time(stats.cycles);
+            let mut assigned = false;
+            while !st.ready.is_empty() {
+                let Some(device) = st.busy.iter().position(|&b| !b) else { break };
+                let a = st.ready.pop_front().expect("checked non-empty");
+                dispatch(core, &mut st, a, device);
+                assigned = true;
+            }
+            if assigned {
+                core.mail.notify_all();
+            }
+            progress |= assigned;
         }
-        // EWMA with α = 1/4: smooth enough for admission, cheap to update.
-        st.ewma_service = if st.ewma_service.is_zero() {
-            service
-        } else {
-            (st.ewma_service * 3 + service) / 4
-        };
-        if let Some(rec) = st.schedule.get_mut(seq as usize) {
-            rec.end_us = core.now_us();
+        if !progress {
+            st = core.work.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
-        st.completed += 1;
-        st.results.insert(id, outcome);
-        drop(st);
-        if let Some(stats) = run_stats {
-            crate::host::record_fault_metrics(&core.metrics, stats.faults, "server.");
-            crate::host::record_tier_metrics(&core.metrics, &stats, "server.");
-        }
-        core.metrics
-            .histogram(&format!("server.tenant.{tenant}.latency_ns"))
-            .observe(u64::try_from((queued_for + service).as_nanos()).unwrap_or(u64::MAX));
-        core.metrics.counter(&format!("server.device.{device}.jobs")).inc();
-        core.metrics.counter("server.jobs.completed").inc();
-        core.done.notify_all();
     }
 }
 
-/// Runs one job on `device`: dispatch-time deadline check, hardware run
-/// with panic containment, oracle rescue, reconfiguration-penalty
-/// accounting.
-fn run_one(
-    core: &ServerCore,
-    device: usize,
-    tenant: &str,
-    job: QueuedJob,
-) -> Result<(Table, AccelStats), CoreError> {
-    if let Some(deadline) = job.deadline {
-        let queued_for = job.submitted.elapsed();
-        if queued_for >= deadline {
-            core.metrics.counter("server.deadline.misses").inc();
-            return Err(CoreError::Host(format!(
-                "job {} for tenant {tenant} missed its {deadline:?} deadline while \
-                 queued ({queued_for:?} in queue; clock started at submit)",
-                job.id
-            )));
+/// Pops the next runnable job off the fair queue, expiring lapsed
+/// deadlines along the way, coalesces batch followers, splits the job
+/// into shard assignments, and stages them in `ready`. Returns whether
+/// anything happened (a job promoted or at least one expiry settled).
+fn promote(core: &ServerCore, st: &mut ServerState, batching: bool, shards: usize) -> bool {
+    let mut progress = false;
+    let (tenant, job) = loop {
+        let Some((tenant, job)) = st.queue.pop() else {
+            if progress {
+                core.sample_depth(st);
+            }
+            return progress;
+        };
+        if is_expired(&job) {
+            settle_expired(core, st, &tenant, &job);
+            progress = true;
+            continue;
+        }
+        break (tenant, job);
+    };
+    let mut followers = Vec::new();
+    if batching {
+        if let Some(key) = job.batch_key {
+            for (ft, fj) in st.queue.drain_matching(|j| j.batch_key == Some(key)) {
+                if is_expired(&fj) {
+                    settle_expired(core, st, &ft, &fj);
+                    continue;
+                }
+                followers.push(Follower {
+                    id: fj.id,
+                    tenant: ft,
+                    submitted: fj.submitted,
+                    reconfig_penalty: fj.reconfig_penalty,
+                    oracle: Mutex::new(fj.oracle),
+                });
+            }
+            if !followers.is_empty() {
+                core.metrics
+                    .counter("server.batch.coalesced")
+                    .add(followers.len() as u64);
+            }
         }
     }
-    let device_cfg = &core.devices[device];
-    let inherit = core.inherit_job_config;
-    let hw = job.prepared.and_then(|p| {
-        let p = if inherit { p } else { p.with_device(device_cfg) };
-        catch_unwind(AssertUnwindSafe(|| p.run())).unwrap_or_else(|panic| {
-            Err(CoreError::Host(format!(
-                "server job panicked: {}",
-                crate::accel::panic_message(panic.as_ref())
-            )))
-        })
+    let QueuedJob { id, prepared, oracle, submitted, reconfig_penalty, .. } = job;
+    let (prepared, ranges) = match prepared {
+        Ok(p) => {
+            let ranges = p.shard_ranges(shards);
+            (Ok(Arc::new(p)), ranges)
+        }
+        // A job that failed to bind still flows through one (empty) shard
+        // so the error surfaces at the ticket — or its oracle rescues it.
+        Err(e) => (Err(e), std::iter::once(0..0).collect()),
+    };
+    let nshards = ranges.len();
+    let shared = Arc::new(JobShared {
+        id,
+        tenant,
+        prepared,
+        oracle: Mutex::new(oracle),
+        submitted,
+        reconfig_penalty,
+        shards: nshards,
+        followers,
     });
-    let (table, mut stats) = match hw {
-        Ok(done) => done,
-        Err(e) => {
-            let Some(oracle) = job.oracle else { return Err(e) };
-            let mut stats = AccelStats::default();
-            stats.faults.fallback_batches = 1;
-            stats.faults.fallback_jobs = 1;
-            (oracle()?, stats)
+    st.gathers.insert(id, Gather {
+        parts: (0..nshards).map(|_| None).collect(),
+        remaining: nshards,
+        err: None,
+    });
+    st.inflight += 1;
+    if nshards > 1 {
+        core.metrics.counter("server.shards.dispatched").add(nshards as u64);
+    }
+    for (shard, range) in ranges.into_iter().enumerate() {
+        st.ready.push_back(Assignment { job: Arc::clone(&shared), range, shard, seq: 0 });
+    }
+    core.sample_depth(st);
+    true
+}
+
+fn is_expired(job: &QueuedJob) -> bool {
+    job.deadline.is_some_and(|d| job.submitted.elapsed() >= d)
+}
+
+/// Settles a job whose submit-anchored deadline lapsed while queued: it
+/// never reaches a device and never charges reconfiguration or device
+/// time; it counts under `server.deadline.misses` exactly once (here —
+/// the only prune point).
+fn settle_expired(core: &ServerCore, st: &mut ServerState, tenant: &str, job: &QueuedJob) {
+    let queued_for = job.submitted.elapsed();
+    let deadline = job.deadline.unwrap_or_default();
+    core.metrics.counter("server.deadline.misses").inc();
+    st.results.insert(
+        job.id,
+        Err(CoreError::Host(format!(
+            "job {} for tenant {tenant} missed its {deadline:?} deadline while \
+             queued ({queued_for:?} in queue; clock started at submit)",
+            job.id
+        ))),
+    );
+    st.completed += 1;
+    core.metrics
+        .histogram(&format!("server.tenant.{tenant}.latency_ns"))
+        .observe(u64::try_from(queued_for.as_nanos()).unwrap_or(u64::MAX));
+    core.metrics.counter("server.jobs.completed").inc();
+    core.done.notify_all();
+}
+
+/// Records the dispatch and places the assignment in `device`'s mailbox.
+fn dispatch(core: &ServerCore, st: &mut ServerState, mut a: Assignment, device: usize) {
+    let seq = st.schedule.len() as u64;
+    a.seq = seq;
+    st.schedule.push(DispatchRecord {
+        seq,
+        tenant: a.job.tenant.clone(),
+        job_id: a.job.id,
+        device,
+        queued_us: u64::try_from(
+            a.job.submitted.saturating_duration_since(core.epoch).as_micros(),
+        )
+        .unwrap_or(u64::MAX),
+        start_us: core.now_us(),
+        end_us: 0,
+        shard: a.shard,
+        shards: a.job.shards,
+    });
+    st.busy[device] = true;
+    st.mailboxes[device] = Some(a);
+}
+
+/// One pool worker: waits on its mailbox, runs the shard range on its
+/// device, delivers the output to the job's gather — and if that was the
+/// last shard, merges and installs the result(s).
+fn worker_loop(core: &ServerCore, device: usize) {
+    loop {
+        let a = {
+            let mut st = core.lock();
+            loop {
+                if let Some(a) = st.mailboxes[device].take() {
+                    break a;
+                }
+                if st.drained {
+                    return;
+                }
+                st = core.mail.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let job = Arc::clone(&a.job);
+        let run_start = Instant::now();
+        let outcome: Result<ShardOut, CoreError> = match &job.prepared {
+            Ok(p) => {
+                let cfg = if core.inherit_job_config {
+                    p.device().clone()
+                } else {
+                    core.devices[device].clone()
+                };
+                catch_unwind(AssertUnwindSafe(|| p.run_range(&cfg, a.range.clone())))
+                    .unwrap_or_else(|panic| {
+                        Err(CoreError::Host(format!(
+                            "server job panicked: {}",
+                            crate::accel::panic_message(panic.as_ref())
+                        )))
+                    })
+            }
+            Err(e) => Err(e.clone()),
+        };
+        let service = run_start.elapsed();
+
+        let finished = {
+            let mut st = core.lock();
+            st.busy[device] = false;
+            if let Ok(part) = &outcome {
+                st.modeled_busy[device] +=
+                    core.devices[device].cycles_to_time(part.stats().cycles);
+            }
+            // EWMA with α = 1/4: smooth enough for admission, cheap to
+            // update.
+            st.ewma_service = if st.ewma_service.is_zero() {
+                service
+            } else {
+                (st.ewma_service * 3 + service) / 4
+            };
+            if let Some(rec) = st.schedule.get_mut(a.seq as usize) {
+                rec.end_us = core.now_us();
+            }
+            let gather = st.gathers.get_mut(&job.id).expect("in-flight job has a gather");
+            match outcome {
+                Ok(part) => gather.parts[a.shard] = Some(part),
+                Err(e) => {
+                    if gather.err.is_none() {
+                        gather.err = Some(e);
+                    }
+                }
+            }
+            gather.remaining -= 1;
+            if gather.remaining == 0 {
+                Some(st.gathers.remove(&job.id).expect("just observed"))
+            } else {
+                None
+            }
+        };
+        core.metrics.counter(&format!("server.device.{device}.jobs")).inc();
+        // The device freed up (and possibly a job completed): wake the
+        // scheduler.
+        core.work.notify_all();
+        if let Some(gather) = finished {
+            finalize(core, &job, gather);
+        }
+    }
+}
+
+/// Merges a completed job's shard outputs (or propagates its first
+/// error), fans the result out to batch followers, applies
+/// reconfiguration penalties and oracle rescues, and installs results.
+fn finalize(core: &ServerCore, job: &Arc<JobShared>, gather: Gather) {
+    let base: Result<(Table, AccelStats), CoreError> = match (gather.err, &job.prepared) {
+        (Some(e), _) => Err(e),
+        (None, Err(e)) => Err(e.clone()),
+        (None, Ok(p)) => {
+            let parts: Vec<ShardOut> = gather
+                .parts
+                .into_iter()
+                .map(|part| part.expect("all shards delivered"))
+                .collect();
+            p.gather(parts)
         }
     };
-    stats.reconfig_cycles += job.reconfig_penalty;
-    stats.cycles += job.reconfig_penalty;
+    let mut deliveries = Vec::with_capacity(job.followers.len() + 1);
+    for f in &job.followers {
+        let result = settle(&base, &f.oracle, f.reconfig_penalty);
+        deliveries.push((f.id, f.tenant.clone(), f.submitted, result));
+    }
+    let primary = match base {
+        Ok((table, mut stats)) => {
+            stats.reconfig_cycles += job.reconfig_penalty;
+            stats.cycles += job.reconfig_penalty;
+            Ok((table, stats))
+        }
+        Err(e) => rescue(&job.oracle, job.reconfig_penalty, e),
+    };
+    if let Ok((_, stats)) = &primary {
+        crate::host::record_fault_metrics(&core.metrics, stats.faults, "server.");
+        crate::host::record_tier_metrics(&core.metrics, stats, "server.");
+    }
+    deliveries.push((job.id, job.tenant.clone(), job.submitted, primary));
+    let mut st = core.lock();
+    st.inflight -= 1;
+    for (id, tenant, submitted, result) in deliveries {
+        st.results.insert(id, result);
+        st.completed += 1;
+        core.metrics
+            .histogram(&format!("server.tenant.{tenant}.latency_ns"))
+            .observe(u64::try_from(submitted.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        core.metrics.counter("server.jobs.completed").inc();
+    }
+    drop(st);
+    core.done.notify_all();
+}
+
+/// A follower's copy of the shared run outcome: the table is cloned and
+/// the follower's own reconfiguration penalty applied; on failure its own
+/// oracle gets the rescue attempt.
+fn settle(
+    base: &Result<(Table, AccelStats), CoreError>,
+    oracle: &Mutex<Option<OracleFn>>,
+    penalty: u64,
+) -> Result<(Table, AccelStats), CoreError> {
+    match base {
+        Ok((table, stats)) => {
+            let mut stats = *stats;
+            stats.reconfig_cycles += penalty;
+            stats.cycles += penalty;
+            Ok((table.clone(), stats))
+        }
+        Err(e) => rescue(oracle, penalty, e.clone()),
+    }
+}
+
+/// Oracle fallback for a failed run, matching `GenesisHost::submit`
+/// semantics: the oracle's table with fallback fault counters, plus the
+/// job's reconfiguration penalty.
+fn rescue(
+    oracle: &Mutex<Option<OracleFn>>,
+    penalty: u64,
+    err: CoreError,
+) -> Result<(Table, AccelStats), CoreError> {
+    let oracle = oracle.lock().unwrap_or_else(PoisonError::into_inner).take();
+    let Some(oracle) = oracle else { return Err(err) };
+    let table = oracle()?;
+    let mut stats = AccelStats::default();
+    stats.faults.fallback_batches = 1;
+    stats.faults.fallback_jobs = 1;
+    stats.reconfig_cycles += penalty;
+    stats.cycles += penalty;
     Ok((table, stats))
 }
 

@@ -5,11 +5,12 @@
 
 use genesis_core::sched::fair_order;
 use genesis_core::serve::{GenesisServer, Request, ServerConfig};
-use genesis_core::{CoreError, DeviceConfig};
+use genesis_core::{Compiler, CoreError, DeviceConfig};
 use genesis_sql::ast::{AggFn, BinOp, ColRef, Expr, SelectItem};
 use genesis_sql::{Catalog, LogicalPlan};
 use genesis_types::{Column, DataType, Field, Schema, Table, Value};
 use proptest::prelude::*;
+use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::time::Duration;
 
 fn catalog(rows: u32) -> Catalog {
@@ -221,6 +222,141 @@ fn admission_rejects_unmeetable_deadline_under_backlog() {
     srv.resume();
     ok.wait().unwrap();
     assert_eq!(srv.metrics_snapshot().counters["server.admission.rejected"], 1);
+}
+
+/// Regression: a stampede of concurrent submits that all miss on the
+/// same fingerprint must compile exactly once (single-flight). Pre-fix,
+/// every thread that missed before the first insert compiled its own
+/// duplicate (`compile` ran outside the cache lock with no in-flight
+/// marker).
+#[test]
+fn concurrent_same_plan_submits_compile_once() {
+    let srv = server(2, false);
+    let n = 8;
+    let barrier = Barrier::new(n);
+    std::thread::scope(|scope| {
+        for i in 0..n {
+            let srv = &srv;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let cat = catalog(16);
+                barrier.wait();
+                let (out, _) = srv
+                    .submit(Request::new(format!("t{i}"), sum_above(7)), &cat)
+                    .unwrap()
+                    .wait()
+                    .unwrap();
+                assert_eq!(out.row(0)[0], Value::U64(expected_sum(16, 7)));
+            });
+        }
+    });
+    let snap = srv.metrics_snapshot();
+    assert_eq!(
+        snap.counters["server.cache.compiles"], 1,
+        "8 concurrent same-plan submits must share one compile"
+    );
+    assert_eq!(snap.histograms["server.compile_ns"].count, 1);
+    assert_eq!(snap.counters["server.cache.misses"], 1);
+    assert_eq!(snap.counters["server.cache.hits"], n as u64 - 1);
+    let stats = srv.cache_stats();
+    assert_eq!(stats.len, 1, "one cached entry, not {}", stats.len);
+}
+
+/// Regression: deadline admission must count in-flight jobs, not just
+/// queued ones. Pre-fix, `waves = queued.div_ceil(devices)` saw a
+/// saturated pool with an empty queue as "no backlog" and admitted
+/// deadlines the pool provably could not meet.
+#[test]
+fn admission_counts_in_flight_jobs() {
+    let cat = catalog(8);
+    let srv = server(1, false);
+    // Establish the EWMA service-time estimate.
+    srv.submit(Request::new("warm", sum_above(0)), &cat).unwrap().wait().unwrap();
+    // Occupy the pool with a job that parks in its oracle: the
+    // precompiled plan binds against an empty catalog, so the device run
+    // fails and the gated oracle rescue holds the job in flight.
+    let compiled =
+        Compiler::new(DeviceConfig::small()).compile(&sum_above(0), &cat).unwrap();
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let blocker_gate = Arc::clone(&gate);
+    let empty = Catalog::new();
+    let blocker = srv
+        .submit(
+            Request::precompiled("block", compiled).with_oracle(move || {
+                let (lock, cv) = &*blocker_gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+                Ok(Table::from_columns(
+                    Schema::new(vec![Field::new("S", DataType::U64)]),
+                    vec![Column::U64(vec![0])],
+                )
+                .unwrap())
+            }),
+            &empty,
+        )
+        .unwrap();
+    // Wait for the exact pre-fix blind spot: blocker dispatched (so the
+    // queue is empty) but still in flight.
+    let start = std::time::Instant::now();
+    while srv.queue_depth() > 0 || srv.schedule_log().len() < 2 {
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "blocker was never dispatched"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // A 1 ns deadline cannot outlast a full service time behind the
+    // in-flight job; admission must reject it despite the empty queue.
+    let err = srv
+        .submit(
+            Request::new("late", sum_above(0)).with_deadline(Duration::from_nanos(1)),
+            &cat,
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, CoreError::Overloaded { .. }),
+        "saturated pool with empty queue must reject a doomed deadline: {err:?}"
+    );
+    let (lock, cv) = &*gate;
+    *lock.lock().unwrap() = true;
+    cv.notify_all();
+    blocker.wait().unwrap();
+}
+
+/// Regression: a queued job whose submit-anchored deadline lapses must be
+/// pruned at scheduling time — no dispatch record, no device or
+/// reconfiguration time — and counted under `server.deadline.misses`
+/// exactly once. Pre-fix the job reached a device before the deadline
+/// check ran.
+#[test]
+fn expired_queued_job_is_pruned_before_reaching_a_device() {
+    let cat = catalog(8);
+    let srv = server(1, true); // paused: the job expires while queued
+    let ticket = srv
+        .submit(
+            Request::new("late", sum_above(0)).with_deadline(Duration::from_millis(5)),
+            &cat,
+        )
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    srv.resume();
+    let start = std::time::Instant::now();
+    while !ticket.is_done() {
+        assert!(start.elapsed() < Duration::from_secs(10), "prune never settled");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let err = ticket.wait().unwrap_err();
+    assert!(err.to_string().contains("missed its"), "got: {err}");
+    assert!(
+        srv.schedule_log().is_empty(),
+        "an expired job must never reach a device"
+    );
+    assert!(srv.modeled_device_time().iter().all(Duration::is_zero));
+    let snap = srv.metrics_snapshot();
+    assert_eq!(snap.counters["server.deadline.misses"], 1);
+    assert_eq!(snap.counters["server.jobs.completed"], 1);
 }
 
 #[test]

@@ -7,7 +7,10 @@ use std::fmt;
 
 /// A user-supplied custom operation (paper §III-F): takes input tables,
 /// produces one output table.
-pub type CustomModule = Box<dyn Fn(&[&Table]) -> Result<Table, SqlError>>;
+///
+/// Modules are `Send + Sync` so a catalog can be shared across the
+/// serving layer's client and device-worker threads.
+pub type CustomModule = Box<dyn Fn(&[&Table]) -> Result<Table, SqlError> + Send + Sync>;
 
 /// The table catalog a script runs against.
 ///

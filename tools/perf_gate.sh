@@ -15,6 +15,13 @@
 # Wall-clock on a loaded host wobbles; the 15% band absorbs normal jitter
 # while catching the step-function regressions this gate exists for. The
 # benches themselves report a median per row for the same reason.
+#
+# The serve_throughput load rows are gated too (BENCH_serve.json):
+# p99 latency (lower is better, 1.5x band — tail latency on a one-core
+# host jitters more than throughput medians) and modeled goodput (higher
+# is better, 15% band for the deterministic closed-loop rows, 2x band
+# for the open-loop overload row whose admitted-request mix races the
+# queue drain).
 set -eu
 root=$(cd "$(dirname "$0")/.." && pwd)
 keep=${1:-}
@@ -81,8 +88,89 @@ gate() {
     fi
 }
 
+# One "key value fail_band direction" line per gated metric of a
+# BENCH_serve.json load row. p99 is lower-better with a 1.5x band;
+# modeled goodput is higher-better (0.85 band closed, 0.50 open).
+serve_rows() {
+    awk -F'"' '/"mode"/ {
+        label = $4
+        gsub(/ /, "-", label)
+        mode = $8
+        if (match($0, /"p99_us": [0-9.]+/)) {
+            v = substr($0, RSTART, RLENGTH)
+            sub(/^"p99_us": /, "", v)
+            print label ".p99_us", v, 1.5, "lower"
+        }
+        if (match($0, /"modeled_goodput_per_sec": [0-9.]+/)) {
+            v = substr($0, RSTART, RLENGTH)
+            sub(/^"modeled_goodput_per_sec": /, "", v)
+            band = (mode == "open") ? 0.50 : 0.85
+            print label ".modeled_goodput", v, band, "higher"
+        }
+    }' "$1"
+}
+
+# Re-run the serving bench and gate each load row's p99 + modeled
+# goodput against the BENCH_serve.json snapshot.
+gate_serve() {
+    snap="$root/BENCH_serve.json"
+    if [ ! -f "$snap" ]; then
+        echo "perf_gate: no BENCH_serve.json snapshot to gate against;" >&2
+        echo "run: cargo bench --offline -p genesis-bench --bench serve_throughput" >&2
+        exit 1
+    fi
+    old=$(mktemp)
+    cp "$snap" "$old"
+
+    echo "perf_gate: running serve_throughput bench..."
+    (cd "$root" && cargo bench --offline -p genesis-bench --bench serve_throughput >/dev/null 2>&1)
+
+    fresh_rows=$(mktemp)
+    serve_rows "$snap" > "$fresh_rows"
+    bench_fail=0
+    while read -r key fresh band dir; do
+        base=$(serve_rows "$old" | awk -v k="$key" '$1 == k { print $2 }')
+        if [ -z "$base" ]; then
+            echo "  $key: new row at $fresh (no baseline)"
+            continue
+        fi
+        awk -v k="$key" -v b="$base" -v f="$fresh" -v band="$band" -v dir="$dir" 'BEGIN {
+            r = f / b
+            if (dir == "lower") {
+                if (r > band) {
+                    printf "  FAIL %-38s %.1f -> %.1f (+%.0f%% above %.0f%% band)\n", k, b, f, (r - 1) * 100, (band - 1) * 100
+                    exit 1
+                } else if (r < 1 / band) {
+                    printf "  warn %-38s %.1f -> %.1f (%.0f%% faster; snapshot stale)\n", k, b, f, (1 - r) * 100
+                } else {
+                    printf "  ok   %-38s %.1f -> %.1f\n", k, b, f
+                }
+            } else {
+                if (r < band) {
+                    printf "  FAIL %-38s %.0f -> %.0f (%.0f%% below %.0f%% band)\n", k, b, f, (1 - r) * 100, (1 - band) * 100
+                    exit 1
+                } else if (r > 1 / band) {
+                    printf "  warn %-38s %.0f -> %.0f (+%.0f%%; snapshot stale)\n", k, b, f, (r - 1) * 100
+                } else {
+                    printf "  ok   %-38s %.0f -> %.0f\n", k, b, f
+                }
+            }
+        }' || bench_fail=1
+    done < "$fresh_rows"
+    rm -f "$fresh_rows"
+
+    if [ "$bench_fail" -ne 0 ] || [ "$keep" != "--keep" ]; then
+        cp "$old" "$snap"
+    fi
+    rm -f "$old"
+    if [ "$bench_fail" -ne 0 ]; then
+        fail=1
+    fi
+}
+
 gate engine_throughput "$root/BENCH_engine.json"
 gate tier_overhead "$root/BENCH_tier.json"
+gate_serve
 
 if [ "$fail" -ne 0 ]; then
     echo "perf_gate: FAILED (snapshots restored)" >&2
