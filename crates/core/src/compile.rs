@@ -24,7 +24,7 @@ use crate::cost::{
 };
 use crate::device::DeviceConfig;
 use crate::error::CoreError;
-use crate::library::module_for_operator;
+use crate::library::ModuleRegistry;
 use crate::lower::{analyze, Lowering};
 use crate::perf::AccelStats;
 use genesis_hw::ResourceUsage;
@@ -35,20 +35,15 @@ use genesis_sql::{Catalog, LogicalPlan};
 use genesis_types::Table;
 use std::collections::HashMap;
 
-/// A recognized fast-path kernel: one of the paper's three hand-built
-/// accelerators, with a pre-characterized pipeline profile.
+/// A recognized fast-path kernel: one of the paper's hand-built
+/// accelerators that the general compiler cannot (yet) lower, with a
+/// pre-characterized pipeline profile.
+///
+/// The column-reduce fast path was retired once the general path lowered
+/// plain column aggregates at identical cycle counts (see the
+/// `column_reduce_retired_with_cycle_parity` regression test).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompiledKernel {
-    /// `SELECT <agg>(COL) FROM READS [PARTITION (p)]`, one result per item:
-    /// the Figure 10 reduce pipeline.
-    ColumnReduce {
-        /// Source table.
-        table: String,
-        /// Reduced column.
-        column: String,
-        /// Aggregate function.
-        func: AggFn,
-    },
     /// The Figure 4 / Figure 7 idiom: per-read count of bases matching the
     /// `PosExplode`'d reference after an inner join on position.
     CountMatchingBases,
@@ -65,28 +60,26 @@ pub enum CompiledKernel {
 /// Pre-characterized per-pipeline profile of a fast-path kernel, the cost
 /// model's input. The constants mirror the hand-built accelerators'
 /// streaming ports and fabric and reproduce the paper's Figure 8
-/// replication factors: 16× for the reduce (Mark Duplicates) pipeline,
-/// 16× for the metadata pipeline, 8× for the BRAM-heavy BQSR histogram.
+/// replication factors: 16× for the metadata pipeline, 8× for the
+/// BRAM-heavy BQSR histogram. (Both are read-port-characterized at their
+/// *input* rate, so the nominal expansion stays 1.0 here; explode
+/// expansion is modeled only where the lowering measures it.)
 #[must_use]
 pub fn kernel_profile(kernel: &CompiledKernel) -> PipelineProfile {
     match kernel {
-        // One narrow column stream into a reduction tree.
-        CompiledKernel::ColumnReduce { .. } => PipelineProfile {
-            read_port_bytes: vec![1],
-            write_port_bytes: vec![],
-            fabric: ResourceUsage { luts: 3_500, registers: 4_900, bram_bytes: 2_304 },
-        },
         // Read fields + reference stream through explode/join/compare.
         CompiledKernel::CountMatchingBases => PipelineProfile {
             read_port_bytes: vec![4, 4, 2, 1, 1, 1],
             write_port_bytes: vec![],
             fabric: ResourceUsage { luts: 9_500, registers: 11_000, bram_bytes: 41_000 },
+            expansion: 1.0,
         },
         // Key stream in, histogram drain out, large covariate scratchpads.
         CompiledKernel::GroupCount { .. } => PipelineProfile {
             read_port_bytes: vec![4],
             write_port_bytes: vec![4],
             fabric: ResourceUsage { luts: 4_650, registers: 5_700, bram_bytes: 528_896 },
+            expansion: 1.0,
         },
     }
 }
@@ -118,13 +111,29 @@ pub fn kernel_profile(kernel: &CompiledKernel) -> PipelineProfile {
 #[derive(Debug, Clone)]
 pub struct Compiler {
     cfg: DeviceConfig,
+    registry: ModuleRegistry,
 }
 
 impl Compiler {
-    /// A compiler targeting the given device model.
+    /// A compiler targeting the given device model, with the builtin
+    /// module library ([`ModuleRegistry::with_builtins`]).
     #[must_use]
     pub fn new(cfg: DeviceConfig) -> Compiler {
-        Compiler { cfg }
+        Compiler::with_registry(cfg, ModuleRegistry::with_builtins())
+    }
+
+    /// A compiler with an explicit module registry — the way user
+    /// [`crate::library::CustomModuleSpec`]s become planner-placeable.
+    #[must_use]
+    pub fn with_registry(cfg: DeviceConfig, registry: ModuleRegistry) -> Compiler {
+        Compiler { cfg, registry }
+    }
+
+    /// The module registry this compiler resolves `EXEC` calls and
+    /// operator→module mappings against.
+    #[must_use]
+    pub fn registry(&self) -> &ModuleRegistry {
+        &self.registry
     }
 
     /// Compiles one logical plan against `catalog`.
@@ -168,19 +177,23 @@ impl Compiler {
             profile,
             replication,
             cfg: self.cfg.clone(),
+            registry: self.registry.clone(),
         })
     }
 
-    /// Compiles a whole extended-SQL script: resolves `CREATE TABLE`
-    /// views, follows the `FOR row IN table` loop, and compiles the final
-    /// `INSERT` plan.
+    /// Parses a whole extended-SQL script against this compiler's
+    /// registry and compiles the final `INSERT` plan — a thin composition
+    /// of [`script_to_plan`] and [`Compiler::compile`]. Prefer
+    /// [`crate::host::JobSpec::from_script`] when the goal is to run the
+    /// script on a [`crate::host::GenesisHost`].
     ///
     /// # Errors
     ///
     /// Parse errors surface as [`CoreError::Unsupported`] on the `Script`
-    /// node; everything else as in [`Compiler::compile`].
-    pub fn compile_script(&self, src: &str, catalog: &Catalog) -> Result<PipelinePlan, CoreError> {
-        self.compile(&script_to_plan(src)?, catalog)
+    /// node, unknown `EXEC` modules as [`CoreError::Plan`]; everything
+    /// else as in [`Compiler::compile`].
+    pub fn compile_sql(&self, src: &str, catalog: &Catalog) -> Result<PipelinePlan, CoreError> {
+        self.compile(&script_to_plan(src, &self.registry)?, catalog)
     }
 }
 
@@ -194,6 +207,7 @@ pub struct PipelinePlan {
     profile: PipelineProfile,
     replication: ReplicationChoice,
     cfg: DeviceConfig,
+    registry: ModuleRegistry,
 }
 
 impl PipelinePlan {
@@ -239,7 +253,7 @@ impl PipelinePlan {
     /// one line per operator (paper §III-D's "tree graph").
     #[must_use]
     pub fn explain(&self) -> String {
-        let mut out = explain(&self.plan);
+        let mut out = explain(&self.plan, &self.registry);
         if let Some(k) = &self.kernel {
             out.push_str(&format!("fast path: {k:?}\n"));
         }
@@ -308,14 +322,23 @@ impl PipelinePlan {
 }
 
 /// Parses a script and reduces it to the final `INSERT` plan with all
-/// views inlined. Also used by [`crate::serve::GenesisServer`] to register
-/// named scripts.
-pub(crate) fn script_to_plan(src: &str) -> Result<LogicalPlan, CoreError> {
+/// views inlined. `EXEC <module> in = _ …` statements resolve against
+/// `registry`: a placeable module's plan template expands into a view
+/// named `<module>_OUT` (matching the software engine's convention), so
+/// downstream statements can scan the module's output like any table.
+/// Also used by [`crate::serve::GenesisServer`] to register named scripts.
+///
+/// # Errors
+///
+/// Parse failures surface as [`CoreError::Unsupported`] on the `Script`
+/// node; unknown `EXEC` module names as a did-you-mean
+/// [`CoreError::Plan`] from [`ModuleRegistry::resolve`].
+pub fn script_to_plan(src: &str, registry: &ModuleRegistry) -> Result<LogicalPlan, CoreError> {
     let stmts =
         parse_script(src).map_err(|e| CoreError::unsupported("Script", format!("parse error: {e}")))?;
     let mut views: HashMap<String, LogicalPlan> = HashMap::new();
     let mut target: Option<LogicalPlan> = None;
-    collect(&stmts, &mut views, &mut target);
+    collect(&stmts, registry, &mut views, &mut target)?;
     let plan = target.ok_or_else(|| {
         CoreError::unsupported("Script", "no INSERT INTO statement to compile")
     })?;
@@ -324,9 +347,10 @@ pub(crate) fn script_to_plan(src: &str) -> Result<LogicalPlan, CoreError> {
 
 fn collect(
     stmts: &[Statement],
+    registry: &ModuleRegistry,
     views: &mut HashMap<String, LogicalPlan>,
     target: &mut Option<LogicalPlan>,
-) {
+) -> Result<(), CoreError> {
     for stmt in stmts {
         match stmt {
             Statement::CreateTableAs { name, query } => {
@@ -343,11 +367,21 @@ fn collect(
                     var.clone(),
                     LogicalPlan::Scan { table: table.clone(), partition: None },
                 );
-                collect(body, views, target);
+                collect(body, registry, views, target)?;
             }
-            Statement::Declare { .. } | Statement::Set { .. } | Statement::Exec { .. } => {}
+            Statement::Exec { module, inputs } => {
+                let entry = registry.resolve(module)?;
+                // Placeable modules expand into the plan; software-only
+                // customs stay host-side (the §III-B engine runs them),
+                // so their output view simply does not exist here.
+                if let Some(template) = registry.template(&entry.name) {
+                    views.insert(format!("{}_OUT", entry.name), template(inputs)?);
+                }
+            }
+            Statement::Declare { .. } | Statement::Set { .. } => {}
         }
     }
+    Ok(())
 }
 
 /// Substitutes scans of named views by their defining plans, transitively.
@@ -422,66 +456,20 @@ pub fn match_kernel(plan: &LogicalPlan) -> Option<CompiledKernel> {
             }
         }
         if group_by.is_empty() && items.len() == 1 {
-            if let SelectItem::Agg { func, arg, .. } = &items[0] {
-                // Sum of an equality comparison → the matching-bases idiom.
-                if let Some(Expr::Bin { op: BinOp::Eq, .. }) = arg {
-                    if plan_has_explode_join(input) {
-                        return Some(CompiledKernel::CountMatchingBases);
-                    }
-                }
-                // Plain column aggregate over a scan.
-                if let Some(Expr::Col(c)) = arg {
-                    if let Some(table) = root_scan(input) {
-                        return Some(CompiledKernel::ColumnReduce {
-                            table: table.to_owned(),
-                            column: c.column.clone(),
-                            func: *func,
-                        });
-                    }
+            // Sum of an equality comparison → the matching-bases idiom.
+            // (A plain column aggregate over a scan used to match the
+            // ColumnReduce fast path here; the general path lowers it at
+            // cycle parity now, so no kernel tag is needed.)
+            if let SelectItem::Agg { arg: Some(Expr::Bin { op: BinOp::Eq, .. }), .. } =
+                &items[0]
+            {
+                if plan_has_explode_join(input) {
+                    return Some(CompiledKernel::CountMatchingBases);
                 }
             }
         }
     }
     None
-}
-
-/// Compiles a whole extended-SQL script to a fast-path kernel tag.
-///
-/// # Errors
-///
-/// [`CoreError::Unsupported`] when the script does not reduce to one of
-/// the three kernels (the general compiler is not consulted).
-#[deprecated(
-    since = "0.5.0",
-    note = "use Compiler::compile_script, which also lowers general plans and \
-            returns an executable PipelinePlan"
-)]
-pub fn compile_script(src: &str) -> Result<CompiledKernel, CoreError> {
-    #[allow(deprecated)]
-    compile_plan(&script_to_plan(src)?)
-}
-
-/// Compiles a single (already-inlined) plan to a fast-path kernel tag.
-///
-/// # Errors
-///
-/// [`CoreError::Unsupported`] for shapes outside the three kernels.
-#[deprecated(
-    since = "0.5.0",
-    note = "use Compiler::compile, which also lowers general plans and returns \
-            an executable PipelinePlan"
-)]
-pub fn compile_plan(plan: &LogicalPlan) -> Result<CompiledKernel, CoreError> {
-    match_kernel(plan).ok_or_else(|| {
-        CoreError::unsupported(
-            "Plan",
-            format!(
-                "no fast-path kernel matches this plan ({} operators); \
-                 the general compiler (Compiler::compile) may still lower it",
-                plan.operator_count()
-            ),
-        )
-    })
 }
 
 /// Descends through single-input wrappers to a scan leaf.
@@ -543,10 +531,11 @@ fn plan_has_explode_join(plan: &LogicalPlan) -> bool {
 /// operator — the "tree graph where each node … is mapped to a Genesis
 /// hardware module" (paper §III-D).
 #[must_use]
-pub fn explain(plan: &LogicalPlan) -> String {
-    fn walk(p: &LogicalPlan, depth: usize, out: &mut String) {
+pub fn explain(plan: &LogicalPlan, registry: &ModuleRegistry) -> String {
+    fn walk(p: &LogicalPlan, registry: &ModuleRegistry, depth: usize, out: &mut String) {
         let indent = "  ".repeat(depth);
-        let module = module_for_operator(p)
+        let module = registry
+            .module_for_operator(p)
             .map_or_else(|| "-".to_owned(), |k| format!("{k:?}"));
         let label = match p {
             LogicalPlan::Scan { table, .. } => format!("Scan({table})"),
@@ -568,15 +557,15 @@ pub fn explain(plan: &LogicalPlan) -> String {
             | LogicalPlan::Sort { input, .. }
             | LogicalPlan::Limit { input, .. }
             | LogicalPlan::PosExplode { input, .. }
-            | LogicalPlan::ReadExplode { input, .. } => walk(input, depth + 1, out),
+            | LogicalPlan::ReadExplode { input, .. } => walk(input, registry, depth + 1, out),
             LogicalPlan::Join { left, right, .. } => {
-                walk(left, depth + 1, out);
-                walk(right, depth + 1, out);
+                walk(left, registry, depth + 1, out);
+                walk(right, registry, depth + 1, out);
             }
         }
     }
     let mut out = String::new();
-    walk(plan, 0, &mut out);
+    walk(plan, registry, 0, &mut out);
     out
 }
 
@@ -620,68 +609,60 @@ pub fn figure4_script(partition: u64) -> String {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::library::CustomModuleSpec;
+    use genesis_sql::ast::ColRef;
     use genesis_types::{Column, DataType, Field, Schema, Value};
 
-    #[test]
-    fn figure4_script_compiles_to_count_matching_bases() {
-        let kernel = compile_script(&figure4_script(0)).unwrap();
-        assert_eq!(kernel, CompiledKernel::CountMatchingBases);
+    fn registry() -> ModuleRegistry {
+        ModuleRegistry::with_builtins()
     }
 
     #[test]
-    fn column_reduce_compiles() {
-        let kernel =
-            compile_script("INSERT INTO Out SELECT SUM(QUAL) FROM READS PARTITION (0)").unwrap();
-        assert_eq!(
-            kernel,
-            CompiledKernel::ColumnReduce {
-                table: "READS".into(),
-                column: "QUAL".into(),
-                func: AggFn::Sum,
-            }
-        );
+    fn figure4_script_compiles_to_count_matching_bases() {
+        let plan = script_to_plan(&figure4_script(0), &registry()).unwrap();
+        assert_eq!(match_kernel(&plan), Some(CompiledKernel::CountMatchingBases));
     }
 
     #[test]
     fn group_by_count_compiles_to_spm_histogram() {
-        let kernel =
-            compile_script("INSERT INTO Out SELECT RG, COUNT(*) FROM READS GROUP BY RG")
-                .unwrap();
+        let plan = script_to_plan(
+            "INSERT INTO Out SELECT RG, COUNT(*) FROM READS GROUP BY RG",
+            &registry(),
+        )
+        .unwrap();
         assert_eq!(
-            kernel,
-            CompiledKernel::GroupCount { table: "READS".into(), key: "RG".into() }
+            match_kernel(&plan),
+            Some(CompiledKernel::GroupCount { table: "READS".into(), key: "RG".into() })
         );
     }
 
     #[test]
     fn unsupported_shape_is_rejected() {
-        let err = compile_script(
+        let plan = script_to_plan(
             "INSERT INTO Out SELECT X FROM A INNER JOIN B ON A.K = B.K",
+            &registry(),
         )
-        .unwrap_err();
-        assert!(matches!(err, CoreError::Unsupported { .. }));
+        .unwrap();
+        assert!(match_kernel(&plan).is_none());
+        // No kernel matches and the catalog knows neither table, so the
+        // general lowering fails too.
+        let err = Compiler::new(DeviceConfig::small()).compile(&plan, &Catalog::new());
+        assert!(err.is_err());
     }
 
     #[test]
     fn kernel_profiles_reproduce_figure8_replication() {
-        // Paper Figure 8: reduce and metadata pipelines replicate 16×, the
+        // Paper Figure 8: the metadata pipeline replicates 16×, the
         // BRAM-heavy BQSR histogram only 8× (area-bound).
         use crate::cost::ReplicationBound;
         let mem = genesis_hw::MemoryConfig::default();
-        let reduce = CompiledKernel::ColumnReduce {
-            table: "READS".into(),
-            column: "QUAL".into(),
-            func: AggFn::Sum,
-        };
         let meta = CompiledKernel::CountMatchingBases;
         let hist = CompiledKernel::GroupCount { table: "READS".into(), key: "RG".into() };
         let choose = |k: &CompiledKernel| {
             choose_replication(&kernel_profile(k), &mem, MAX_REPLICATION)
         };
-        assert_eq!(choose(&reduce).factor, 16);
         assert_eq!(choose(&meta).factor, 16);
         let h = choose(&hist);
         assert_eq!(h.factor, 8);
@@ -689,42 +670,57 @@ mod tests {
     }
 
     #[test]
-    fn compiler_tags_fast_path_and_lowers_generally() {
+    fn column_reduce_retired_with_cycle_parity() {
+        // The retired ColumnReduce fast path's pre-characterized profile
+        // (Figure 10 reduce pipeline), inlined verbatim from the deleted
+        // kernel_profile arm. The general path must keep matching it.
+        let cfg = DeviceConfig::small();
+        let retired = PipelineProfile {
+            read_port_bytes: vec![1],
+            write_port_bytes: vec![],
+            fabric: ResourceUsage { luts: 3_500, registers: 4_900, bram_bytes: 2_304 },
+            expansion: 1.0,
+        };
+        let retired_choice = choose_replication(&retired, &cfg.mem, MAX_REPLICATION);
+        assert_eq!(retired_choice.factor, 16, "paper Figure 8 reduce replication");
+
         let mut catalog = Catalog::new();
         catalog.register(
-            "T",
+            "READS",
             genesis_types::Table::from_columns(
-                Schema::new(vec![Field::new("X", DataType::U32)]),
-                vec![Column::U32((0..32).collect())],
+                Schema::new(vec![Field::new("QUAL", DataType::U8)]),
+                vec![Column::U8((0u8..64).map(|i| i % 40).collect())],
             )
             .unwrap(),
         );
-        let plan = LogicalPlan::Aggregate {
-            input: Box::new(LogicalPlan::Scan { table: "T".into(), partition: None }),
-            items: vec![SelectItem::Agg {
-                func: AggFn::Sum,
-                arg: Some(Expr::Col(genesis_sql::ast::ColRef::bare("X"))),
-                alias: None,
-            }],
-            group_by: vec![],
-        };
-        let compiled = Compiler::new(DeviceConfig::small()).compile(&plan, &catalog).unwrap();
-        assert!(matches!(compiled.kernel(), Some(CompiledKernel::ColumnReduce { .. })));
+        let compiled = Compiler::new(cfg)
+            .compile_sql("INSERT INTO Out SELECT SUM(QUAL) FROM READS", &catalog)
+            .unwrap();
+        // Retired: no kernel tag; the general path lowers and executes it.
+        assert!(compiled.kernel().is_none());
         assert!(compiled.is_executable());
-        assert_eq!(compiled.replication().factor, 16);
         let text = compiled.explain();
-        assert!(text.contains("fast path"));
-        assert!(text.contains("replication 16x"));
-        let (out, _) = compiled.execute(&catalog).unwrap();
-        assert_eq!(out.get(0, "SUM").unwrap(), Value::U64((0u64..32).sum()));
+        assert!(text.contains("Reducer"));
+        assert!(!text.contains("fast path"));
+        // Parity with the retired fast path: identical replication choice
+        // and identical simulated cycles at that factor.
+        assert_eq!(compiled.replication().factor, retired_choice.factor);
+        let (out, general) = compiled.execute(&catalog).unwrap();
+        assert_eq!(
+            out.get(0, "SUM").unwrap(),
+            Value::U64((0u64..64).map(|i| i % 40).sum())
+        );
+        let (_, fast) = compiled.execute_replicated(&catalog, retired_choice.factor).unwrap();
+        assert_eq!(general.cycles, fast.cycles);
     }
 
     #[test]
     fn figure4_compiles_through_compiler_as_fast_path_only() {
-        // ReadExplode/PosExplode do not lower generally; the plan still
+        // Figure 4's mid-plan LIMIT (a per-read reference window) and
+        // explode-over-view shape do not lower generally; the plan still
         // compiles because the metadata kernel matches it.
         let compiled = Compiler::new(DeviceConfig::small())
-            .compile_script(&figure4_script(0), &Catalog::new())
+            .compile_sql(&figure4_script(0), &Catalog::new())
             .unwrap();
         assert_eq!(compiled.kernel(), Some(&CompiledKernel::CountMatchingBases));
         assert!(!compiled.is_executable());
@@ -737,11 +733,78 @@ mod tests {
         let stmts = parse_script("INSERT INTO O SELECT SUM(Q) FROM READS").unwrap();
         let Statement::Insert { query, .. } = &stmts[0] else { panic!() };
         let plan = lower_query(query);
-        let text = explain(&plan);
+        let text = explain(&plan, &registry());
         assert!(text.contains("Aggregate"));
         assert!(text.contains("Reducer"));
         assert!(text.contains("Scan(READS)"));
         assert!(text.contains("MemoryReader"));
+    }
+
+    #[test]
+    fn exec_expands_builtin_module_into_the_plan() {
+        let src = "EXEC ReadToBases READS = _\n\
+                   INSERT INTO Out SELECT COUNT(*) FROM ReadToBases_OUT";
+        let plan = script_to_plan(src, &registry()).unwrap();
+        let LogicalPlan::Aggregate { input, .. } = &plan else { panic!("want Aggregate") };
+        assert!(
+            matches!(**input, LogicalPlan::ReadExplode { .. }),
+            "EXEC ReadToBases should place a ReadExplode, got: {input:?}"
+        );
+    }
+
+    #[test]
+    fn exec_unknown_module_is_a_did_you_mean_plan_error() {
+        let src = "EXEC ReadToBasses R = _\nINSERT INTO O SELECT COUNT(*) FROM R";
+        let err = script_to_plan(src, &registry()).unwrap_err();
+        let CoreError::Plan { node, reason } = err else { panic!("want Plan error") };
+        assert_eq!(node, "Exec");
+        assert!(reason.contains("ReadToBases"), "got: {reason}");
+    }
+
+    #[test]
+    fn custom_module_is_planner_placeable_from_sql() {
+        let mut reg = ModuleRegistry::with_builtins();
+        reg.register_custom(
+            CustomModuleSpec::new("HighQual", "keeps rows with QUAL >= 10")
+                .schema(&["rows"], &["rows"])
+                .plan_template(|inputs| {
+                    let [table] = inputs else {
+                        return Err(CoreError::plan("Exec", "HighQual takes 1 input"));
+                    };
+                    Ok(LogicalPlan::Filter {
+                        input: Box::new(LogicalPlan::Scan {
+                            table: table.clone(),
+                            partition: None,
+                        }),
+                        pred: Expr::Bin {
+                            op: BinOp::Ge,
+                            lhs: Box::new(Expr::Col(ColRef::bare("QUAL"))),
+                            rhs: Box::new(Expr::Number(10)),
+                        },
+                    })
+                }),
+        );
+        let mut catalog = Catalog::new();
+        catalog.register(
+            "READS",
+            genesis_types::Table::from_columns(
+                Schema::new(vec![Field::new("QUAL", DataType::U8)]),
+                vec![Column::U8(vec![3, 12, 9, 40, 10])],
+            )
+            .unwrap(),
+        );
+        let compiled = Compiler::with_registry(DeviceConfig::small(), reg)
+            .compile_sql(
+                "EXEC HighQual READS = _\n\
+                 INSERT INTO Out SELECT QUAL FROM HighQual_OUT",
+                &catalog,
+            )
+            .unwrap();
+        assert!(compiled.is_executable());
+        let (out, _) = compiled.execute(&catalog).unwrap();
+        let got: Vec<Value> =
+            (0..out.num_rows()).map(|r| out.get(r, "QUAL").unwrap()).collect();
+        assert_eq!(got, vec![Value::U64(12), Value::U64(40), Value::U64(10)]);
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub const MAX_REPLICATION: usize = 16;
 
 /// Memory-port and fabric demand of *one* pipeline instance, the input to
 /// [`choose_replication`].
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineProfile {
     /// Element width in bytes of each *sustained* read port (a streaming
     /// Memory Reader consumes one element per cycle at peak). Ports that
@@ -84,18 +84,45 @@ pub struct PipelineProfile {
     /// Fabric usage of one pipeline: modules, queues and scratchpads
     /// (shell and per-pipeline arbiter overhead are added by the chooser).
     pub fabric: ResourceUsage,
+    /// Cardinality expansion of the pipeline body: output rows per scanned
+    /// input row (`1.0` for row-preserving pipelines). An exploding module
+    /// (e.g. ReadToBases, ~read-length×) emits at most one flit per cycle,
+    /// so its *upstream* readers sustain only `1/expansion` elements per
+    /// cycle — their port demand on the memory channels shrinks
+    /// accordingly, letting the Figure 8 chooser replicate an
+    /// explode-bound pipeline further than raw port widths suggest.
+    pub expansion: f64,
+}
+
+impl Default for PipelineProfile {
+    fn default() -> PipelineProfile {
+        PipelineProfile {
+            read_port_bytes: Vec::new(),
+            write_port_bytes: Vec::new(),
+            fabric: ResourceUsage::default(),
+            expansion: 1.0,
+        }
+    }
 }
 
 impl PipelineProfile {
+    /// Bytes per cycle the pipeline's memory ports sustain at steady
+    /// state: read ports are throttled by the expansion factor (the
+    /// exploding module is the rate limiter), write ports run at full
+    /// rate.
+    fn port_bytes_per_cycle(&self) -> f64 {
+        let reads: usize = self.read_port_bytes.iter().sum();
+        let writes: usize = self.write_port_bytes.iter().sum();
+        reads as f64 / self.expansion.max(1.0) + writes as f64
+    }
+
     /// Peak memory-line demand of one pipeline in lines/cycle: every port
-    /// moves one element per cycle, 64-byte lines amortize across
-    /// elements, and the local arbiter forwards at most
-    /// `local_requests_per_cycle` lines.
+    /// moves one element per cycle (scaled by the expansion factor for
+    /// read ports), 64-byte lines amortize across elements, and the local
+    /// arbiter forwards at most `local_requests_per_cycle` lines.
     #[must_use]
     pub fn lines_per_cycle(&self, mem: &MemoryConfig) -> f64 {
-        let bytes: usize =
-            self.read_port_bytes.iter().chain(&self.write_port_bytes).sum();
-        let raw = bytes as f64 / LINE_BYTES as f64;
+        let raw = self.port_bytes_per_cycle() / LINE_BYTES as f64;
         raw.min(f64::from(mem.local_requests_per_cycle))
     }
 }
@@ -144,10 +171,8 @@ impl SpillProfile {
     ) -> SpillProfile {
         let ws = profile.fabric.bram_bytes as f64;
         let miss = if ws > 0.0 { ((ws - tiers.spm_bytes as f64) / ws).max(0.0) } else { 0.0 };
-        let port_bytes: usize =
-            profile.read_port_bytes.iter().chain(&profile.write_port_bytes).sum();
         SpillProfile {
-            demand_bytes_per_cycle: miss * port_bytes as f64 * 2.0,
+            demand_bytes_per_cycle: miss * profile.port_bytes_per_cycle() * 2.0,
             link_bytes_per_cycle: tiers.link_bytes_per_cycle(clock_hz),
         }
     }
@@ -291,6 +316,7 @@ mod tests {
             read_port_bytes: vec![1],
             write_port_bytes: vec![],
             fabric: ResourceUsage { luts: 3_500, registers: 4_900, bram_bytes: 2_304 },
+            expansion: 1.0,
         };
         let c = choose_replication(&light, &mem, MAX_REPLICATION);
         assert_eq!(c.factor, 16);
@@ -300,6 +326,7 @@ mod tests {
             read_port_bytes: vec![8, 8, 8, 8, 8, 8, 8, 8],
             write_port_bytes: vec![8, 8],
             fabric: ResourceUsage { luts: 10_000, registers: 10_000, bram_bytes: 10_000 },
+            expansion: 1.0,
         };
         let c = choose_replication(&heavy, &mem, MAX_REPLICATION);
         assert_eq!(c.limited_by, ReplicationBound::MemoryChannels);
@@ -309,6 +336,7 @@ mod tests {
             read_port_bytes: vec![4],
             write_port_bytes: vec![4],
             fabric: ResourceUsage { luts: 4_650, registers: 5_700, bram_bytes: 528_896 },
+            expansion: 1.0,
         };
         let c = choose_replication(&bram, &mem, MAX_REPLICATION);
         assert_eq!(c.factor, 8);
@@ -326,6 +354,7 @@ mod tests {
             read_port_bytes: vec![4],
             write_port_bytes: vec![4],
             fabric: ResourceUsage { luts: 3_500, registers: 4_900, bram_bytes: 256 << 10 },
+            expansion: 1.0,
         };
         let untired = choose_replication(&profile, &mem, MAX_REPLICATION);
         assert_eq!(untired.factor, 16);

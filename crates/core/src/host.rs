@@ -133,6 +133,23 @@ impl JobSpec {
         JobSpec { plan, pipeline_id: None, deadline: None, oracle: None, replication: None }
     }
 
+    /// A job from an extended-SQL script: parses `src` against the
+    /// compiler's module registry, compiles the final `INSERT` plan, and
+    /// wraps it — the one-call convergence of the SQL and
+    /// [`genesis_sql::LogicalPlan`] entry points.
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::compile::script_to_plan`] and
+    /// [`crate::compile::Compiler::compile`].
+    pub fn from_script(
+        src: &str,
+        compiler: &crate::compile::Compiler,
+        catalog: &Catalog,
+    ) -> Result<JobSpec, CoreError> {
+        Ok(JobSpec::new(compiler.compile_sql(src, catalog)?))
+    }
+
     /// Pins the job to an explicit pipeline slot (the default allocates a
     /// fresh id, so submissions never collide). Ids at or above
     /// `0x8000_0000` are reserved for auto-assignment and rejected by

@@ -103,14 +103,38 @@ struct PreparedCol {
     elem_bytes: usize,
     decode: Decode,
     vals: Vec<u64>,
+    /// For flattened list columns (explode inputs): per scan-row run
+    /// lengths into `vals`. `None` for one-value-per-row columns.
+    lens: Option<Vec<u32>>,
 }
 
-/// One `Scan` leaf of the core plan, resolved against the catalog.
+/// How an explode leaf re-expands its absorbed scan at build time.
+#[derive(Debug, Clone)]
+struct ExplodeSpec {
+    /// A QUAL stream accompanies POS/CIGAR/SEQ into the `ReadToBases`
+    /// block (and a third output column leaves it).
+    has_qual: bool,
+    /// Output-stream column metadata, derived over the full scan range
+    /// by walking the CIGARs (conservative for any sub-range: nullability
+    /// and max bounds only shrink on a slice, ascending only holds).
+    out_cols: Vec<ColInfo>,
+    /// Prefix sums of exploded output rows per scan row
+    /// (`len == rows + 1`), so a spine slice's expansion is O(1).
+    out_offsets: Vec<usize>,
+    /// Plan node name for summaries (`ReadExplode` / `PosExplode`).
+    node: &'static str,
+}
+
+/// One `Scan` leaf of the core plan, resolved against the catalog. An
+/// explode node absorbs its input scan into one `PreparedScan` whose
+/// list columns are flattened (`PreparedCol::lens`) and carries the
+/// [`ExplodeSpec`] describing the hardware re-expansion.
 #[derive(Debug, Clone)]
 struct PreparedScan {
     table: String,
     rows: usize,
     cols: Vec<PreparedCol>,
+    explode: Option<ExplodeSpec>,
 }
 
 /// Host-side epilogue steps replayed through the software engine on the
@@ -209,6 +233,14 @@ struct BuildCtx<'a> {
     /// ([`MAX_GROUP_DOMAIN`], lifted to [`MAX_GROUP_DOMAIN_TIERED`] when
     /// tiered memory backs the scratchpads).
     group_domain_cap: u64,
+    /// Output rows per input row of the built pipeline (> 1 once an
+    /// explode node expands the stream; the Figure 8 cost model throttles
+    /// read-port demand by it, see [`PipelineProfile::expansion`]).
+    expansion: f64,
+    /// Upper bound on rows any stream in the pipeline can carry (sizes
+    /// the stream-sink writer allocations; explodes raise it above the
+    /// spine row count).
+    rows_bound: usize,
 }
 
 impl<'a> BuildCtx<'a> {
@@ -217,6 +249,7 @@ impl<'a> BuildCtx<'a> {
         spine_range: Range<usize>,
         group_domain_cap: u64,
     ) -> BuildCtx<'a> {
+        let rows_bound = spine_range.len();
         BuildCtx {
             prepared,
             next_scan: 0,
@@ -226,6 +259,8 @@ impl<'a> BuildCtx<'a> {
             uniq: 0,
             summary: Vec::new(),
             group_domain_cap,
+            expansion: 1.0,
+            rows_bound,
         }
     }
 
@@ -329,23 +364,7 @@ fn prepare_scans(
 ) -> Result<(), CoreError> {
     match plan {
         LogicalPlan::Scan { table, partition } => {
-            let found = match partition {
-                None => catalog.table(table),
-                Some(Expr::Number(pid)) => catalog.partition(table, *pid),
-                Some(_) => {
-                    return Err(CoreError::unsupported(
-                        format!("Scan({table})"),
-                        "partition selector must be an integer literal",
-                    ))
-                }
-            };
-            let t = found.ok_or_else(|| {
-                let mut reason = "unknown table".to_owned();
-                if let Some(s) = crate::env::suggest(table, catalog.table_names()) {
-                    reason.push_str(&format!(" (did you mean `{s}`?)"));
-                }
-                CoreError::plan(format!("Scan({table})"), reason)
-            })?;
+            let t = lookup_table(table, partition.as_ref(), catalog)?;
             out.push(prepare_table(table, t)?);
             Ok(())
         }
@@ -361,12 +380,36 @@ fn prepare_scans(
             "only supported as a final host-side step above the hardware pipeline",
         )),
         LogicalPlan::PosExplode { .. } | LogicalPlan::ReadExplode { .. } => {
-            Err(CoreError::unsupported(
-                plan_node_name(plan),
-                "explode sources are served by the dedicated genomics fast-path kernels",
-            ))
+            out.push(prepare_explode(plan, catalog)?);
+            Ok(())
         }
     }
+}
+
+/// Resolves a `Scan` leaf's table (with optional partition selector)
+/// against the catalog, with a did-you-mean for unknown names.
+fn lookup_table<'c>(
+    table: &str,
+    partition: Option<&Expr>,
+    catalog: &'c Catalog,
+) -> Result<&'c Table, CoreError> {
+    let found = match partition {
+        None => catalog.table(table),
+        Some(Expr::Number(pid)) => catalog.partition(table, *pid),
+        Some(_) => {
+            return Err(CoreError::unsupported(
+                format!("Scan({table})"),
+                "partition selector must be an integer literal",
+            ))
+        }
+    };
+    found.ok_or_else(|| {
+        let mut reason = "unknown table".to_owned();
+        if let Some(s) = crate::env::suggest(table, catalog.table_names()) {
+            reason.push_str(&format!(" (did you mean `{s}`?)"));
+        }
+        CoreError::plan(format!("Scan({table})"), reason)
+    })
 }
 
 fn plan_node_name(plan: &LogicalPlan) -> &'static str {
@@ -434,9 +477,338 @@ fn prepare_table(name: &str, t: &Table) -> Result<PreparedScan, CoreError> {
                 }
             }
         }
-        cols.push(PreparedCol { name: f.name.clone(), elem_bytes, decode, vals });
+        cols.push(PreparedCol { name: f.name.clone(), elem_bytes, decode, vals, lens: None });
     }
-    Ok(PreparedScan { table: name.to_owned(), rows, cols })
+    Ok(PreparedScan { table: name.to_owned(), rows, cols, explode: None })
+}
+
+/// Mirror of the software engine's column resolution against a table
+/// schema (exact display-name match, then unique bare/suffix match).
+fn schema_col(t: &Table, col: &ColRef, node: &str) -> Result<usize, CoreError> {
+    let want = col.display_name();
+    if let Some(i) = t.schema().index_of(&want) {
+        return Ok(i);
+    }
+    let suffix = format!(".{}", col.column);
+    let hits: Vec<usize> = t
+        .schema()
+        .fields()
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.name == col.column || f.name.ends_with(&suffix))
+        .map(|(i, _)| i)
+        .collect();
+    match hits.as_slice() {
+        [i] => Ok(*i),
+        [] => {
+            let mut reason = format!("unknown column {want}");
+            let names = t.schema().fields().iter().map(|f| f.name.as_str());
+            if let Some(s) = crate::env::suggest(&want, names) {
+                reason.push_str(&format!(" (did you mean `{s}`?)"));
+            }
+            Err(CoreError::plan(node, reason))
+        }
+        _ => Err(CoreError::plan(node, format!("ambiguous column {want}"))),
+    }
+}
+
+/// Flattens one list column of `t` into (values, per-row lengths),
+/// recording the hardware element width by list dtype.
+fn flatten_list_col(
+    t: &Table,
+    ci: usize,
+    node: &str,
+) -> Result<PreparedCol, CoreError> {
+    let f = &t.schema().fields()[ci];
+    let (elem_bytes, decode) = match f.dtype {
+        DataType::ListU8 => (1, Decode::U64),
+        DataType::ListBool => (1, Decode::Bool),
+        DataType::ListU16 => (2, Decode::U64),
+        // Dynamic cells holding numeric lists stream at full width.
+        DataType::Cell => (8, Decode::U64),
+        other => {
+            return Err(CoreError::unsupported(
+                node,
+                format!("column {} has type {other:?}, not a per-row list", f.name),
+            ))
+        }
+    };
+    let col = t.column_at(ci);
+    let mut vals = Vec::new();
+    let mut lens = Vec::with_capacity(t.num_rows());
+    for r in 0..t.num_rows() {
+        let v = col.get(r);
+        let Some(items) = v.as_list() else {
+            return Err(CoreError::unsupported(
+                node,
+                format!("column {} row {r} holds {v:?}, not a list", f.name),
+            ));
+        };
+        let len = u32::try_from(items.len()).map_err(|_| {
+            CoreError::unsupported(node, format!("column {} row {r} list is too long", f.name))
+        })?;
+        lens.push(len);
+        for (i, item) in items.iter().enumerate() {
+            // Items must round-trip through the declared decode: numbers
+            // for numeric lists, booleans for ListBool.
+            let Some(x) = (match (decode, item) {
+                (Decode::Bool, Value::Bool(b)) => Some(u64::from(*b)),
+                (Decode::U64, other) => other.as_u64(),
+                _ => None,
+            }) else {
+                return Err(CoreError::unsupported(
+                    node,
+                    format!("column {} row {r} item {i} holds {item:?}, not a number", f.name),
+                ));
+            };
+            vals.push(x);
+        }
+    }
+    Ok(PreparedCol { name: f.name.clone(), elem_bytes, decode, vals, lens: Some(lens) })
+}
+
+/// Per-row evaluation of an explode's position expression (the software
+/// engine evaluates it with a row context; the lowering admits the two
+/// row-independent-or-column shapes that stream through hardware).
+fn explode_pos_vals(t: &Table, pos: &Expr, node: &str) -> Result<Vec<u64>, CoreError> {
+    match pos {
+        Expr::Number(n) => Ok(vec![*n; t.num_rows()]),
+        Expr::Col(c) => {
+            let ci = schema_col(t, c, node)?;
+            let col = t.column_at(ci);
+            (0..t.num_rows())
+                .map(|r| {
+                    col.get(r).as_u64().ok_or_else(|| {
+                        CoreError::unsupported(
+                            node,
+                            format!("position column {} row {r} is not numeric", c.column),
+                        )
+                    })
+                })
+                .collect()
+        }
+        _ => Err(CoreError::unsupported(
+            node,
+            "position must be an integer literal or a column reference",
+        )),
+    }
+}
+
+/// Walks one read's packed CIGAR, classifying per-base output rows. Used
+/// to derive the explode's output metadata (row counts, nullability,
+/// position bounds) exactly as the hardware `ReadToBases` block will
+/// stream them.
+struct CigarWalk {
+    /// Output rows this read emits (M/I/D/N bases; clips emit none).
+    out_rows: usize,
+    /// Reference bases consumed (M/D/N runs advance `ref_pos`).
+    ref_len: u64,
+    /// Sequence bases consumed (M/I/S runs advance `seq_idx`).
+    seq_len: usize,
+    has_ins: bool,
+    has_del: bool,
+}
+
+fn walk_cigar(packed: &[u64], node: &str) -> Result<CigarWalk, CoreError> {
+    use genesis_types::CigarOp;
+    let mut w =
+        CigarWalk { out_rows: 0, ref_len: 0, seq_len: 0, has_ins: false, has_del: false };
+    for &p in packed {
+        let elem = genesis_types::CigarElem::unpack(p as u16)
+            .map_err(|e| CoreError::unsupported(node, format!("bad CIGAR element: {e}")))?;
+        let n = elem.len as usize;
+        match elem.op {
+            CigarOp::Match | CigarOp::SeqMatch | CigarOp::SeqMismatch => {
+                w.out_rows += n;
+                w.ref_len += elem.len as u64;
+                w.seq_len += n;
+            }
+            CigarOp::Ins => {
+                w.out_rows += n;
+                w.seq_len += n;
+                w.has_ins |= n > 0;
+            }
+            CigarOp::Del | CigarOp::RefSkip => {
+                w.out_rows += n;
+                w.ref_len += elem.len as u64;
+                w.has_del |= n > 0;
+            }
+            CigarOp::SoftClip => w.seq_len += n,
+            CigarOp::HardClip => {}
+        }
+    }
+    Ok(w)
+}
+
+/// Prepares an explode leaf: absorbs its input `Scan` into one
+/// [`PreparedScan`] whose columns are the `ReadToBases` input streams
+/// (POS, CIGAR, SEQ[, QUAL]) with list columns flattened, and derives
+/// the output-stream metadata by walking every CIGAR. `PosExplode`
+/// synthesizes an all-match CIGAR (one `M` run per row, split at the
+/// 13-bit packed run-length limit), so both explodes share the same
+/// hardware block — exactly how the library maps them.
+#[allow(clippy::too_many_lines)]
+fn prepare_explode(plan: &LogicalPlan, catalog: &Catalog) -> Result<PreparedScan, CoreError> {
+    let node = plan_node_name(plan);
+    let (input, pos_expr) = match plan {
+        LogicalPlan::ReadExplode { input, pos, .. } => (input, pos.clone()),
+        LogicalPlan::PosExplode { input, init_pos, .. } => (input, init_pos.clone()),
+        _ => return Err(CoreError::Host("prepare_explode on non-explode".into())),
+    };
+    let LogicalPlan::Scan { table, partition } = &**input else {
+        return Err(CoreError::unsupported(
+            node,
+            "explode over a derived stream (explode a base table scan)",
+        ));
+    };
+    let t = lookup_table(table, partition.as_ref(), catalog)?;
+    let rows = t.num_rows();
+    let pos_vals = explode_pos_vals(t, &pos_expr, node)?;
+    let (cigar_col, seq_col, qual_col, out_names) = match plan {
+        LogicalPlan::ReadExplode { cigar, seq, qual, .. } => {
+            let cigar = flatten_list_col(t, schema_col(t, cigar, node)?, node)?;
+            let seq = flatten_list_col(t, schema_col(t, seq, node)?, node)?;
+            let qual = qual
+                .as_ref()
+                .map(|q| flatten_list_col(t, schema_col(t, q, node)?, node))
+                .transpose()?;
+            let mut names = vec!["POS".to_owned(), "SEQ".to_owned()];
+            if qual.is_some() {
+                names.push("QUAL".to_owned());
+            }
+            (cigar, seq, qual, names)
+        }
+        LogicalPlan::PosExplode { array, .. } => {
+            let ci = schema_col(t, array, node)?;
+            let data = flatten_list_col(t, ci, node)?;
+            // Synthesize one all-match run per row (split at the 13-bit
+            // packed length limit) so ReadToBases emits (init+i, item).
+            let mut vals = Vec::with_capacity(rows);
+            let mut lens = Vec::with_capacity(rows);
+            let data_lens = data.lens.as_deref().unwrap_or(&[]);
+            for &n in data_lens {
+                let mut left = n;
+                let mut elems = 0u32;
+                while left > 0 {
+                    let run = left.min((1 << 13) - 1);
+                    let elem = genesis_types::CigarElem {
+                        op: genesis_types::CigarOp::Match,
+                        len: run,
+                    };
+                    let packed = elem
+                        .pack()
+                        .map_err(|e| CoreError::Host(format!("synthesized CIGAR: {e}")))?;
+                    vals.push(u64::from(packed));
+                    elems += 1;
+                    left -= run;
+                }
+                lens.push(elems);
+            }
+            let cigar = PreparedCol {
+                name: "__CIGAR".to_owned(),
+                elem_bytes: 2,
+                decode: Decode::U64,
+                vals,
+                lens: Some(lens),
+            };
+            let name = t.schema().fields()[ci].name.clone();
+            (cigar, data, None, vec!["POS".to_owned(), name])
+        }
+        _ => unreachable!(),
+    };
+    // Derive the output metadata by walking every read's CIGAR, slicing
+    // the flattened columns exactly as the hardware streams them.
+    let cigar_lens = cigar_col.lens.as_deref().unwrap_or(&[]);
+    let seq_lens = seq_col.lens.as_deref().unwrap_or(&[]);
+    let mut out_offsets = Vec::with_capacity(rows + 1);
+    out_offsets.push(0usize);
+    let (mut has_ins, mut has_del) = (false, false);
+    let mut max_pos = 0u64;
+    let mut ascending = true;
+    let mut prev_pos: Option<u64> = None;
+    let mut coff = 0usize;
+    for r in 0..rows {
+        let clen = cigar_lens[r] as usize;
+        let w = walk_cigar(&cigar_col.vals[coff..coff + clen], node)?;
+        coff += clen;
+        if w.seq_len > seq_lens[r] as usize {
+            return Err(CoreError::unsupported(
+                node,
+                format!(
+                    "row {r}: CIGAR consumes {} sequence bases but {} holds {}",
+                    w.seq_len, seq_col.name, seq_lens[r]
+                ),
+            ));
+        }
+        if let Some(ql) = qual_col.as_ref().and_then(|q| q.lens.as_deref()) {
+            if w.seq_len > ql[r] as usize {
+                return Err(CoreError::unsupported(
+                    node,
+                    format!("row {r}: CIGAR consumes more bases than QUAL provides"),
+                ));
+            }
+        }
+        out_offsets.push(out_offsets[r] + w.out_rows);
+        has_ins |= w.has_ins;
+        has_del |= w.has_del;
+        let start = pos_vals[r];
+        let end = start.saturating_add(w.ref_len);
+        max_pos = max_pos.max(end.saturating_sub(1).max(start));
+        // Positions within one read strictly increase; the stream is
+        // ascending when reads chain without overlap (and no Ins marker
+        // interrupts the POS column).
+        if w.has_ins || w.ref_len == 0 {
+            ascending = false;
+        } else {
+            if prev_pos.is_some_and(|p| start <= p) {
+                ascending = false;
+            }
+            prev_pos = Some(end - 1);
+        }
+    }
+    let data_max = |c: &PreparedCol| c.vals.iter().copied().max();
+    let mut out_cols = vec![ColInfo {
+        name: out_names[0].clone(),
+        decode: Decode::U64,
+        nullable: has_ins,
+        ascending,
+        max_value: Some(max_pos),
+    }];
+    out_cols.push(ColInfo {
+        name: out_names[1].clone(),
+        decode: seq_col.decode,
+        nullable: has_del,
+        ascending: false,
+        max_value: data_max(&seq_col),
+    });
+    if let Some(q) = &qual_col {
+        out_cols.push(ColInfo {
+            name: out_names[2].clone(),
+            decode: q.decode,
+            nullable: has_del,
+            ascending: false,
+            max_value: data_max(q),
+        });
+    }
+    let has_qual = qual_col.is_some();
+    let mut cols = vec![
+        PreparedCol {
+            name: "POS".to_owned(),
+            elem_bytes: 8,
+            decode: Decode::U64,
+            vals: pos_vals,
+            lens: None,
+        },
+        cigar_col,
+        seq_col,
+    ];
+    cols.extend(qual_col);
+    Ok(PreparedScan {
+        table: table.clone(),
+        rows,
+        cols,
+        explode: Some(ExplodeSpec { has_qual, out_cols, out_offsets, node }),
+    })
 }
 
 /// Width/decode for a `Cell` column whose values are uniformly numeric or
@@ -544,6 +916,7 @@ pub(crate) fn analyze(
         read_port_bytes: ctx.reads.clone(),
         write_port_bytes: ctx.writes.clone(),
         fabric,
+        expansion: ctx.expansion,
     };
     Ok(Lowering {
         core: core.clone(),
@@ -642,6 +1015,9 @@ impl PreparedJob {
                 for v in &col.vals {
                     mix(*v);
                 }
+                for l in col.lens.iter().flatten() {
+                    mix(u64::from(*l));
+                }
             }
         }
         mix(self.factor as u64);
@@ -729,8 +1105,20 @@ impl PreparedJob {
             .iter()
             .enumerate()
             .map(|(idx, p)| {
-                let rows = if idx == 0 { range.len() } else { p.rows };
-                p.cols.iter().map(|c| (rows * c.elem_bytes) as u64).sum::<u64>()
+                let r = if idx == 0 { range.clone() } else { 0..p.rows };
+                p.cols
+                    .iter()
+                    .map(|c| match &c.lens {
+                        None => (r.len() * c.elem_bytes) as u64,
+                        // Flattened list columns transfer their elements
+                        // within the row range, not one value per row.
+                        Some(lens) => {
+                            let elems: usize =
+                                lens[r.clone()].iter().map(|&l| l as usize).sum();
+                            (elems * c.elem_bytes) as u64
+                        }
+                    })
+                    .sum::<u64>()
             })
             .sum();
         stats.dma_in_bytes += dma_in;
@@ -992,6 +1380,9 @@ fn build_node(
             let r = build_node(b, ctx, right)?;
             build_join(b, ctx, *kind, l, r, left_key, right_key)
         }
+        LogicalPlan::PosExplode { .. } | LogicalPlan::ReadExplode { .. } => {
+            build_explode(b, ctx)
+        }
         LogicalPlan::Aggregate { .. } => Err(CoreError::unsupported(
             "Aggregate",
             "aggregation is only supported at the plan root",
@@ -1001,6 +1392,76 @@ fn build_node(
             "not lowerable inside a hardware pipeline",
         )),
     }
+}
+
+/// Lowers an explode leaf: one Memory Reader per `ReadToBases` input
+/// stream (POS delimited per row, list columns delimited by their run
+/// lengths), the `ReadToBases` genomics block from the module library,
+/// and a drop-ends Zip selecting the relational output fields — turning
+/// the per-read delimited base stream into the plain row stream every
+/// downstream module expects. Expansion (output rows per input row) is
+/// recorded for the Figure 8 replication profile.
+fn build_explode(b: &mut PipelineBuilder<'_>, ctx: &mut BuildCtx<'_>) -> Result<Stream, CoreError> {
+    use genesis_hw::modules::read_to_bases::{ReadToBases, ReadToBasesInputs};
+    let idx = ctx.next_scan;
+    ctx.next_scan += 1;
+    let ps = &ctx.prepared[idx];
+    let spec = ps
+        .explode
+        .clone()
+        .ok_or_else(|| CoreError::Host("explode node over a plain scan leaf".into()))?;
+    let range = if idx == 0 { ctx.spine_range.clone() } else { 0..ps.rows };
+    let table = ps.table.clone();
+    let mut qs = Vec::with_capacity(ps.cols.len());
+    for c in &ps.cols {
+        let label = ctx.lbl(&format!("{table}.{}", c.name));
+        let q = match &c.lens {
+            None => {
+                let bytes = serialize(&c.vals[range.clone()], c.elem_bytes);
+                // One delimiter per row keeps POS aligned with the
+                // per-read runs of the list streams.
+                b.upload_column(&label, &bytes, c.elem_bytes, RowSpec::Fixed(1))
+            }
+            Some(lens) => {
+                let flat_start: usize =
+                    lens[..range.start].iter().map(|&l| l as usize).sum();
+                let flat_len: usize =
+                    lens[range.clone()].iter().map(|&l| l as usize).sum();
+                let bytes =
+                    serialize(&c.vals[flat_start..flat_start + flat_len], c.elem_bytes);
+                let rows = PipelineBuilder::rows_from_lens(&lens[range.clone()]);
+                b.upload_column(&label, &bytes, c.elem_bytes, rows)
+            }
+        };
+        ctx.reads.push(c.elem_bytes);
+        qs.push(q);
+    }
+    let inputs = ReadToBasesInputs {
+        pos: qs[0],
+        cigar: qs[1],
+        seq: qs[2],
+        qual: if spec.has_qual { Some(qs[3]) } else { None },
+    };
+    let bases = b.queue(&ctx.lbl("explode.bases"));
+    let rl = ctx.lbl("explode.rtb");
+    b.system().add_module(Box::new(ReadToBases::new(&rl, inputs, bases)));
+    // Select [REFPOS, BASE(, QUAL)] and strip the per-read delimiters.
+    let sel: Vec<usize> = if spec.has_qual { vec![0, 1, 2] } else { vec![0, 1] };
+    let rows_q = b.queue(&ctx.lbl("explode.rows"));
+    let zl = ctx.lbl("explode.zip");
+    b.system()
+        .add_module(Box::new(Zip::new(&zl, vec![ZipInput::new(bases, sel)], rows_q).with_drop_ends()));
+    let out_rows = spec.out_offsets[range.end] - spec.out_offsets[range.start];
+    let in_rows = range.len().max(1);
+    ctx.expansion = ctx.expansion.max(out_rows as f64 / in_rows as f64);
+    ctx.rows_bound = ctx.rows_bound.max(out_rows);
+    ctx.note(format!(
+        "{}({table}) -> {}x MemoryReader + ReadToBases + Zip ({out_rows} rows from {})",
+        spec.node,
+        ps.cols.len(),
+        range.len(),
+    ));
+    Ok(Stream { q: rows_q, cols: spec.out_cols })
 }
 
 fn build_scan(b: &mut PipelineBuilder<'_>, ctx: &mut BuildCtx<'_>) -> Result<Stream, CoreError> {
@@ -1071,15 +1532,49 @@ fn build_filter(
     conjuncts(pred, &mut parts);
     let mut q = s.q;
     let n = parts.len();
-    for part in parts {
+    let mut cols = s.cols.clone();
+    for part in &parts {
         let hw = lower_predicate(&s.cols, part)?;
         let out = b.queue(&ctx.lbl("filter"));
         let label = ctx.lbl("filter");
         b.system().add_module(Box::new(Filter::new(&label, hw, q, out)));
         q = out;
+        narrow_filtered_col(&mut cols, part);
     }
     ctx.note(format!("Filter -> {n}x Filter"));
-    Ok(Stream { q, cols: s.cols })
+    Ok(Stream { q, cols })
+}
+
+/// Narrows column metadata through a lowered conjunct. Both engines drop
+/// `Ins`/`Del` sentinels on ordered and `Eq` comparisons (sentinels
+/// compare unequal-and-unordered to everything), so a column surviving
+/// such a comparison against a literal is no longer nullable — and
+/// upper-bounding comparisons tighten its `max_value`, which is what
+/// admits `GROUP BY POS` over an exploded stream behind `WHERE POS < n`.
+fn narrow_filtered_col(cols: &mut [ColInfo], part: &Expr) {
+    let Expr::Bin { op, lhs, rhs } = part else { return };
+    let Some(cmp) = cmp_of(*op) else { return };
+    let (col, lit, cmp) = match (&**lhs, &**rhs) {
+        (Expr::Col(c), Expr::Number(n)) => (c, *n, cmp),
+        (Expr::Number(n), Expr::Col(c)) => (c, *n, mirror(cmp)),
+        _ => return,
+    };
+    let Ok(i) = resolve(cols, col, "Filter") else { return };
+    match cmp {
+        // IsVal passes exactly the non-marker values, so it narrows too.
+        CmpOp::Lt | CmpOp::Le | CmpOp::Eq | CmpOp::Gt | CmpOp::Ge | CmpOp::IsVal => {
+            cols[i].nullable = false;
+        }
+        CmpOp::Ne => return,
+    }
+    let bound = match cmp {
+        CmpOp::Lt => Some(lit.saturating_sub(1)),
+        CmpOp::Le | CmpOp::Eq => Some(lit),
+        _ => None,
+    };
+    if let Some(bd) = bound {
+        cols[i].max_value = Some(cols[i].max_value.map_or(bd, |m| m.min(bd)));
+    }
 }
 
 /// Lowers one conjunct to a hardware [`Predicate`], rejecting shapes whose
@@ -1244,6 +1739,27 @@ fn plan_comp(op: BinOp, l: &CompOperand, r: &CompOperand) -> Result<(CompPlan, D
     }
 }
 
+/// Upper bound on a computed item's values, when derivable: comparisons
+/// yield 0/1, `Add` sums the operand bounds, `Sub` is bounded by its
+/// minuend (operands are non-nullable unsigned streams, checked by
+/// [`operand`]). These bounds size GROUP BY scratchpads over computed
+/// keys (e.g. mate-distance histograms over `MPOS - POS`).
+fn comp_max(cols: &[ColInfo], plan: &CompPlan, decode: Decode) -> Option<u64> {
+    if decode == Decode::Bool {
+        return Some(1);
+    }
+    let lhs = cols[plan.lhs_field].max_value?;
+    let rhs = match &plan.rhs {
+        CompRhs::Lit(n) => *n,
+        CompRhs::Field(f) => cols[*f].max_value?,
+    };
+    match plan.op {
+        AluOp::Add => Some(lhs.saturating_add(rhs)),
+        AluOp::Sub => Some(lhs),
+        _ => None,
+    }
+}
+
 #[allow(clippy::too_many_lines)]
 fn build_project(
     b: &mut PipelineBuilder<'_>,
@@ -1305,12 +1821,12 @@ fn build_project(
         .iter()
         .map(|item| match item {
             ProjItem::Pass { src, name } => ColInfo { name: name.clone(), ..s.cols[*src].clone() },
-            ProjItem::Comp { name, decode, .. } => ColInfo {
+            ProjItem::Comp { plan, name, decode } => ColInfo {
                 name: name.clone(),
                 decode: *decode,
                 nullable: false,
                 ascending: false,
-                max_value: None,
+                max_value: comp_max(&s.cols, plan, *decode),
             },
         })
         .collect();
@@ -1916,7 +2432,9 @@ fn build_stream_sink(
     ctx: &mut BuildCtx<'_>,
     s: Stream,
 ) -> Result<Built, CoreError> {
-    let bound = ctx.spine_range.len().max(1) * 8;
+    // Explodes can emit more rows than the spine slice carries; the
+    // writer allocation must cover the expanded bound.
+    let bound = ctx.rows_bound.max(1) * 8;
     let writers = attach_writers(b, ctx, s.q, s.cols.len(), bound, "out")?;
     for _ in &writers {
         ctx.writes.push(8);

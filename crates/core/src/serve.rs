@@ -753,7 +753,7 @@ impl GenesisServer {
     ///
     /// [`CoreError::Unsupported`] on parse failure.
     pub fn register_script(&self, name: impl Into<String>, src: &str) -> Result<(), CoreError> {
-        let plan = script_to_plan(src)?;
+        let plan = script_to_plan(src, self.compiler.registry())?;
         self.scripts
             .lock()
             .unwrap_or_else(PoisonError::into_inner)

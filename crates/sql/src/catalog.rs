@@ -69,6 +69,18 @@ impl Catalog {
         self.tables.remove(name)
     }
 
+    /// A copy of this catalog's tables and partitions. Custom modules —
+    /// opaque closures — are not carried over; differential suites that
+    /// re-run a script against fresh state use this to fork the inputs.
+    #[must_use]
+    pub fn clone_tables(&self) -> Catalog {
+        Catalog {
+            tables: self.tables.clone(),
+            partitions: self.partitions.clone(),
+            modules: HashMap::new(),
+        }
+    }
+
     /// Names of all registered (non-partitioned) tables, sorted.
     #[must_use]
     pub fn table_names(&self) -> Vec<&str> {

@@ -10,6 +10,7 @@
 use genesis::core::accel::example::{count_matching_bases_sw, CountMatchingBases};
 use genesis::core::compile::{explain, figure4_script, CompiledKernel, Compiler};
 use genesis::core::device::DeviceConfig;
+use genesis::core::library::ModuleRegistry;
 use genesis::sql::Catalog;
 use genesis::datagen::{DatagenConfig, Dataset};
 use genesis::sql::parser::parse_script;
@@ -37,14 +38,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             body.iter().find(|s| matches!(s, genesis::sql::ast::Statement::Insert { .. }))
         {
             println!("--- logical plan of Q3 (module mapping, §III-D) ---");
-            println!("{}", explain(&lower_query(query)));
+            println!("{}", explain(&lower_query(query), &ModuleRegistry::with_builtins()));
         }
     }
 
     // 4. Compile the whole script; the compiler recognizes it as the
     //    hand-built Figure 7 kernel and picks a replication factor.
     let compiler = Compiler::new(DeviceConfig::default());
-    let compiled = compiler.compile_script(&script, &Catalog::new())?;
+    let compiled = compiler.compile_sql(&script, &Catalog::new())?;
     assert_eq!(compiled.kernel(), Some(&CompiledKernel::CountMatchingBases));
     println!("compiled kernel: {:?} (the Figure 7 pipeline)", CompiledKernel::CountMatchingBases);
     println!("{}", compiled.replication().summary());

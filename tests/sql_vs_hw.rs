@@ -44,7 +44,7 @@ fn figure4_sql_equals_figure7_hardware() {
 
     // --- Hardware side: the compiled Figure 7 pipeline. ---
     let compiled = Compiler::new(DeviceConfig::small())
-        .compile_script(&figure4_script(0), &Catalog::new())
+        .compile_sql(&figure4_script(0), &Catalog::new())
         .unwrap();
     assert_eq!(compiled.kernel(), Some(&CompiledKernel::CountMatchingBases));
     let accel =

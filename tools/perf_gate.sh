@@ -170,6 +170,7 @@ gate_serve() {
 
 gate engine_throughput "$root/BENCH_engine.json"
 gate tier_overhead "$root/BENCH_tier.json"
+gate workloads "$root/BENCH_workloads.json"
 gate_serve
 
 if [ "$fail" -ne 0 ]; then
