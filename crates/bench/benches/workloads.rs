@@ -27,6 +27,17 @@ const COVERAGE_SQL: &str = "\
     GROUP BY POS\n\
     ORDER BY POS";
 
+/// A ~10%-selective filtered scan: `POS = i*3 + 1` keeps rows `i < 800`
+/// of the 8 000 pairs. With pushdown the predicate is absorbed into the
+/// scan (surviving rows only reach the device and the replication
+/// chooser caps the factor at the selectivity); without it the same
+/// conjunct runs as a hardware Filter module over the full stream.
+const PUSHDOWN_SQL: &str = "\
+    INSERT INTO Selected\n\
+    SELECT *\n\
+    FROM PAIRS\n\
+    WHERE POS < 2400";
+
 const MATE_DISTANCE_SQL: &str = "\
     CREATE TABLE RefPos AS\n\
     PosExplode (REF.SEQ, REF.POS)\n\
@@ -109,10 +120,11 @@ impl Sample {
     }
 }
 
-/// Compiles `script` through the general path and times execution at the
-/// cost-model-chosen replication factor (median of three).
-fn run_workload(label: &'static str, script: &str, catalog: &Catalog) -> Sample {
-    let compiled = Compiler::new(DeviceConfig::default())
+/// Compiles `script` through the general path on `cfg` and times
+/// execution at the cost-model-chosen replication factor (median of
+/// three).
+fn run_workload(label: &'static str, script: &str, catalog: &Catalog, cfg: DeviceConfig) -> Sample {
+    let compiled = Compiler::new(cfg)
         .compile_sql(script, catalog)
         .expect("workload must compile through the general path");
     assert!(compiled.kernel().is_none(), "{label}: no fast path may match");
@@ -145,9 +157,25 @@ fn main() {
     println!("workloads — genomics shapes through the general compiler\n");
 
     let samples = [
-        run_workload("coverage_pileup", COVERAGE_SQL, &cat),
-        run_workload("mate_distance", MATE_DISTANCE_SQL, &cat),
+        run_workload("coverage_pileup", COVERAGE_SQL, &cat, DeviceConfig::default()),
+        run_workload("mate_distance", MATE_DISTANCE_SQL, &cat, DeviceConfig::default()),
+        run_workload("pushdown_on", PUSHDOWN_SQL, &cat, DeviceConfig::default()),
+        run_workload(
+            "pushdown_off",
+            PUSHDOWN_SQL,
+            &cat,
+            DeviceConfig::default().with_pushdown(false),
+        ),
     ];
+    let (on, off) = (&samples[2], &samples[3]);
+    assert_eq!(on.out_rows, off.out_rows, "pushdown must not change the result");
+    assert!(
+        on.chosen_factor < off.chosen_factor,
+        "a ~10%-selective pushed scan must choose strictly fewer replicas \
+         (on {}x vs off {}x)",
+        on.chosen_factor,
+        off.chosen_factor
+    );
     for s in &samples {
         println!(
             "  {:<18} {:>2}x {:>9} cycles {:>9} flits {:>6} rows {:>8.1} ms  {:>8.2} Mflit/s",

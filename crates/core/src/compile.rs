@@ -73,6 +73,7 @@ pub fn kernel_profile(kernel: &CompiledKernel) -> PipelineProfile {
             write_port_bytes: vec![],
             fabric: ResourceUsage { luts: 9_500, registers: 11_000, bram_bytes: 41_000 },
             expansion: 1.0,
+            selectivity: 1.0,
         },
         // Key stream in, histogram drain out, large covariate scratchpads.
         CompiledKernel::GroupCount { .. } => PipelineProfile {
@@ -80,6 +81,7 @@ pub fn kernel_profile(kernel: &CompiledKernel) -> PipelineProfile {
             write_port_bytes: vec![4],
             fabric: ResourceUsage { luts: 4_650, registers: 5_700, bram_bytes: 528_896 },
             expansion: 1.0,
+            selectivity: 1.0,
         },
     }
 }
@@ -680,6 +682,7 @@ mod tests {
             write_port_bytes: vec![],
             fabric: ResourceUsage { luts: 3_500, registers: 4_900, bram_bytes: 2_304 },
             expansion: 1.0,
+            selectivity: 1.0,
         };
         let retired_choice = choose_replication(&retired, &cfg.mem, MAX_REPLICATION);
         assert_eq!(retired_choice.factor, 16, "paper Figure 8 reduce replication");

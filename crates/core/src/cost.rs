@@ -92,6 +92,13 @@ pub struct PipelineProfile {
     /// accordingly, letting the Figure 8 chooser replicate an
     /// explode-bound pipeline further than raw port widths suggest.
     pub expansion: f64,
+    /// Post-pushdown row rate of the spine scan: surviving rows per
+    /// scanned row (`1.0` when no predicate was pushed into the scan).
+    /// Replication splits the spine's *surviving* rows, so at selectivity
+    /// `s` only about `ceil(s × cap)` replicas ever hold a non-trivial
+    /// batch — the chooser caps the factor there, freeing area instead of
+    /// replicating pipelines that would idle.
+    pub selectivity: f64,
 }
 
 impl Default for PipelineProfile {
@@ -101,6 +108,7 @@ impl Default for PipelineProfile {
             write_port_bytes: Vec::new(),
             fabric: ResourceUsage::default(),
             expansion: 1.0,
+            selectivity: 1.0,
         }
     }
 }
@@ -141,6 +149,10 @@ pub enum ReplicationBound {
     /// adds projected spill/fill traffic to one shared link, so replicating
     /// past its bandwidth only converts compute into spill-wait stalls.
     PcieLink,
+    /// A pushed-down predicate leaves so few surviving rows that more
+    /// replicas would idle: the factor is capped at `ceil(selectivity ×
+    /// cap)` (see [`PipelineProfile::selectivity`]).
+    Selectivity,
     /// Neither budget binds below the [`MAX_REPLICATION`] policy cap.
     PolicyCap,
 }
@@ -191,6 +203,9 @@ pub struct ReplicationChoice {
     /// (`usize::MAX`-clamped-to-`4×MAX_REPLICATION` when tiering is off or
     /// the pipeline projects no spill traffic).
     pub pcie_bound: usize,
+    /// Largest factor a selective (pushed-down) scan keeps busy
+    /// (clamped like `pcie_bound` when selectivity is 1.0).
+    pub work_bound: usize,
     /// Which budget bound the choice.
     pub limited_by: ReplicationBound,
     /// One pipeline's line demand in lines/cycle.
@@ -206,8 +221,13 @@ impl ReplicationChoice {
         } else {
             String::new()
         };
+        let work = if self.work_bound < MAX_REPLICATION * 4 {
+            format!(", selectivity bound {}x", self.work_bound)
+        } else {
+            String::new()
+        };
         format!(
-            "replication {}x (mem bound {}x, area bound {}x{pcie}, demand {:.3} lines/cycle, limited by {:?})",
+            "replication {}x (mem bound {}x, area bound {}x{pcie}{work}, demand {:.3} lines/cycle, limited by {:?})",
             self.factor, self.mem_bound, self.area_bound, self.demand_lines_per_cycle, self.limited_by
         )
     }
@@ -283,9 +303,19 @@ pub fn choose_replication_spill(
     };
     let area = area_bound(profile);
     let cap = cap.clamp(1, MAX_REPLICATION);
-    let raw = mem_bound.min(area).min(pcie_bound).min(cap);
+    // A selective scan feeds only `selectivity × rows` into the replicas
+    // that split them: past `ceil(selectivity × cap)` replicas the extra
+    // pipelines hold near-empty batches, so replication stops paying.
+    let work_bound = if profile.selectivity < 1.0 {
+        ((cap as f64 * profile.selectivity).ceil() as usize).max(1)
+    } else {
+        usize::MAX
+    };
+    let raw = mem_bound.min(area).min(pcie_bound).min(work_bound).min(cap);
     let factor = prev_pow2(raw);
-    let limited_by = if factor >= prev_pow2(cap) {
+    let limited_by = if work_bound < mem_bound.min(area).min(pcie_bound).min(cap) {
+        ReplicationBound::Selectivity
+    } else if factor >= prev_pow2(cap) {
         ReplicationBound::PolicyCap
     } else if pcie_bound < mem_bound.min(area) {
         ReplicationBound::PcieLink
@@ -299,6 +329,7 @@ pub fn choose_replication_spill(
         mem_bound: mem_bound.min(MAX_REPLICATION * 4),
         area_bound: area,
         pcie_bound: pcie_bound.min(MAX_REPLICATION * 4),
+        work_bound: work_bound.min(MAX_REPLICATION * 4),
         limited_by,
         demand_lines_per_cycle: demand,
     }
@@ -317,6 +348,7 @@ mod tests {
             write_port_bytes: vec![],
             fabric: ResourceUsage { luts: 3_500, registers: 4_900, bram_bytes: 2_304 },
             expansion: 1.0,
+            selectivity: 1.0,
         };
         let c = choose_replication(&light, &mem, MAX_REPLICATION);
         assert_eq!(c.factor, 16);
@@ -327,6 +359,7 @@ mod tests {
             write_port_bytes: vec![8, 8],
             fabric: ResourceUsage { luts: 10_000, registers: 10_000, bram_bytes: 10_000 },
             expansion: 1.0,
+            selectivity: 1.0,
         };
         let c = choose_replication(&heavy, &mem, MAX_REPLICATION);
         assert_eq!(c.limited_by, ReplicationBound::MemoryChannels);
@@ -337,6 +370,7 @@ mod tests {
             write_port_bytes: vec![4],
             fabric: ResourceUsage { luts: 4_650, registers: 5_700, bram_bytes: 528_896 },
             expansion: 1.0,
+            selectivity: 1.0,
         };
         let c = choose_replication(&bram, &mem, MAX_REPLICATION);
         assert_eq!(c.factor, 8);
@@ -355,6 +389,7 @@ mod tests {
             write_port_bytes: vec![4],
             fabric: ResourceUsage { luts: 3_500, registers: 4_900, bram_bytes: 256 << 10 },
             expansion: 1.0,
+            selectivity: 1.0,
         };
         let untired = choose_replication(&profile, &mem, MAX_REPLICATION);
         assert_eq!(untired.factor, 16);
@@ -381,6 +416,32 @@ mod tests {
         assert_eq!(s.demand_bytes_per_cycle, 0.0);
         let c = choose_replication_spill(&small, &mem, MAX_REPLICATION, Some(s));
         assert_eq!(c.factor, 16);
+    }
+
+    #[test]
+    fn selectivity_caps_replication() {
+        let mem = MemoryConfig::default();
+        // A light pipeline behind a 10%-selective pushed predicate:
+        // ceil(0.1 × 16) = 2 replicas hold every surviving row, so
+        // replicating further only parks idle pipelines.
+        let selective = PipelineProfile {
+            read_port_bytes: vec![1],
+            write_port_bytes: vec![],
+            fabric: ResourceUsage { luts: 3_500, registers: 4_900, bram_bytes: 2_304 },
+            expansion: 1.0,
+            selectivity: 0.1,
+        };
+        let c = choose_replication(&selective, &mem, MAX_REPLICATION);
+        assert_eq!(c.work_bound, 2);
+        assert_eq!(c.factor, 2);
+        assert_eq!(c.limited_by, ReplicationBound::Selectivity);
+        assert!(c.summary().contains("selectivity bound 2x"), "got: {}", c.summary());
+        // The same pipeline with nothing pushed keeps the policy cap.
+        let full = PipelineProfile { selectivity: 1.0, ..selective };
+        let c = choose_replication(&full, &mem, MAX_REPLICATION);
+        assert_eq!(c.factor, 16);
+        assert_eq!(c.limited_by, ReplicationBound::PolicyCap);
+        assert!(!c.summary().contains("selectivity"), "got: {}", c.summary());
     }
 
     #[test]

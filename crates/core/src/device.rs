@@ -161,6 +161,13 @@ pub struct DeviceConfig {
     /// from the `GENESIS_TIERS` environment variable via
     /// [`DeviceConfig::from_env`].
     pub tiers: Option<TierConfig>,
+    /// Predicate pushdown into the scan: absorb supported `WHERE`
+    /// conjuncts over a scan directly into `PreparedScan` so only
+    /// surviving rows are serialized to the device (the host-side analog
+    /// of in-storage filtering). On by default; turn off to force every
+    /// predicate through lowered Filter modules (e.g. for differential
+    /// testing of the module path).
+    pub pushdown: bool,
 }
 
 impl Default for DeviceConfig {
@@ -176,6 +183,7 @@ impl Default for DeviceConfig {
             trace: TraceConfig::from_env(),
             faults: FaultConfig::from_env(),
             tiers: None,
+            pushdown: true,
         }
     }
 }
@@ -255,6 +263,14 @@ impl DeviceConfig {
     #[must_use]
     pub fn with_tiers(mut self, tiers: TierConfig) -> DeviceConfig {
         self.tiers = Some(tiers);
+        self
+    }
+
+    /// Enables or disables predicate pushdown into the scan (on by
+    /// default).
+    #[must_use]
+    pub fn with_pushdown(mut self, on: bool) -> DeviceConfig {
+        self.pushdown = on;
         self
     }
 

@@ -469,6 +469,7 @@ impl GenesisHost {
                 Ok(out) => {
                     record_fault_metrics(&metrics, out.stats.faults, "");
                     record_tier_metrics(&metrics, &out.stats, "");
+                    record_scan_metrics(&metrics, &out.stats, "");
                 }
                 Err(_) => metrics.counter("faults.job_errors").inc(),
             }
@@ -712,6 +713,25 @@ pub(crate) fn record_tier_metrics(
         ("tier.pcie_bytes", stats.tier_pcie_bytes),
         ("tier.spill_wait_cycles", stats.spill_wait_cycles),
     ] {
+        if value > 0 {
+            metrics.counter(&format!("{prefix}{name}")).add(value);
+        }
+    }
+}
+
+/// Publishes a job's scan accounting under `<prefix>scan.*` counter
+/// names: rows the prepared scans inspected vs rows that survived pushed
+/// predicates and reached the MemoryReaders. Publishes nothing when no
+/// scan ran (both zero), keeping older snapshots unchanged; with pushdown
+/// off or no pushable predicate the two counters are equal.
+pub(crate) fn record_scan_metrics(
+    metrics: &MetricsRegistry,
+    stats: &crate::perf::AccelStats,
+    prefix: &str,
+) {
+    for (name, value) in
+        [("scan.rows_scanned", stats.rows_scanned), ("scan.rows_emitted", stats.rows_emitted)]
+    {
         if value > 0 {
             metrics.counter(&format!("{prefix}{name}")).add(value);
         }

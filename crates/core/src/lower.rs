@@ -93,6 +93,18 @@ struct ColInfo {
     /// Upper bound on the values, when derivable from the scanned data
     /// (sets the GROUP BY scratchpad domain).
     max_value: Option<u64>,
+    /// Lower bound on the values (`0` is the trivially valid unsigned
+    /// bound). Together with `max_value` this proves computed keys cannot
+    /// wrap: the engine's `wrapping_add`/`wrapping_sub` only match a dense
+    /// scratchpad domain when no row under- or overflows.
+    min_value: u64,
+    /// Provenance of the values: `(prepared-scan index, column index)`
+    /// when every value streamed unchanged from that scanned column.
+    /// Filters, joins, and projections only pass row *subsets* through
+    /// (join keys are strictly increasing and unique, so no row ever
+    /// duplicates), which lets [`comp_bounds`] compute exact row-aligned
+    /// bounds for same-scan arithmetic. `None` for computed values.
+    origin: Option<(usize, usize)>,
 }
 
 /// One scanned column, pre-serialized so the per-job build closures only
@@ -135,6 +147,28 @@ struct PreparedScan {
     rows: usize,
     cols: Vec<PreparedCol>,
     explode: Option<ExplodeSpec>,
+    /// Rows the scan held *before* predicate pushdown dropped any
+    /// (`== rows` when nothing was pushed); feeds the
+    /// `scan.rows_scanned` counter and the cost model's selectivity.
+    rows_scanned: usize,
+    /// When pushdown dropped rows: each survivor's original row index,
+    /// ascending (`len == rows`). Used to attribute scanned rows to
+    /// shard ranges so scatter-gather stays balanced on survivors.
+    kept: Option<Vec<usize>>,
+}
+
+impl PreparedScan {
+    /// Original (pre-pushdown) rows attributed to the surviving-row range
+    /// `r`: the survivors' source rows plus the dropped rows between
+    /// them. Leading dropped rows go to the first range and trailing
+    /// ones to the last, so any partition of `0..rows` into contiguous
+    /// ranges attributes exactly `rows_scanned` rows in total.
+    fn scanned_rows(&self, r: &Range<usize>) -> usize {
+        let Some(kept) = &self.kept else { return r.len() };
+        let lo = if r.start == 0 { 0 } else { kept[r.start] };
+        let hi = if r.end == self.rows { self.rows_scanned } else { kept[r.end] };
+        hi - lo
+    }
 }
 
 /// Host-side epilogue steps replayed through the software engine on the
@@ -203,6 +237,10 @@ enum JobOut {
 pub(crate) struct Lowering {
     core: LogicalPlan,
     epilogues: Vec<Epilogue>,
+    /// Filter conjuncts absorbed into scan leaves (the host-side analog
+    /// of GenStore's in-storage filtering): re-applied to the freshly
+    /// serialized scan data every time the lowering binds to a catalog.
+    pushed: Vec<PushedFilter>,
     cols_names: Vec<String>,
     kind: SinkKind,
     /// Port/fabric demand of one pipeline (input to the replication
@@ -479,7 +517,14 @@ fn prepare_table(name: &str, t: &Table) -> Result<PreparedScan, CoreError> {
         }
         cols.push(PreparedCol { name: f.name.clone(), elem_bytes, decode, vals, lens: None });
     }
-    Ok(PreparedScan { table: name.to_owned(), rows, cols, explode: None })
+    Ok(PreparedScan {
+        table: name.to_owned(),
+        rows,
+        cols,
+        explode: None,
+        rows_scanned: rows,
+        kept: None,
+    })
 }
 
 /// Mirror of the software engine's column resolution against a table
@@ -773,6 +818,8 @@ fn prepare_explode(plan: &LogicalPlan, catalog: &Catalog) -> Result<PreparedScan
         nullable: has_ins,
         ascending,
         max_value: Some(max_pos),
+        min_value: 0,
+        origin: None,
     }];
     out_cols.push(ColInfo {
         name: out_names[1].clone(),
@@ -780,6 +827,8 @@ fn prepare_explode(plan: &LogicalPlan, catalog: &Catalog) -> Result<PreparedScan
         nullable: has_del,
         ascending: false,
         max_value: data_max(&seq_col),
+        min_value: 0,
+        origin: None,
     });
     if let Some(q) = &qual_col {
         out_cols.push(ColInfo {
@@ -788,6 +837,8 @@ fn prepare_explode(plan: &LogicalPlan, catalog: &Catalog) -> Result<PreparedScan
             nullable: has_del,
             ascending: false,
             max_value: data_max(q),
+            min_value: 0,
+            origin: None,
         });
     }
     let has_qual = qual_col.is_some();
@@ -808,6 +859,8 @@ fn prepare_explode(plan: &LogicalPlan, catalog: &Catalog) -> Result<PreparedScan
         rows,
         cols,
         explode: Some(ExplodeSpec { has_qual, out_cols, out_offsets, node }),
+        rows_scanned: rows,
+        kept: None,
     })
 }
 
@@ -873,16 +926,39 @@ pub(crate) fn analyze(
     let (core, epilogues) = peel(plan)?;
     let mut prepared = Vec::new();
     prepare_scans(core, catalog, &mut prepared)?;
+    // Predicate pushdown: absorb supported conjuncts of Filters sitting
+    // directly above plain Scan leaves into the scans themselves, so the
+    // scratch build below (and every job build after it) streams only
+    // surviving rows.
+    let (core, pushed) = if cfg.pushdown {
+        push_down(core, &prepared)
+    } else {
+        (core.clone(), Vec::new())
+    };
+    let mut push_notes = Vec::new();
+    if !pushed.is_empty() {
+        apply_pushdown(&mut prepared, &pushed)?;
+        for pf in &pushed {
+            let p = &prepared[pf.scan];
+            push_notes.push(format!(
+                "Pushdown(Scan({})) -> {} conjunct(s) absorbed ({} rows scanned, {} emitted)",
+                p.table,
+                pf.conjuncts.len(),
+                p.rows_scanned,
+                p.rows,
+            ));
+        }
+    }
     let spine_rows = prepared[0].rows;
     let mut sys = System::with_memory(cfg.mem.clone());
     let mut ctx = BuildCtx::new(&prepared, 0..spine_rows, group_domain_cap(cfg));
     let mut b = PipelineBuilder::new(&mut sys, 0);
-    let built = build_core(&mut b, &mut ctx, core)?;
+    let built = build_core(&mut b, &mut ctx, &core)?;
     let kind = match &built.sink {
         Sink::Stream { .. } => SinkKind::Stream,
         Sink::Scalar { parts } => SinkKind::Scalar(parts.iter().map(|p| p.0).collect()),
         Sink::Grouped { .. } => {
-            let roles = grouped_roles(core, &built.cols)?;
+            let roles = grouped_roles(&core, &built.cols)?;
             SinkKind::Grouped(roles)
         }
     };
@@ -912,19 +988,33 @@ pub(crate) fn analyze(
         registers: total.registers.saturating_sub(overhead.registers),
         bram_bytes: total.bram_bytes.saturating_sub(overhead.bram_bytes),
     };
+    // Post-pushdown row rate of the spine scan: the fraction of scanned
+    // spine rows that survive into the pipeline. Replication splits the
+    // spine, so a selective scan shortens every replica's batch — the
+    // cost model caps the useful replica count by this rate.
+    let spine = &prepared[0];
+    let selectivity = if spine.rows_scanned == 0 {
+        1.0
+    } else {
+        spine.rows as f64 / spine.rows_scanned as f64
+    };
     let profile = PipelineProfile {
         read_port_bytes: ctx.reads.clone(),
         write_port_bytes: ctx.writes.clone(),
         fabric,
         expansion: ctx.expansion,
+        selectivity,
     };
+    let mut summary = push_notes;
+    summary.extend(ctx.summary);
     Ok(Lowering {
-        core: core.clone(),
+        core,
         epilogues,
+        pushed,
         cols_names: built.cols.iter().map(|c| c.name.clone()).collect(),
         kind,
         profile,
-        summary: ctx.summary,
+        summary,
     })
 }
 
@@ -1007,6 +1097,7 @@ impl PreparedJob {
                 mix(u64::from(b));
             }
             mix(scan.rows as u64);
+            mix(scan.rows_scanned as u64);
             for col in &scan.cols {
                 for b in col.name.bytes() {
                     mix(u64::from(b));
@@ -1123,6 +1214,14 @@ impl PreparedJob {
             .sum();
         stats.dma_in_bytes += dma_in;
         stats.dma_transfers += outs.len() as u64 * 2;
+        // Pushed-vs-residual visibility: rows the scans examined against
+        // pushed predicates vs rows that entered the pipeline (identical
+        // when nothing was pushed).
+        for (idx, p) in prepared.iter().enumerate() {
+            let r = if idx == 0 { range.clone() } else { 0..p.rows };
+            stats.rows_scanned += p.scanned_rows(&r) as u64;
+            stats.rows_emitted += r.len() as u64;
+        }
         Ok(ShardOut { outs, stats })
     }
 
@@ -1174,6 +1273,9 @@ impl Lowering {
     ) -> Result<PreparedJob, CoreError> {
         let mut prepared = Vec::new();
         prepare_scans(&self.core, catalog, &mut prepared)?;
+        // Re-apply the pushed conjuncts to the freshly serialized data
+        // (the catalog's tables may have changed since analysis).
+        apply_pushdown(&mut prepared, &self.pushed)?;
         Ok(PreparedJob {
             lowering: self.clone(),
             cfg: cfg.clone(),
@@ -1332,6 +1434,8 @@ fn rebuild_cols(names: &[String], outs: &[(JobOut, Vec<ColInfo>)]) -> Vec<ColInf
                     nullable: false,
                     ascending: false,
                     max_value: None,
+                    min_value: 0,
+                    origin: None,
                 })
                 .collect()
         },
@@ -1485,7 +1589,7 @@ fn build_scan(b: &mut PipelineBuilder<'_>, ctx: &mut BuildCtx<'_>) -> Result<Str
         .iter()
         .map(|c| (c.name.clone(), c.elem_bytes, c.decode, c.vals[range.clone()].to_vec()))
         .collect();
-    for (name, elem_bytes, decode, vals) in specs {
+    for (ci, (name, elem_bytes, decode, vals)) in specs.into_iter().enumerate() {
         let label = ctx.lbl(&format!("{table}.{name}"));
         let q = b.upload_column(&label, &serialize(&vals, elem_bytes), elem_bytes, RowSpec::None);
         ctx.reads.push(elem_bytes);
@@ -1496,6 +1600,8 @@ fn build_scan(b: &mut PipelineBuilder<'_>, ctx: &mut BuildCtx<'_>) -> Result<Str
             nullable: false,
             ascending: vals.windows(2).all(|w| w[0] < w[1]),
             max_value: vals.iter().copied().max(),
+            min_value: vals.iter().copied().min().unwrap_or(0),
+            origin: Some((idx, ci)),
         });
     }
     let q = if inputs.len() == 1 {
@@ -1520,6 +1626,233 @@ fn conjuncts<'e>(pred: &'e Expr, out: &mut Vec<&'e Expr>) {
     } else {
         out.push(pred);
     }
+}
+
+/// One scan's pushed-down filter: the conjuncts a `Filter` directly above
+/// that plain `Scan` leaf contributed, applied to the prepared rows when
+/// the lowering binds to catalog data (before any byte is serialized to
+/// the device), so Memory Readers and everything downstream see only
+/// surviving rows.
+#[derive(Debug, Clone)]
+struct PushedFilter {
+    /// Index into the prepared-scan list (leaf order).
+    scan: usize,
+    conjuncts: Vec<Expr>,
+}
+
+/// A pushed conjunct resolved against a scan's columns: a plain u64
+/// comparison. Base-table scans never carry `Ins`/`Del` markers, so a
+/// host-side integer comparison matches the hardware Filter module and
+/// the software engine bit-for-bit.
+struct PushPred {
+    col: usize,
+    cmp: CmpOp,
+    rhs: PushRhs,
+}
+
+enum PushRhs {
+    Lit(u64),
+    Col(usize),
+}
+
+/// Column metadata of a bare prepared scan (what a `Filter` directly
+/// above the `Scan` leaf would see), for resolving pushed conjuncts.
+fn scan_infos(scan: &PreparedScan) -> Vec<ColInfo> {
+    scan.cols
+        .iter()
+        .map(|c| ColInfo {
+            name: c.name.clone(),
+            decode: c.decode,
+            nullable: false,
+            ascending: false,
+            max_value: None,
+            min_value: 0,
+            origin: None,
+        })
+        .collect()
+}
+
+/// Mirrors [`lower_predicate`]'s accepted shapes — `(col, lit)`,
+/// `(lit, col)`, `(col, col)` under a hardware comparison, `U64` operands
+/// unless both sides are `Bool` under `=`/`!=` — so a conjunct is pushed
+/// exactly when the hardware Filter it replaces would have been built.
+/// `None` marks the conjunct residual.
+fn resolve_pushed(cols: &[ColInfo], e: &Expr) -> Option<PushPred> {
+    let Expr::Bin { op, lhs, rhs } = e else { return None };
+    let cmp = cmp_of(*op)?;
+    match (&**lhs, &**rhs) {
+        (Expr::Col(a), Expr::Number(n)) => {
+            let i = resolve(cols, a, "Filter").ok()?;
+            (cols[i].decode == Decode::U64)
+                .then_some(PushPred { col: i, cmp, rhs: PushRhs::Lit(*n) })
+        }
+        (Expr::Number(n), Expr::Col(a)) => {
+            let i = resolve(cols, a, "Filter").ok()?;
+            (cols[i].decode == Decode::U64)
+                .then_some(PushPred { col: i, cmp: mirror(cmp), rhs: PushRhs::Lit(*n) })
+        }
+        (Expr::Col(a), Expr::Col(bc)) => {
+            let i = resolve(cols, a, "Filter").ok()?;
+            let j = resolve(cols, bc, "Filter").ok()?;
+            let both_bool = cols[i].decode == Decode::Bool && cols[j].decode == Decode::Bool;
+            let both_u64 = cols[i].decode == Decode::U64 && cols[j].decode == Decode::U64;
+            let eqish = matches!(cmp, CmpOp::Eq | CmpOp::Ne);
+            (both_u64 || (both_bool && eqish))
+                .then_some(PushPred { col: i, cmp, rhs: PushRhs::Col(j) })
+        }
+        _ => None,
+    }
+}
+
+fn eval_cmp(cmp: CmpOp, a: u64, b: u64) -> Option<bool> {
+    Some(match cmp {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+        _ => return None,
+    })
+}
+
+/// Rewrites the core plan for pushdown: every `Filter` sitting directly
+/// above a plain `Scan` leaf is split into pushable conjuncts (recorded
+/// per scan, applied at bind time) and residual conjuncts (left as a
+/// lowered Filter module). Conjunction is commutative and survivors keep
+/// their relative order, so the rewritten plan's streams are
+/// bit-identical to the original's. The traversal mirrors
+/// [`prepare_scans`]' left-to-right leaf order — and since only Filter
+/// *nodes* are removed, that leaf order is invariant under the rewrite,
+/// which is what lets [`Lowering::prepare`] re-apply the pushed conjuncts
+/// by scan index after re-preparing.
+fn push_down(plan: &LogicalPlan, prepared: &[PreparedScan]) -> (LogicalPlan, Vec<PushedFilter>) {
+    fn rewrite(
+        plan: &LogicalPlan,
+        prepared: &[PreparedScan],
+        next_scan: &mut usize,
+        pushed: &mut Vec<PushedFilter>,
+    ) -> LogicalPlan {
+        match plan {
+            // Explode leaves absorb their input scan; nothing to push.
+            LogicalPlan::Scan { .. }
+            | LogicalPlan::PosExplode { .. }
+            | LogicalPlan::ReadExplode { .. } => {
+                *next_scan += 1;
+                plan.clone()
+            }
+            LogicalPlan::Filter { input, pred }
+                if matches!(&**input, LogicalPlan::Scan { .. }) =>
+            {
+                let idx = *next_scan;
+                *next_scan += 1;
+                let infos = scan_infos(&prepared[idx]);
+                let mut parts = Vec::new();
+                conjuncts(pred, &mut parts);
+                let (push, residual): (Vec<&Expr>, Vec<&Expr>) = parts
+                    .into_iter()
+                    .partition(|e| resolve_pushed(&infos, e).is_some());
+                if push.is_empty() {
+                    return plan.clone();
+                }
+                pushed.push(PushedFilter {
+                    scan: idx,
+                    conjuncts: push.into_iter().cloned().collect(),
+                });
+                match residual.into_iter().cloned().reduce(|acc, e| Expr::Bin {
+                    op: BinOp::And,
+                    lhs: Box::new(acc),
+                    rhs: Box::new(e),
+                }) {
+                    None => (**input).clone(),
+                    Some(pred) => LogicalPlan::Filter { input: input.clone(), pred },
+                }
+            }
+            LogicalPlan::Filter { input, pred } => LogicalPlan::Filter {
+                input: Box::new(rewrite(input, prepared, next_scan, pushed)),
+                pred: pred.clone(),
+            },
+            LogicalPlan::Project { input, items } => LogicalPlan::Project {
+                input: Box::new(rewrite(input, prepared, next_scan, pushed)),
+                items: items.clone(),
+            },
+            LogicalPlan::Aggregate { input, items, group_by } => LogicalPlan::Aggregate {
+                input: Box::new(rewrite(input, prepared, next_scan, pushed)),
+                items: items.clone(),
+                group_by: group_by.clone(),
+            },
+            LogicalPlan::Join { kind, left, right, left_key, right_key } => LogicalPlan::Join {
+                kind: *kind,
+                left: Box::new(rewrite(left, prepared, next_scan, pushed)),
+                right: Box::new(rewrite(right, prepared, next_scan, pushed)),
+                left_key: left_key.clone(),
+                right_key: right_key.clone(),
+            },
+            // Sort/Limit were peeled off the core before pushdown runs.
+            other => other.clone(),
+        }
+    }
+    let mut pushed = Vec::new();
+    let mut next_scan = 0usize;
+    let out = rewrite(plan, prepared, &mut next_scan, &mut pushed);
+    (out, pushed)
+}
+
+/// Applies the pushed conjuncts to their prepared scans: the row-selection
+/// step run whenever scan data is (re)serialized from a catalog.
+/// Surviving rows keep their relative order, so downstream modules see
+/// exactly the stream a lowered Filter would have produced.
+fn apply_pushdown(
+    prepared: &mut [PreparedScan],
+    pushed: &[PushedFilter],
+) -> Result<(), CoreError> {
+    for pf in pushed {
+        let scan = prepared
+            .get_mut(pf.scan)
+            .ok_or_else(|| CoreError::Host("pushed filter references a missing scan".into()))?;
+        let infos = scan_infos(scan);
+        let preds: Vec<PushPred> = pf
+            .conjuncts
+            .iter()
+            .map(|e| {
+                resolve_pushed(&infos, e).ok_or_else(|| {
+                    CoreError::Host("pushed conjunct no longer resolves against the scan".into())
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let n = scan.rows;
+        let mut kept = Vec::with_capacity(n);
+        'rows: for r in 0..n {
+            for p in &preds {
+                let a = scan.cols[p.col].vals[r];
+                let rb = match p.rhs {
+                    PushRhs::Lit(v) => v,
+                    PushRhs::Col(j) => scan.cols[j].vals[r],
+                };
+                match eval_cmp(p.cmp, a, rb) {
+                    Some(true) => {}
+                    Some(false) => continue 'rows,
+                    None => {
+                        return Err(CoreError::Host(
+                            "unpushable comparison reached scan pushdown".into(),
+                        ))
+                    }
+                }
+            }
+            kept.push(r);
+        }
+        scan.rows_scanned = n;
+        if kept.len() == n {
+            continue; // nothing dropped; the scan streams unchanged
+        }
+        for col in &mut scan.cols {
+            debug_assert!(col.lens.is_none(), "pushdown over a flattened list column");
+            col.vals = kept.iter().map(|&r| col.vals[r]).collect();
+        }
+        scan.rows = kept.len();
+        scan.kept = Some(kept);
+    }
+    Ok(())
 }
 
 fn build_filter(
@@ -1568,12 +1901,24 @@ fn narrow_filtered_col(cols: &mut [ColInfo], part: &Expr) {
         CmpOp::Ne => return,
     }
     let bound = match cmp {
+        // `lit == 0` makes `x < 0` pass nothing, so the saturated claim
+        // `max <= 0` is vacuously valid for the (empty) survivors.
         CmpOp::Lt => Some(lit.saturating_sub(1)),
         CmpOp::Le | CmpOp::Eq => Some(lit),
         _ => None,
     };
     if let Some(bd) = bound {
         cols[i].max_value = Some(cols[i].max_value.map_or(bd, |m| m.min(bd)));
+    }
+    let floor = match cmp {
+        // Dually, `lit == u64::MAX` makes `x > MAX` pass nothing and the
+        // saturated floor `MAX` is vacuously valid for the empty stream.
+        CmpOp::Gt => Some(lit.saturating_add(1)),
+        CmpOp::Ge | CmpOp::Eq => Some(lit),
+        _ => None,
+    };
+    if let Some(fl) = floor {
+        cols[i].min_value = cols[i].min_value.max(fl);
     }
 }
 
@@ -1739,25 +2084,85 @@ fn plan_comp(op: BinOp, l: &CompOperand, r: &CompOperand) -> Result<(CompPlan, D
     }
 }
 
-/// Upper bound on a computed item's values, when derivable: comparisons
-/// yield 0/1, `Add` sums the operand bounds, `Sub` is bounded by its
-/// minuend (operands are non-nullable unsigned streams, checked by
-/// [`operand`]). These bounds size GROUP BY scratchpads over computed
-/// keys (e.g. mate-distance histograms over `MPOS - POS`).
-fn comp_max(cols: &[ColInfo], plan: &CompPlan, decode: Decode) -> Option<u64> {
+/// `(min, max)` bounds on a computed item's values, when derivable:
+/// comparisons yield 0/1, and `Add`/`Sub` bound their result only when
+/// *no row can wrap* — the engine computes with
+/// `wrapping_add`/`wrapping_sub` (`genesis-sql::exec`), so a saturated
+/// or minuend-only bound would declare a GROUP BY scratchpad domain the
+/// wrapped keys escape (a ~2^64 key aliased into a small histogram).
+/// Three wrap-freedom proofs are accepted, in order:
+///
+/// - `Add`: the operand maxima sum without overflow.
+/// - `Sub` over two columns of the *same* prepared scan: the rows stream
+///   aligned (see [`ColInfo::origin`]), so the exact per-row differences
+///   over the scanned data bound every subset of its rows — this admits
+///   mate-distance histograms (`MPOS - POS` with per-row `MPOS >= POS`)
+///   even when the columns' value *ranges* overlap.
+/// - `Sub` by range: the minuend's minimum covers the subtrahend's
+///   maximum, so no row can underflow.
+///
+/// Anything else yields `(0, None)` — no derivable bound — and GROUP BY
+/// over the result is rejected instead of mis-sized.
+fn comp_bounds(
+    cols: &[ColInfo],
+    prepared: &[PreparedScan],
+    plan: &CompPlan,
+    decode: Decode,
+) -> (u64, Option<u64>) {
+    const NO_BOUND: (u64, Option<u64>) = (0, None);
     if decode == Decode::Bool {
-        return Some(1);
+        return (0, Some(1));
     }
-    let lhs = cols[plan.lhs_field].max_value?;
-    let rhs = match &plan.rhs {
-        CompRhs::Lit(n) => *n,
-        CompRhs::Field(f) => cols[*f].max_value?,
+    let l = &cols[plan.lhs_field];
+    let (rmin, rmax) = match &plan.rhs {
+        CompRhs::Lit(n) => (*n, Some(*n)),
+        CompRhs::Field(f) => (cols[*f].min_value, cols[*f].max_value),
     };
     match plan.op {
-        AluOp::Add => Some(lhs.saturating_add(rhs)),
-        AluOp::Sub => Some(lhs),
-        _ => None,
+        AluOp::Add => match (l.max_value, rmax) {
+            (Some(a), Some(b)) => match a.checked_add(b) {
+                // min <= max on both sides, so the minima sum too.
+                Some(hi) => (l.min_value + rmin, Some(hi)),
+                None => NO_BOUND,
+            },
+            _ => NO_BOUND,
+        },
+        AluOp::Sub => {
+            if let CompRhs::Field(f) = &plan.rhs {
+                if let (Some((ls, lc)), Some((rs, rc))) = (l.origin, cols[*f].origin) {
+                    if ls == rs {
+                        return same_scan_sub_bounds(&prepared[ls], lc, rc);
+                    }
+                }
+            }
+            match rmax {
+                // No row can underflow: the smallest minuend still
+                // covers the largest subtrahend.
+                Some(rm) if l.min_value >= rm => {
+                    (l.min_value - rm, l.max_value.map(|m| m - rmin))
+                }
+                _ => NO_BOUND,
+            }
+        }
+        _ => NO_BOUND,
     }
+}
+
+/// Exact bounds of `lhs - rhs` over two row-aligned columns of one
+/// prepared scan, degrading to "no bound" as soon as any row would
+/// underflow (the engine would wrap it past 2^63).
+fn same_scan_sub_bounds(scan: &PreparedScan, lc: usize, rc: usize) -> (u64, Option<u64>) {
+    let (lv, rv) = (&scan.cols[lc].vals, &scan.cols[rc].vals);
+    if lv.is_empty() {
+        return (0, Some(0));
+    }
+    let (mut lo, mut hi) = (u64::MAX, 0u64);
+    for (&a, &b) in lv.iter().zip(rv) {
+        let Some(d) = a.checked_sub(b) else { return (0, None) };
+        lo = lo.min(d);
+        hi = hi.max(d);
+    }
+    (lo, Some(hi))
 }
 
 #[allow(clippy::too_many_lines)]
@@ -1817,17 +2222,23 @@ fn build_project(
             format!("{n_out} output columns (hardware flits carry 1..={MAX_FIELDS} fields)"),
         ));
     }
+    let prepared = ctx.prepared;
     let out_cols: Vec<ColInfo> = expanded
         .iter()
         .map(|item| match item {
             ProjItem::Pass { src, name } => ColInfo { name: name.clone(), ..s.cols[*src].clone() },
-            ProjItem::Comp { plan, name, decode } => ColInfo {
-                name: name.clone(),
-                decode: *decode,
-                nullable: false,
-                ascending: false,
-                max_value: comp_max(&s.cols, plan, *decode),
-            },
+            ProjItem::Comp { plan, name, decode } => {
+                let (min_value, max_value) = comp_bounds(&s.cols, prepared, plan, *decode);
+                ColInfo {
+                    name: name.clone(),
+                    decode: *decode,
+                    nullable: false,
+                    ascending: false,
+                    max_value,
+                    min_value,
+                    origin: None,
+                }
+            }
         })
         .collect();
     let pass_srcs: Vec<usize> = expanded
@@ -2189,6 +2600,8 @@ fn build_scalar_agg(
             nullable: false,
             ascending: false,
             max_value: None,
+            min_value: 0,
+            origin: None,
         });
     }
     ctx.note(format!("Aggregate -> {}x Reducer + MemoryWriter", specs.len()));
@@ -2231,12 +2644,18 @@ fn build_grouped_agg(
         } else {
             ""
         };
+        // `max_key` can itself be `u64::MAX` (a key column holding it),
+        // so even the human-readable domain size must not add 1 unchecked.
         return Err(CoreError::unsupported(
             "Aggregate(GROUP BY)",
-            format!("key domain {} exceeds the {cap}-entry scratchpad budget{hint}", max_key + 1),
+            format!(
+                "key domain {} exceeds the {cap}-entry scratchpad budget{hint}",
+                max_key.saturating_add(1)
+            ),
         ));
     }
-    let domain = (max_key + 1).max(1) as usize;
+    // Guarded above: `max_key < cap <= 2^27`, so `+ 1` cannot overflow.
+    let domain = (max_key + 1) as usize;
     // Classify items; SUM columns share one histogram per distinct column.
     let mut sum_fields: Vec<usize> = Vec::new();
     struct GItem {
@@ -2391,6 +2810,8 @@ fn build_grouped_agg(
             nullable: false,
             ascending: gi.role == GroupRole::Key,
             max_value: None,
+            min_value: 0,
+            origin: None,
         })
         .collect();
     ctx.note(format!(
@@ -2670,6 +3091,208 @@ mod tests {
             group_by: vec![],
         };
         assert_tables_match(&run(&plan, &catalog, 4), &software(&plan, &catalog));
+    }
+
+    fn table_u64(name: &str, cols: &[(&str, Vec<u64>)]) -> (String, Table) {
+        let schema =
+            Schema::new(cols.iter().map(|(n, _)| Field::new(n, DataType::U64)).collect());
+        let columns = cols.iter().map(|(_, v)| Column::U64(v.clone())).collect();
+        (name.to_owned(), Table::from_columns(schema, columns).unwrap())
+    }
+
+    /// `Sort(Aggregate(Project(Scan)))`: COUNT grouped by the computed
+    /// key `lhs op rhs`, the shape whose scratchpad domain the
+    /// [`comp_bounds`] wrap proofs size.
+    fn grouped_by_comp(op: BinOp, lhs: &str, rhs: &str) -> LogicalPlan {
+        let agg = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Project {
+                input: Box::new(scan("T")),
+                items: vec![SelectItem::Expr {
+                    expr: Expr::Bin {
+                        op,
+                        lhs: Box::new(Expr::Col(ColRef::bare(lhs))),
+                        rhs: Box::new(Expr::Col(ColRef::bare(rhs))),
+                    },
+                    alias: Some("D".into()),
+                }],
+            }),
+            items: vec![
+                SelectItem::Expr { expr: Expr::Col(ColRef::bare("D")), alias: None },
+                SelectItem::Agg { func: AggFn::Count, arg: None, alias: None },
+            ],
+            group_by: vec![ColRef::bare("D")],
+        };
+        LogicalPlan::Sort { input: Box::new(agg), keys: vec![(ColRef::bare("D"), false)] }
+    }
+
+    #[test]
+    fn sub_key_that_can_wrap_is_rejected() {
+        // Row 1 has MPOS < POS: the engine's `wrapping_sub` produces a
+        // ~2^64 key, so no dense scratchpad domain is derivable. The
+        // pre-fix `comp_max` bounded the key by the minuend's max alone
+        // and compiled a histogram the wrapped key escapes.
+        let catalog = catalog_with(vec![table_u32(
+            "T",
+            &[("POS", vec![10, 50]), ("MPOS", vec![30, 20])],
+        )]);
+        let err =
+            analyze(&grouped_by_comp(BinOp::Sub, "MPOS", "POS"), &catalog, &DeviceConfig::small())
+                .unwrap_err();
+        let CoreError::Unsupported { node, reason } = err else { panic!("{err}") };
+        assert_eq!(node, "Aggregate(GROUP BY)");
+        assert!(reason.contains("no derivable domain bound"), "got: {reason}");
+    }
+
+    #[test]
+    fn sub_key_proven_per_row_compiles_despite_overlapping_ranges() {
+        // Every row has MPOS >= POS, but the column *ranges* overlap
+        // (min MPOS = 30 < max POS = 90): a range-only proof would
+        // reject this valid mate-distance shape. The same-scan per-row
+        // proof accepts it with the exact [5, 20] key domain.
+        let catalog = catalog_with(vec![table_u32(
+            "T",
+            &[("POS", vec![10, 50, 90]), ("MPOS", vec![30, 55, 100])],
+        )]);
+        let plan = grouped_by_comp(BinOp::Sub, "MPOS", "POS");
+        assert_tables_match(&run(&plan, &catalog, 2), &software(&plan, &catalog));
+    }
+
+    #[test]
+    fn add_key_that_can_overflow_is_rejected() {
+        // max(A) + max(B) overflows u64: the engine wraps
+        // (`wrapping_add`), so the pre-fix saturated bound of u64::MAX
+        // both lied about the domain and pushed the `max_key + 1`
+        // arithmetic in the grouped lowering over the edge.
+        let catalog = catalog_with(vec![table_u64(
+            "T",
+            &[("A", vec![u64::MAX - 10, 5]), ("B", vec![20, 3])],
+        )]);
+        let err =
+            analyze(&grouped_by_comp(BinOp::Add, "A", "B"), &catalog, &DeviceConfig::small())
+                .unwrap_err();
+        let CoreError::Unsupported { node, reason } = err else { panic!("{err}") };
+        assert_eq!(node, "Aggregate(GROUP BY)");
+        assert!(reason.contains("no derivable domain bound"), "got: {reason}");
+    }
+
+    #[test]
+    fn group_key_holding_u64_max_is_a_clean_unsupported() {
+        // A key column containing u64::MAX exceeds any scratchpad budget;
+        // the rejection must format the domain size without computing
+        // `max_key + 1` (debug overflow pre-fix).
+        let catalog = catalog_with(vec![table_u64("T", &[("K", vec![0, u64::MAX])])]);
+        let agg = LogicalPlan::Aggregate {
+            input: Box::new(scan("T")),
+            items: vec![
+                SelectItem::Expr { expr: Expr::Col(ColRef::bare("K")), alias: None },
+                SelectItem::Agg { func: AggFn::Count, arg: None, alias: None },
+            ],
+            group_by: vec![ColRef::bare("K")],
+        };
+        let plan =
+            LogicalPlan::Sort { input: Box::new(agg), keys: vec![(ColRef::bare("K"), false)] };
+        let err = analyze(&plan, &catalog, &DeviceConfig::small()).unwrap_err();
+        let CoreError::Unsupported { node, reason } = err else { panic!("{err}") };
+        assert_eq!(node, "Aggregate(GROUP BY)");
+        assert!(reason.contains("scratchpad budget"), "got: {reason}");
+    }
+
+    fn filter_lt(input: LogicalPlan, col: &str, lit: u64) -> LogicalPlan {
+        LogicalPlan::Filter {
+            input: Box::new(input),
+            pred: Expr::Bin {
+                op: BinOp::Lt,
+                lhs: Box::new(Expr::Col(ColRef::bare(col))),
+                rhs: Box::new(Expr::Number(lit)),
+            },
+        }
+    }
+
+    #[test]
+    fn pushdown_drops_rows_at_the_scan() {
+        let catalog = catalog_with(vec![table_u32(
+            "T",
+            &[("X", (0..100).collect()), ("Y", (0..100).map(|v| v * 7 % 101).collect())],
+        )]);
+        let plan = filter_lt(scan("T"), "X", 10);
+        let cfg = DeviceConfig::small();
+        let low = analyze(&plan, &catalog, &cfg).unwrap();
+        assert_eq!(low.pushed.len(), 1, "the conjunct must be absorbed into the scan");
+        assert!((low.profile.selectivity - 0.1).abs() < 1e-9);
+        assert!(
+            low.summary.iter().any(|s| s.contains("Pushdown(Scan(T))")),
+            "explain must note the pushed conjunct: {:?}",
+            low.summary
+        );
+        let (hw, stats) = low.execute(&cfg, &catalog, 2).unwrap();
+        assert_eq!(stats.rows_scanned, 100);
+        assert_eq!(stats.rows_emitted, 10);
+        assert_tables_match(&hw, &software(&plan, &catalog));
+
+        // Pushdown off: same bytes out, full table scanned and emitted.
+        let cfg_off = DeviceConfig::small().with_pushdown(false);
+        let low_off = analyze(&plan, &catalog, &cfg_off).unwrap();
+        assert!(low_off.pushed.is_empty());
+        assert!((low_off.profile.selectivity - 1.0).abs() < 1e-9);
+        let (hw_off, stats_off) = low_off.execute(&cfg_off, &catalog, 2).unwrap();
+        assert_eq!(stats_off.rows_scanned, 100);
+        assert_eq!(stats_off.rows_emitted, 100);
+        assert_tables_match(&hw, &hw_off);
+    }
+
+    #[test]
+    fn pushdown_that_drops_every_row_yields_empty_output() {
+        let catalog = catalog_with(vec![table_u32("T", &[("X", (0..50).collect())])]);
+        let plan = filter_lt(scan("T"), "X", 0); // vacuously false
+        let cfg = DeviceConfig::small();
+        let low = analyze(&plan, &catalog, &cfg).unwrap();
+        let (hw, stats) = low.execute(&cfg, &catalog, 1).unwrap();
+        assert_eq!(stats.rows_scanned, 50);
+        assert_eq!(stats.rows_emitted, 0);
+        assert_tables_match(&hw, &software(&plan, &catalog));
+    }
+
+    #[test]
+    fn filter_above_projection_is_not_pushed() {
+        // Only a Filter *directly* above a plain Scan is absorbed; this
+        // one sits above a Project and must stay a Filter module.
+        let catalog = catalog_with(vec![table_u32("T", &[("X", (0..40).collect())])]);
+        let projected = LogicalPlan::Project {
+            input: Box::new(scan("T")),
+            items: vec![SelectItem::Expr { expr: Expr::Col(ColRef::bare("X")), alias: None }],
+        };
+        let plan = filter_lt(projected, "X", 8);
+        let cfg = DeviceConfig::small();
+        let low = analyze(&plan, &catalog, &cfg).unwrap();
+        assert!(low.pushed.is_empty());
+        let (hw, stats) = low.execute(&cfg, &catalog, 2).unwrap();
+        assert_eq!(stats.rows_scanned, stats.rows_emitted);
+        assert_tables_match(&hw, &software(&plan, &catalog));
+    }
+
+    #[test]
+    fn shards_split_survivors_and_attribute_scanned_rows_exactly() {
+        // A skewed predicate keeps only the tail 20 of 100 rows: shard
+        // ranges must split the 20 *survivors* evenly, and the per-shard
+        // scanned-row attribution must sum to the full 100.
+        let catalog = catalog_with(vec![table_u32("T", &[("X", (0..100).collect())])]);
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan("T")),
+            pred: Expr::Bin {
+                op: BinOp::Ge,
+                lhs: Box::new(Expr::Col(ColRef::bare("X"))),
+                rhs: Box::new(Expr::Number(80)),
+            },
+        };
+        let cfg = DeviceConfig::small();
+        let low = analyze(&plan, &catalog, &cfg).unwrap();
+        let job = low.prepare(&cfg, &catalog, 1).unwrap();
+        let ranges = job.shard_ranges(4);
+        assert_eq!(ranges.len(), 4);
+        assert!(ranges.iter().all(|r| r.len() == 5), "survivor split skewed: {ranges:?}");
+        let spine = &job.prepared[0];
+        let scanned: usize = ranges.iter().map(|r| spine.scanned_rows(r)).sum();
+        assert_eq!(scanned, 100);
     }
 
     #[test]

@@ -46,6 +46,13 @@ pub struct AccelStats {
     pub tier_prefetch_hits: u64,
     /// Bytes moved across the modeled PCIe spill link.
     pub tier_pcie_bytes: u64,
+    /// Catalog rows inspected by the prepared scans, *before* any pushed
+    /// predicate dropped rows (equals `rows_emitted` when nothing was
+    /// pushed down).
+    pub rows_scanned: u64,
+    /// Catalog rows that survived pushed predicates and were actually
+    /// serialized to the device as MemoryReader input.
+    pub rows_emitted: u64,
     /// Cycles charged for FPGA reconfiguration by the serving layer's
     /// compiled-pipeline cache on a cache miss (zero when the job hit the
     /// cache or bypassed the server). Included in `cycles`.
@@ -75,6 +82,8 @@ impl AccelStats {
         self.tier_pages_spilled += other.tier_pages_spilled;
         self.tier_prefetch_hits += other.tier_prefetch_hits;
         self.tier_pcie_bytes += other.tier_pcie_bytes;
+        self.rows_scanned += other.rows_scanned;
+        self.rows_emitted += other.rows_emitted;
         self.reconfig_cycles += other.reconfig_cycles;
         self.faults.absorb(other.faults);
     }
@@ -134,6 +143,9 @@ impl fmt::Display for AccelStats {
                 self.tier_prefetch_hits,
                 self.tier_pcie_bytes,
             )?;
+        }
+        if self.rows_scanned > 0 {
+            write!(f, " | scan: {} scanned / {} emitted", self.rows_scanned, self.rows_emitted)?;
         }
         if self.reconfig_cycles > 0 {
             write!(f, " | reconfig {} cycles", self.reconfig_cycles)?;

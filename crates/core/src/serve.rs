@@ -1349,6 +1349,7 @@ fn finalize(core: &ServerCore, job: &Arc<JobShared>, gather: Gather) {
     if let Ok((_, stats)) = &primary {
         crate::host::record_fault_metrics(&core.metrics, stats.faults, "server.");
         crate::host::record_tier_metrics(&core.metrics, stats, "server.");
+        crate::host::record_scan_metrics(&core.metrics, stats, "server.");
     }
     deliveries.push((job.id, job.tenant.clone(), job.submitted, primary));
     let mut st = core.lock();

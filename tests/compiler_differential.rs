@@ -18,10 +18,48 @@ use genesis::sql::{Catalog, LogicalPlan};
 use genesis::types::{Column, DataType, Field, Schema, Table};
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Serializes engine-selection environment access (`System::with_memory`
+/// reads `GENESIS_ENGINE` / `GENESIS_SIM_THREADS` at construction).
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn env_lock() -> MutexGuard<'static, ()> {
+    ENV_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Three engines × 1/2/4 block-engine worker threads.
+const MATRIX: [(&str, usize); 9] = [
+    ("block", 1),
+    ("block", 2),
+    ("block", 4),
+    ("event", 1),
+    ("event", 2),
+    ("event", 4),
+    ("reference", 1),
+    ("reference", 2),
+    ("reference", 4),
+];
+
+/// Runs `f` with the engine selection exported. Caller holds [`env_lock`].
+fn with_engine<T>(engine: &str, threads: usize, f: impl FnOnce() -> T) -> T {
+    std::env::set_var("GENESIS_ENGINE", engine);
+    std::env::set_var("GENESIS_SIM_THREADS", threads.to_string());
+    let out = f();
+    std::env::remove_var("GENESIS_ENGINE");
+    std::env::remove_var("GENESIS_SIM_THREADS");
+    out
+}
 
 fn table_u32(cols: &[(&str, Vec<u32>)]) -> Table {
     let schema = Schema::new(cols.iter().map(|(n, _)| Field::new(n, DataType::U32)).collect());
     let columns = cols.iter().map(|(_, v)| Column::U32(v.clone())).collect();
+    Table::from_columns(schema, columns).unwrap()
+}
+
+fn table_u64(cols: &[(&str, Vec<u64>)]) -> Table {
+    let schema = Schema::new(cols.iter().map(|(n, _)| Field::new(n, DataType::U64)).collect());
+    let columns = cols.iter().map(|(_, v)| Column::U64(v.clone())).collect();
     Table::from_columns(schema, columns).unwrap()
 }
 
@@ -51,14 +89,49 @@ fn differential(plan: &LogicalPlan, catalog: &Catalog, factor: usize) -> Result<
         .map_err(|e| TestCaseError::fail(format!("hardware run failed: {e}")))?;
     let sw = execute_plan(plan, catalog, &Env::default())
         .map_err(|e| TestCaseError::fail(format!("software run failed: {e}")))?;
+    assert_tables(&hw, &sw, "default engine")
+}
+
+/// [`differential`] swept over the full engine matrix, with the plan
+/// additionally compiled under pushdown-off so the absorbed-at-the-scan
+/// and Filter-module paths are pinned against each other bit for bit.
+/// Takes the env lock internally.
+fn differential_engines(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    factor: usize,
+) -> Result<(), TestCaseError> {
+    let _guard = env_lock();
+    let compiled = Compiler::new(DeviceConfig::small())
+        .compile(plan, catalog)
+        .map_err(|e| TestCaseError::fail(format!("compile failed: {e}")))?;
+    let unpushed = Compiler::new(DeviceConfig::small().with_pushdown(false))
+        .compile(plan, catalog)
+        .map_err(|e| TestCaseError::fail(format!("pushdown-off compile failed: {e}")))?;
+    let sw = execute_plan(plan, catalog, &Env::default())
+        .map_err(|e| TestCaseError::fail(format!("software run failed: {e}")))?;
+    for (engine, threads) in MATRIX {
+        for (label, c) in [("pushdown", &compiled), ("no-pushdown", &unpushed)] {
+            let what = format!("{engine}/{threads}t/{label} @{factor}x");
+            let (hw, _) = with_engine(engine, threads, || c.execute_replicated(catalog, factor))
+                .map_err(|e| TestCaseError::fail(format!("{what}: hardware run failed: {e}")))?;
+            assert_tables(&hw, &sw, &what)?;
+        }
+    }
+    Ok(())
+}
+
+fn assert_tables(hw: &Table, sw: &Table, what: &str) -> Result<(), TestCaseError> {
     let hw_names: Vec<&str> = hw.schema().fields().iter().map(|f| f.name.as_str()).collect();
     let sw_names: Vec<&str> = sw.schema().fields().iter().map(|f| f.name.as_str()).collect();
     if hw_names != sw_names {
-        return Err(TestCaseError::fail(format!("schema differs: hw {hw_names:?} sw {sw_names:?}")));
+        return Err(TestCaseError::fail(format!(
+            "{what}: schema differs: hw {hw_names:?} sw {sw_names:?}"
+        )));
     }
     if hw.num_rows() != sw.num_rows() {
         return Err(TestCaseError::fail(format!(
-            "row count differs: hw {} sw {}",
+            "{what}: row count differs: hw {} sw {}",
             hw.num_rows(),
             sw.num_rows()
         )));
@@ -66,7 +139,7 @@ fn differential(plan: &LogicalPlan, catalog: &Catalog, factor: usize) -> Result<
     for r in 0..hw.num_rows() {
         if hw.row(r) != sw.row(r) {
             return Err(TestCaseError::fail(format!(
-                "row {r} differs: hw {:?} sw {:?}",
+                "{what}: row {r} differs: hw {:?} sw {:?}",
                 hw.row(r),
                 sw.row(r)
             )));
@@ -250,6 +323,92 @@ proptest! {
             right_key: ColRef::qualified("R", "K"),
         };
         differential(&plan, &catalog, factor)?;
+    }
+}
+
+/// Value bases that park arithmetic GROUP BY keys on either side of the
+/// u64 wrap boundary.
+const WRAP_BASES: [u64; 3] = [0, u64::MAX / 2, u64::MAX - 64];
+
+/// Comparison literals at the key-domain boundaries.
+const BOUNDARY_LITS: [u64; 4] = [0, 1, u64::MAX - 1, u64::MAX];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arithmetic GROUP BY keys whose value ranges straddle wrap-around:
+    /// `A ± B` with `A` parked near 0, mid-range, or near `u64::MAX`.
+    /// The compiler must either reject the plan as a structured
+    /// `Unsupported` (the wrap-possible and over-budget cases) or
+    /// produce output bit-identical to the software engine's wrapping
+    /// arithmetic on every engine × thread combination.
+    #[test]
+    fn arithmetic_group_key_wrap_differential(
+        base_i in 0usize..3,
+        pairs in proptest::collection::vec((0u64..48, 0u64..48), 1..16),
+        is_sub in 0usize..2,
+        factor in 1usize..3,
+    ) {
+        let base = WRAP_BASES[base_i];
+        let a: Vec<u64> = pairs.iter().map(|&(x, _)| base + x).collect();
+        let b: Vec<u64> = pairs.iter().map(|&(_, y)| y).collect();
+        let catalog = {
+            let mut c = Catalog::new();
+            c.register("T", table_u64(&[("A", a), ("B", b)]));
+            c
+        };
+        let op = if is_sub == 1 { BinOp::Sub } else { BinOp::Add };
+        let plan = LogicalPlan::Sort {
+            input: Box::new(LogicalPlan::Aggregate {
+                input: Box::new(LogicalPlan::Project {
+                    input: Box::new(scan("T")),
+                    items: vec![SelectItem::Expr {
+                        expr: bin(op, col("A"), col("B")),
+                        alias: Some("D".to_owned()),
+                    }],
+                }),
+                items: vec![
+                    SelectItem::Expr { expr: col("D"), alias: None },
+                    SelectItem::Agg { func: AggFn::Count, arg: None, alias: None },
+                ],
+                group_by: vec![ColRef::bare("D")],
+            }),
+            keys: vec![(ColRef::bare("D"), false)],
+        };
+        match Compiler::new(DeviceConfig::small()).compile(&plan, &catalog) {
+            // Wrap-possible or over-budget keys must be rejected with a
+            // structured diagnostic, never compiled into a mis-sized
+            // scratchpad.
+            Err(CoreError::Unsupported { node, .. }) => {
+                prop_assert_eq!(node, "Aggregate(GROUP BY)");
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error class: {e}"))),
+            Ok(_) => differential_engines(&plan, &catalog, factor)?,
+        }
+    }
+
+    /// Predicates against the boundary literals 0 / 1 / `u64::MAX - 1` /
+    /// `u64::MAX` under every comparison operator, both pushed into the
+    /// scan and lowered as Filter modules, across the engine matrix —
+    /// pinning the vacuous-edge narrowing (`X < 0`, `X > u64::MAX`) and
+    /// the pushdown/module split to the software engine bit for bit.
+    #[test]
+    fn boundary_literal_filter_differential(
+        xs in proptest::collection::vec(0u32..64, 1..24),
+        op_i in 0usize..6,
+        lit_i in 0usize..4,
+        factor in 1usize..3,
+    ) {
+        let catalog = {
+            let mut c = Catalog::new();
+            c.register("T", table_u32(&[("X", xs)]));
+            c
+        };
+        let plan = LogicalPlan::Filter {
+            input: Box::new(scan("T")),
+            pred: bin(CMP_OPS[op_i], col("X"), Expr::Number(BOUNDARY_LITS[lit_i])),
+        };
+        differential_engines(&plan, &catalog, factor)?;
     }
 }
 

@@ -7,6 +7,7 @@
 
 use genesis::core::compile::Compiler;
 use genesis::core::device::DeviceConfig;
+use genesis::core::CoreError;
 use genesis::sql::{Catalog, Script};
 use genesis::types::{Column, DataType, Field, Schema, Table};
 use proptest::prelude::*;
@@ -64,6 +65,24 @@ const POS_EXPLODE_JOIN_SQL: &str = "\
     FROM PAIRS\n\
     INNER JOIN RefPos\n\
     ON PAIRS.POS = RefPos.POS";
+
+const MATE_DISTANCE_SQL: &str = "\
+    CREATE TABLE RefPos AS\n\
+    PosExplode (REF.SEQ, REF.POS)\n\
+    FROM REF\n\
+    CREATE TABLE Joined AS\n\
+    SELECT *\n\
+    FROM PAIRS\n\
+    INNER JOIN RefPos\n\
+    ON PAIRS.POS = RefPos.POS\n\
+    CREATE TABLE Dist AS\n\
+    SELECT PAIRS.MPOS - PAIRS.POS AS D\n\
+    FROM Joined\n\
+    INSERT INTO MateHist\n\
+    SELECT D, COUNT(*)\n\
+    FROM Dist\n\
+    GROUP BY D\n\
+    ORDER BY D";
 
 /// One randomized read: a structurally valid CIGAR (optional soft clips
 /// at the ends, M-anchored middle so I/D/N never lead or trail) plus the
@@ -257,6 +276,71 @@ proptest! {
         let _guard = env_lock();
         let catalog = reads_catalog(&specs);
         differential(COVERAGE_SQL, &catalog, "Coverage", factor)?;
+    }
+
+    /// The mate-distance shape (`MPOS - POS` GROUP BY key through
+    /// PosExplode + join) with signed per-row mate offsets: whenever any
+    /// scanned row has `MPOS < POS` the key would wrap (`wrapping_sub`
+    /// in the software engine), so the compiler must reject the plan
+    /// with a structured `Unsupported`; wrap-free inputs — including
+    /// ones whose column *ranges* overlap — must stay bit-identical to
+    /// the software engine across the full engine matrix.
+    #[test]
+    fn mate_distance_wrap_straddling_differential(
+        mask in proptest::collection::vec(0usize..2, 32..33),
+        deltas in proptest::collection::vec(-2i64..6, 1..8),
+        factor in 1usize..3,
+    ) {
+        let _guard = env_lock();
+        let mut pos: Vec<u32> =
+            mask.iter().enumerate().filter(|(_, &m)| m == 1).map(|(i, _)| i as u32).collect();
+        if pos.is_empty() {
+            pos.push(0);
+        }
+        let mpos: Vec<u32> = pos
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| u32::try_from((i64::from(p) + deltas[i % deltas.len()]).max(0)).unwrap())
+            .collect();
+        let wraps = pos.iter().zip(&mpos).any(|(p, m)| m < p);
+        let mut catalog = Catalog::new();
+        catalog.register(
+            "PAIRS",
+            Table::from_columns(
+                Schema::new(vec![
+                    Field::new("POS", DataType::U32),
+                    Field::new("MPOS", DataType::U32),
+                ]),
+                vec![Column::U32(pos), Column::U32(mpos)],
+            )
+            .unwrap(),
+        );
+        catalog.register(
+            "REF",
+            Table::from_columns(
+                Schema::new(vec![Field::new("POS", DataType::U32), Field::new("SEQ", DataType::ListU8)]),
+                vec![
+                    Column::U32(vec![0]),
+                    Column::ListU8(vec![(0..48).map(|j| (j % 4) as u8).collect()]),
+                ],
+            )
+            .unwrap(),
+        );
+        let compiled = Compiler::new(DeviceConfig::small()).compile_sql(MATE_DISTANCE_SQL, &catalog);
+        match (wraps, compiled) {
+            (true, Ok(_)) => {
+                return Err(TestCaseError::fail(
+                    "a wrap-possible MPOS - POS key must not compile".to_owned(),
+                ))
+            }
+            (true, Err(CoreError::Unsupported { node, .. })) => {
+                prop_assert_eq!(node, "Aggregate(GROUP BY)");
+            }
+            (_, Err(e)) => {
+                return Err(TestCaseError::fail(format!("unexpected compile error: {e}")))
+            }
+            (false, Ok(_)) => differential(MATE_DISTANCE_SQL, &catalog, "MateHist", factor)?,
+        }
     }
 
     /// PosExplode lowering: the exploded reference joined against a

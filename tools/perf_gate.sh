@@ -168,9 +168,43 @@ gate_serve() {
     fi
 }
 
+# chosen_factor of one labeled row in a workloads snapshot.
+factor_of() {
+    awk -v l="$2" -F'"' '/"label"/ && $4 == l {
+        if (match($0, /"chosen_factor": [0-9]+/)) {
+            v = substr($0, RSTART, RLENGTH)
+            sub(/^"chosen_factor": /, "", v)
+            print v
+        }
+    }' "$1"
+}
+
+# Selective-scan pushdown gate (structural, no jitter band): the
+# ~10%-selective pushed scan must choose strictly fewer replicas than
+# the identical scan with pushdown off. The workloads bench asserts this
+# at run time too; this check also pins the committed snapshot.
+gate_pushdown() {
+    snap="$root/BENCH_workloads.json"
+    on=$(factor_of "$snap" pushdown_on)
+    off=$(factor_of "$snap" pushdown_off)
+    if [ -z "$on" ] || [ -z "$off" ]; then
+        echo "perf_gate: BENCH_workloads.json is missing the pushdown rows;" >&2
+        echo "run: cargo bench --offline -p genesis-bench --bench workloads" >&2
+        fail=1
+        return
+    fi
+    if [ "$on" -lt "$off" ]; then
+        echo "  ok   pushdown replication     ${on}x < ${off}x (pushdown on vs off)"
+    else
+        echo "  FAIL pushdown replication     ${on}x vs ${off}x: pushed selective scan must replicate strictly less"
+        fail=1
+    fi
+}
+
 gate engine_throughput "$root/BENCH_engine.json"
 gate tier_overhead "$root/BENCH_tier.json"
 gate workloads "$root/BENCH_workloads.json"
+gate_pushdown
 gate_serve
 
 if [ "$fail" -ne 0 ]; then
